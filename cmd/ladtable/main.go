@@ -1,0 +1,120 @@
+// Command ladtable inspects the deployment-knowledge primitives:
+//
+//	ladtable            # print the g(z) lookup table (Theorem 1)
+//	ladtable -grid      # deployment-point grid of Figure 1
+//	ladtable -pdf       # one group's Gaussian pdf samples (Figure 2)
+//	ladtable -sweep     # table accuracy vs ω
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/deploy"
+	"repro/internal/geom"
+	"repro/internal/plot"
+)
+
+func main() {
+	var (
+		r     = flag.Float64("R", 50, "transmission range (m)")
+		sigma = flag.Float64("sigma", 50, "deployment spread σ (m)")
+		omega = flag.Int("omega", deploy.DefaultOmega, "table sub-ranges ω")
+		step  = flag.Float64("step", 10, "z step for table printing (m)")
+		grid  = flag.Bool("grid", false, "print the Figure 1 deployment grid")
+		pdf   = flag.Bool("pdf", false, "print Figure 2 pdf samples")
+		sweep = flag.Bool("sweep", false, "print table accuracy vs ω")
+	)
+	flag.Parse()
+
+	switch {
+	case *grid:
+		printGrid()
+	case *pdf:
+		printPDF(*sigma)
+	case *sweep:
+		printSweep(*r, *sigma)
+	default:
+		printTable(*r, *sigma, *omega, *step)
+	}
+}
+
+func printGrid() {
+	model, err := deploy.New(deploy.PaperConfig())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ladtable: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("Figure 1 — deployment points (10×10 grid, 1000 m × 1000 m):")
+	var rows [][]string
+	for i, p := range model.DeploymentPoints() {
+		if i%10 == 0 {
+			rows = append(rows, []string{})
+		}
+		rows[len(rows)-1] = append(rows[len(rows)-1], fmt.Sprintf("(%.0f,%.0f)", p.X, p.Y))
+	}
+	for i := len(rows) - 1; i >= 0; i-- { // print north at the top
+		for _, c := range rows[i] {
+			fmt.Printf("%-11s", c)
+		}
+		fmt.Println()
+	}
+}
+
+func printPDF(sigma float64) {
+	cfg := deploy.PaperConfig()
+	cfg.Sigma = sigma
+	model, err := deploy.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ladtable: %v\n", err)
+		os.Exit(1)
+	}
+	// Figure 2 samples the pdf around deployment point (150, 150) = group 11.
+	const group = 11
+	dp := model.DeploymentPoint(group)
+	fmt.Printf("Figure 2 — deployment pdf around %v (σ=%.0f):\n", dp, sigma)
+	header := []string{"dy\\dx"}
+	for dx := -150.0; dx <= 150; dx += 50 {
+		header = append(header, fmt.Sprintf("%.0f", dx))
+	}
+	var rows [][]string
+	for dy := 150.0; dy >= -150; dy -= 50 {
+		row := []string{fmt.Sprintf("%.0f", dy)}
+		for dx := -150.0; dx <= 150; dx += 50 {
+			v := model.PDF(group, geom.Pt(dp.X+dx, dp.Y+dy))
+			row = append(row, fmt.Sprintf("%.2e", v))
+		}
+		rows = append(rows, row)
+	}
+	fmt.Print(plot.Table(header, rows))
+}
+
+func printSweep(r, sigma float64) {
+	fmt.Printf("g(z) lookup-table accuracy vs ω (R=%.0f, σ=%.0f):\n", r, sigma)
+	var rows [][]string
+	for _, omega := range []int{16, 32, 64, 128, 256, 512, 1024, 2048} {
+		gt := deploy.NewGTable(r, sigma, omega)
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", omega),
+			fmt.Sprintf("%.3e", gt.MaxAbsError(4)),
+		})
+	}
+	fmt.Print(plot.Table([]string{"omega", "max |table - exact|"}, rows))
+}
+
+func printTable(r, sigma float64, omega int, step float64) {
+	gt := deploy.NewGTable(r, sigma, omega)
+	fmt.Printf("g(z) — probability a group member lands within R=%.0f of a point\n", r)
+	fmt.Printf("z meters from the deployment point (σ=%.0f, ω=%d, zero beyond %.0f):\n",
+		sigma, omega, gt.MaxZ())
+	var rows [][]string
+	for z := 0.0; z <= gt.MaxZ(); z += step {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", z),
+			fmt.Sprintf("%.6f", gt.Eval(z)),
+			fmt.Sprintf("%.6f", deploy.GExact(z, r, sigma)),
+		})
+	}
+	fmt.Print(plot.Table([]string{"z", "g(z) table", "g(z) exact"}, rows))
+}

@@ -1,0 +1,84 @@
+// Battlefield surveillance — the paper's motivating scenario (Section 1):
+// sensors air-dropped over hostile terrain report on their surroundings;
+// if an adversary can convince sensors they are somewhere they are not,
+// "safe region" reports attach to the wrong coordinates.
+//
+// The adversary here mounts a coordinated campaign against one sector:
+// a wormhole tunnels HELLO traffic from a far sector, and compromised
+// neighbors run the Dec-Bounded greedy taint to hide the resulting
+// localization anomaly from LAD. The defender trains LAD once and sweeps
+// the damage the attacker tries to cause; the output shows the paper's
+// central trade-off — the more damage, the more certain the detection.
+//
+// Run: go run ./examples/battlefield
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func main() {
+	model, err := lad.NewModel(lad.PaperDeployment())
+	if err != nil {
+		log.Fatal(err)
+	}
+	detector, benign, err := lad.Train(model, lad.Diff(), lad.TrainConfig{
+		Trials: 3000, Percentile: 99, Seed: 1, KeepInField: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("battlefield sector: 1000 m × 1000 m, 30,000 sensors")
+	fmt.Printf("LAD trained at 1%% false-positive budget: threshold %.2f\n",
+		detector.Threshold())
+	fmt.Printf("benign Diff scores: mean sample of %d sensors\n\n", len(benign))
+
+	// The adversary compromises 20% of each victim's neighborhood and
+	// tries increasingly ambitious displacement of the sector's sensors.
+	r := rng.New(99)
+	const compromised = 0.20
+	const trialsPerD = 400
+	fmt.Println("damage D (m)  attacks detected  sector risk")
+	fmt.Println("------------  ----------------  -----------")
+	for _, d := range []float64{40, 80, 120, 160, 200} {
+		detected := 0
+		for t := 0; t < trialsPerD; t++ {
+			group, la := model.SampleLocation(r)
+			for !model.Field().Contains(la) {
+				group, la = model.SampleLocation(r)
+			}
+			a := model.SampleObservation(la, group, r)
+			le := attack.ForgeLocationInField(la, d, model.Field(), r, 64)
+			e := core.NewExpectation(model, le)
+			var total int
+			for _, c := range a {
+				total += c
+			}
+			o := attack.NewDiffMinimizer(e.Mu, lad.DecBounded).
+				Taint(a, int(compromised*float64(total)))
+			if detector.CheckWithExpectation(o, e).Alarm {
+				detected++
+			}
+		}
+		dr := float64(detected) / trialsPerD
+		risk := "HIGH — displacements slip through"
+		switch {
+		case dr > 0.99:
+			risk = "negligible — attack always caught"
+		case dr > 0.9:
+			risk = "low"
+		case dr > 0.5:
+			risk = "moderate"
+		}
+		fmt.Printf("%12.0f  %15.1f%%  %s\n", d, dr*100, risk)
+	}
+	fmt.Println("\nreading: an adversary who wants sensors to believe they are")
+	fmt.Println(">120 m away from their true posts is detected almost surely;")
+	fmt.Println("surviving attacks are confined to sub-MTE displacements.")
+}

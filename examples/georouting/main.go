@@ -1,0 +1,144 @@
+// Geographic routing under localization attack — the paper's second
+// motivating application (Section 1): geographic protocols forward
+// packets to the neighbor whose coordinates are closest to the
+// destination. Sensors that believe forged coordinates advertise them,
+// and greedy forwarding drives packets into voids.
+//
+// The pipeline: deploy → localize every node (beaconless MLE) → attack a
+// fraction of nodes with D-anomaly forgeries → route with (a) honest
+// locations, (b) attacked locations, (c) attacked locations gated by LAD
+// (nodes whose locations fail verification advertise nothing).
+//
+// Run: go run ./examples/georouting
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/localize"
+	"repro/internal/rng"
+	"repro/internal/routing"
+	"repro/internal/wsn"
+)
+
+func main() {
+	cfg := lad.PaperDeployment()
+	cfg.GroupSize = 60 // 6000 nodes keeps the demo snappy
+	model, err := lad.NewModel(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	master := rng.New(77)
+	net := wsn.Deploy(model, master.Split())
+
+	// Every node localizes itself from its real observation.
+	mle := localize.NewBeaconlessModel(model)
+	obs := make([][]int, net.Len())
+	estimates := make([]geom.Point, net.Len())
+	located := make([]bool, net.Len())
+	for i := 0; i < net.Len(); i++ {
+		obs[i] = net.ObservationOf(wsn.NodeID(i))
+		if le, err := mle.LocalizeObservation(obs[i]); err == nil {
+			estimates[i] = le
+			located[i] = true
+		}
+	}
+
+	// The adversary hits 25% of nodes with a D=200 anomaly.
+	r := master.Split()
+	forgedCount := 0
+	isForged := make([]bool, net.Len())
+	for i := 0; i < net.Len(); i++ {
+		if located[i] && r.Float64() < 0.25 {
+			estimates[i] = attack.ForgeLocationInField(
+				net.Node(wsn.NodeID(i)).Pos, 200, model.Field(), r, 64)
+			isForged[i] = true
+			forgedCount++
+		}
+	}
+	fmt.Printf("network: %d nodes; %d localization results forged (D=200)\n",
+		net.Len(), forgedCount)
+
+	// LAD verdict per node.
+	det, _, err := lad.Train(model, lad.Diff(), lad.TrainConfig{
+		Trials: 1500, Percentile: 99, Seed: 5, KeepInField: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rejected := make([]bool, net.Len())
+	var caught, falseAlarm int
+	for i := 0; i < net.Len(); i++ {
+		if !located[i] {
+			rejected[i] = true
+			continue
+		}
+		e := core.NewExpectation(model, estimates[i])
+		if det.CheckWithExpectation(obs[i], e).Alarm {
+			rejected[i] = true
+			if isForged[i] {
+				caught++
+			} else {
+				falseAlarm++
+			}
+		}
+	}
+	fmt.Printf("LAD: caught %d/%d forgeries, %d false alarms (%.2f%%)\n\n",
+		caught, forgedCount, falseAlarm,
+		100*float64(falseAlarm)/float64(net.Len()-forgedCount))
+
+	// Routing with three location services.
+	pairs := samplePairs(net, 300, master.Split())
+	honest := routing.NewRouter(net, func(id wsn.NodeID) (geom.Point, bool) {
+		return net.Node(id).Pos, true
+	}).Evaluate(pairs)
+	attacked := routing.NewRouter(net, func(id wsn.NodeID) (geom.Point, bool) {
+		return estimates[id], located[id]
+	}).Evaluate(pairs)
+	gated := routing.NewRouter(net, func(id wsn.NodeID) (geom.Point, bool) {
+		if rejected[id] {
+			return geom.Point{}, false
+		}
+		return estimates[id], true
+	}).Evaluate(pairs)
+
+	fmt.Println("location service        delivery  mean hops")
+	fmt.Println("----------------------  --------  ---------")
+	fmt.Printf("%-22s  %7.1f%%  %9.1f\n", "true positions", 100*honest.DeliveryRate(), honest.MeanHops())
+	fmt.Printf("%-22s  %7.1f%%  %9.1f\n", "attacked estimates", 100*attacked.DeliveryRate(), attacked.MeanHops())
+	fmt.Printf("%-22s  %7.1f%%  %9.1f\n", "LAD-gated estimates", 100*gated.DeliveryRate(), gated.MeanHops())
+
+	if attacked.DeliveryRate() >= honest.DeliveryRate() {
+		fmt.Println("\nnote: this draw shrugged off the attack; rerun with another seed")
+	}
+	if gated.DeliveryRate() <= attacked.DeliveryRate() {
+		log.Fatal("expected LAD gating to restore delivery")
+	}
+	fmt.Println("\nreading: forged coordinates sink greedy forwarding. Dropping")
+	fmt.Println("LAD-rejected locations from the neighbor tables recovers much of")
+	fmt.Println("the loss — the residual gap is the forwarding capacity of the")
+	fmt.Println("(correctly) quarantined quarter of the network.")
+}
+
+// samplePairs picks interior src/dst pairs so edge effects don't dominate.
+func samplePairs(net *wsn.Network, n int, r *rng.Rand) [][2]wsn.NodeID {
+	field := net.Model().Field()
+	inner := geom.NewRect(
+		geom.Pt(field.Min.X+80, field.Min.Y+80),
+		geom.Pt(field.Max.X-80, field.Max.Y-80))
+	var pairs [][2]wsn.NodeID
+	for len(pairs) < n {
+		a, _ := net.SampleNode(r)
+		b, _ := net.SampleNode(r)
+		if a == b || !inner.Contains(net.Node(a).Pos) || !inner.Contains(net.Node(b).Pos) {
+			continue
+		}
+		pairs = append(pairs, [2]wsn.NodeID{a, b})
+	}
+	return pairs
+}

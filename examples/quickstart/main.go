@@ -1,0 +1,78 @@
+// Quickstart: the minimal LAD workflow against the public API.
+//
+//  1. Describe the deployment (the paper's 10×10-group setup).
+//  2. Train a detection threshold on simulated benign deployments.
+//  3. Check an honest sensor — no alarm.
+//  4. Check the same sensor with a forged location — alarm.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// 1. Deployment knowledge: every sensor carries this before launch.
+	model, err := lad.NewModel(lad.PaperDeployment())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployment: %d groups × %d nodes, σ=%.0f m, R=%.0f m\n",
+		model.NumGroups(), model.GroupSize(), model.Sigma(), model.Range())
+
+	// 2. Train the Diff metric at a 1% false-positive budget (τ = 99).
+	detector, _, err := lad.Train(model, lad.Diff(), lad.TrainConfig{
+		Trials:      3000,
+		Percentile:  99,
+		Seed:        7,
+		KeepInField: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained threshold: %.2f (Diff metric, P99)\n\n", detector.Threshold())
+
+	// 3. An honest sensor: deploy a network, pick a node, let it localize
+	// itself from its neighbors' group announcements.
+	net := lad.DeployNetwork(model, 42)
+	mle := lad.NewBeaconless(model)
+	var sensor lad.NodeID
+	for i := 0; i < net.Len(); i++ {
+		if net.Node(lad.NodeID(i)).Pos.Dist(lad.Pt(500, 500)) < 60 {
+			sensor = lad.NodeID(i)
+			break
+		}
+	}
+	observation := net.ObservationOf(sensor)
+	estimated, err := mle.LocalizeObservation(observation)
+	if err != nil {
+		log.Fatal(err)
+	}
+	actual := net.Node(sensor).Pos
+	fmt.Printf("sensor %d: actual %v, estimated %v (error %.1f m)\n",
+		sensor, actual, estimated, estimated.Dist(actual))
+	fmt.Printf("honest check:  %v\n", detector.Check(observation, estimated))
+
+	// 4. An attacked sensor: the localization phase was subverted and
+	// produced a location 150 m away. LAD compares the same observation
+	// against the forged location.
+	forged := actual.Add(lad.Pt(150, 0).Sub(lad.Pt(0, 0)))
+	verdict := detector.Check(observation, forged)
+	fmt.Printf("forged check:  %v\n", verdict)
+	if !verdict.Alarm {
+		log.Fatal("expected an alarm on the forged location")
+	}
+
+	// Bonus: the corrector re-estimates the location after the alarm.
+	corrector := lad.NewCorrector(model)
+	fixed, err := corrector.Correct(observation)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corrected location: %v (%.1f m from truth)\n",
+		fixed, fixed.Dist(actual))
+}

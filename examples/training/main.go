@@ -1,0 +1,66 @@
+// Threshold training in depth (Section 5.5): how the τ percentile trades
+// false positives against detection, and why the paper calls LAD
+// threshold-insensitive for high-damage anomalies.
+//
+// The example trains all three metrics, prints their benign score
+// distributions, then sweeps τ and shows FP/DR at each operating point
+// for a mid-damage attack (D = 100, x = 10%, Dec-Bounded).
+//
+// Run: go run ./examples/training
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/mathx"
+	"repro/internal/stats"
+)
+
+func main() {
+	model, err := lad.NewModel(lad.PaperDeployment())
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := experiment.Options{BenignTrials: 2500, AttackTrials: 1200, Seed: 11}
+
+	// One benign sample serves all metrics.
+	benign, err := experiment.Benign(model, lad.Metrics(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("benign score distributions (training data):")
+	for mi, m := range lad.Metrics() {
+		s := stats.Summarize(benign[mi])
+		fmt.Printf("  %-12s mean %8.2f  std %7.2f  p99 %8.2f  max %8.2f\n",
+			m.Name(), s.Mean, s.Std, mathx.Percentile(benign[mi], 99), s.Max)
+	}
+
+	// Attacked scores at one canonical point.
+	fmt.Println("\noperating points at D=100, x=10%, Dec-Bounded:")
+	fmt.Println("metric        tau      threshold  trainFP    DR")
+	fmt.Println("------------  -------  ---------  -------  ------")
+	for mi, m := range lad.Metrics() {
+		attacked, err := experiment.AttackScores(model, m,
+			experiment.AttackPoint{D: 100, XFrac: 0.10, Class: attack.DecBounded}, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, tau := range []float64{90, 95, 99, 99.9} {
+			th := core.ThresholdFromScores(benign[mi], tau)
+			fp := 1 - tau/100
+			dr := experiment.DetectionRate(attacked, th)
+			fmt.Printf("%-12s  %6.1f%%  %9.2f  %6.2f%%  %5.1f%%\n",
+				m.Name(), tau, th, fp*100, dr*100)
+		}
+	}
+
+	fmt.Println("\nreading: for the Diff metric the detection rate barely moves")
+	fmt.Println("between τ=99 and τ=99.9 — the paper's threshold-insensitivity")
+	fmt.Println("claim for high-impact anomalies. Add-all pays the steepest")
+	fmt.Println("price for tight false-positive budgets.")
+}

@@ -1,0 +1,54 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/rng"
+)
+
+func benchFixture(b *testing.B) (a []int, mu, g []float64, m int) {
+	b.Helper()
+	model := deploy.MustNew(deploy.PaperConfig())
+	r := rng.New(1)
+	_, la := model.SampleLocation(r)
+	a = model.SampleObservation(la, -1, r)
+	le := ForgeLocation(la, 120, r)
+	mu = model.ExpectedObservation(le)
+	g = make([]float64, len(mu))
+	for i := range mu {
+		g[i] = mu[i] / float64(model.GroupSize())
+	}
+	return a, mu, g, model.GroupSize()
+}
+
+func BenchmarkDiffTaint(b *testing.B) {
+	a, mu, _, _ := benchFixture(b)
+	for _, class := range []Class{DecBounded, DecOnly} {
+		class := class
+		b.Run(class.String(), func(b *testing.B) {
+			s := NewDiffMinimizer(mu, class)
+			for i := 0; i < b.N; i++ {
+				s.Taint(a, 24)
+			}
+		})
+	}
+}
+
+func BenchmarkAddAllTaint(b *testing.B) {
+	a, mu, _, _ := benchFixture(b)
+	s := NewAddAllMinimizer(mu, DecBounded)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Taint(a, 24)
+	}
+}
+
+func BenchmarkProbTaint(b *testing.B) {
+	a, _, g, m := benchFixture(b)
+	s := NewProbMaximizer(g, m, DecBounded)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Taint(a, 24)
+	}
+}

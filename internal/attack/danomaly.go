@@ -1,0 +1,30 @@
+package attack
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// ForgeLocation simulates a successful D-anomaly attack on the
+// localization phase (Section 7.1, step 2): the victim's estimated
+// location becomes a uniformly random point at exactly distance d from
+// its actual location la.
+func ForgeLocation(la geom.Point, d float64, r *rng.Rand) geom.Point {
+	theta := r.Uniform(0, 2*math.Pi)
+	return la.Add(geom.FromPolar(d, theta))
+}
+
+// ForgeLocationInField is ForgeLocation retrying until the forged
+// location falls inside the given field (attackers gain nothing from
+// claiming a location outside the deployment area — it would be
+// instantly implausible). It falls back to clamping after maxTries.
+func ForgeLocationInField(la geom.Point, d float64, field geom.Rect, r *rng.Rand, maxTries int) geom.Point {
+	for i := 0; i < maxTries; i++ {
+		if p := ForgeLocation(la, d, r); field.Contains(p) {
+			return p
+		}
+	}
+	return field.Clamp(ForgeLocation(la, d, r))
+}

@@ -1,0 +1,110 @@
+package auth
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestTagVerifyRoundTrip(t *testing.T) {
+	a := NewAuthority([]byte("master-secret"))
+	a.Provision(7, 3)
+	tag := a.Tag(7, 3)
+	if len(tag) != TagSize {
+		t.Fatalf("tag size = %d", len(tag))
+	}
+	if !a.Verify(7, 3, tag) {
+		t.Error("valid tag rejected")
+	}
+}
+
+func TestVerifyRejectsWrongGroup(t *testing.T) {
+	a := NewAuthority([]byte("master-secret"))
+	a.Provision(7, 3)
+	// A compromised node 7 holds its own key and can compute tags for any
+	// group — but the provisioning record pins it to group 3.
+	forged := a.Tag(7, 9)
+	if a.Verify(7, 9, forged) {
+		t.Error("impersonation of another group should fail against provisioning record")
+	}
+}
+
+func TestVerifyRejectsForgedSender(t *testing.T) {
+	a := NewAuthority([]byte("master-secret"))
+	a.Provision(7, 3)
+	a.Provision(8, 4)
+	// Node 7 cannot produce node 8's tag without K_8 — simulate a forgery
+	// by tagging with the wrong identity's key stream.
+	tag7 := a.Tag(7, 3)
+	if a.Verify(8, 4, tag7) {
+		t.Error("tag for node 7 must not verify as node 8")
+	}
+}
+
+func TestVerifyRejectsUnprovisioned(t *testing.T) {
+	a := NewAuthority([]byte("m"))
+	tag := a.Tag(55, 1)
+	if a.Verify(55, 1, tag) {
+		t.Error("unprovisioned node should not verify")
+	}
+}
+
+func TestVerifyRejectsTamperedTag(t *testing.T) {
+	a := NewAuthority([]byte("m"))
+	a.Provision(1, 0)
+	tag := a.Tag(1, 0)
+	tag[0] ^= 0xff
+	if a.Verify(1, 0, tag) {
+		t.Error("tampered tag should fail")
+	}
+}
+
+func TestDifferentMastersDiffer(t *testing.T) {
+	a := NewAuthority([]byte("alpha"))
+	b := NewAuthority([]byte("beta"))
+	a.Provision(1, 0)
+	b.Provision(1, 0)
+	if b.Verify(1, 0, a.Tag(1, 0)) {
+		t.Error("tag from a different master key should not verify")
+	}
+}
+
+func TestProvisionedGroup(t *testing.T) {
+	a := NewAuthority([]byte("m"))
+	a.Provision(3, 12)
+	if g, ok := a.ProvisionedGroup(3); !ok || g != 12 {
+		t.Errorf("ProvisionedGroup = %d, %v", g, ok)
+	}
+	if _, ok := a.ProvisionedGroup(4); ok {
+		t.Error("unknown node should report !ok")
+	}
+}
+
+func TestMasterKeyCopied(t *testing.T) {
+	secret := []byte("mutate-me")
+	a := NewAuthority(secret)
+	a.Provision(1, 0)
+	tagBefore := a.Tag(1, 0)
+	secret[0] = 'X' // caller mutates its buffer; authority must be isolated
+	if !a.Verify(1, 0, tagBefore) {
+		t.Error("authority must copy the master secret")
+	}
+}
+
+func TestLeash(t *testing.T) {
+	l := Leash{MaxRange: 50}
+	rx := geom.Pt(0, 0)
+	if !l.Check(rx, geom.Pt(30, 40)) { // dist 50, exactly at range
+		t.Error("in-range origin rejected")
+	}
+	if l.Check(rx, geom.Pt(60, 0)) {
+		t.Error("out-of-range origin accepted (wormhole would pass)")
+	}
+	slack := Leash{MaxRange: 50, Slack: 15}
+	if !slack.Check(rx, geom.Pt(60, 0)) {
+		t.Error("slack should tolerate small overshoot")
+	}
+	if slack.Check(rx, geom.Pt(200, 0)) {
+		t.Error("distant wormhole endpoint must still fail")
+	}
+}

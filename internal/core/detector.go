@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/deploy"
+	"repro/internal/geom"
+)
+
+// Verdict is the outcome of one anomaly check.
+type Verdict struct {
+	Score     float64
+	Threshold float64
+	Alarm     bool
+}
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	state := "consistent"
+	if v.Alarm {
+		state = "ANOMALY"
+	}
+	return fmt.Sprintf("%s (score %.3f vs threshold %.3f)", state, v.Score, v.Threshold)
+}
+
+// Detector is a trained LAD instance: a metric plus its detection
+// threshold, bound to the deployment knowledge. Safe for concurrent use.
+type Detector struct {
+	model     *deploy.Model
+	metric    Metric
+	threshold float64
+}
+
+// NewDetector wires a detector with an explicit threshold (normally
+// produced by Train).
+func NewDetector(model *deploy.Model, metric Metric, threshold float64) *Detector {
+	return &Detector{model: model, metric: metric, threshold: threshold}
+}
+
+// Metric returns the detector's metric.
+func (d *Detector) Metric() Metric { return d.metric }
+
+// Threshold returns the detection threshold.
+func (d *Detector) Threshold() float64 { return d.threshold }
+
+// Model returns the deployment knowledge the detector uses.
+func (d *Detector) Model() *deploy.Model { return d.model }
+
+// Check verifies an estimated location against an observation.
+func (d *Detector) Check(o []int, le geom.Point) Verdict {
+	e := NewExpectation(d.model, le)
+	return d.CheckWithExpectation(o, e)
+}
+
+// CheckWithExpectation is Check with a precomputed expectation (several
+// metrics can share one).
+func (d *Detector) CheckWithExpectation(o []int, e *Expectation) Verdict {
+	s := d.metric.Score(o, e)
+	return Verdict{Score: s, Threshold: d.threshold, Alarm: s > d.threshold}
+}

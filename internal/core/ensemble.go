@@ -1,0 +1,87 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/deploy"
+	"repro/internal/geom"
+	"repro/internal/mathx"
+)
+
+// Ensemble is a union detector over several metrics: it alarms when ANY
+// member metric exceeds its own threshold. The paper evaluates its three
+// metrics separately (Section 5 — "the objective of this study is to
+// investigate how effective these metrics are"); the natural follow-up,
+// since the metrics look at different facets of the same observation, is
+// whether their union buys detection at equal false-positive budget.
+//
+// Training splits the false-positive budget evenly: for a target
+// percentile τ with k metrics, each member threshold is trained at
+// τ_member = 100 − (100 − τ)/k, a Bonferroni-style correction that keeps
+// the family-wise training FP at most 100 − τ (and close to it, since
+// the metric scores are strongly correlated).
+type Ensemble struct {
+	model      *deploy.Model
+	metrics    []Metric
+	thresholds []float64
+}
+
+// TrainEnsemble trains a union detector over the given metrics.
+func TrainEnsemble(model *deploy.Model, metrics []Metric, cfg TrainConfig) (*Ensemble, error) {
+	if len(metrics) == 0 {
+		return nil, errors.New("core: ensemble needs at least one metric")
+	}
+	scores, _, err := BenignScores(model, metrics, cfg)
+	if err != nil {
+		return nil, err
+	}
+	memberTau := 100 - (100-cfg.Percentile)/float64(len(metrics))
+	e := &Ensemble{model: model, metrics: metrics}
+	for mi := range metrics {
+		e.thresholds = append(e.thresholds, mathx.Percentile(scores[mi], memberTau))
+	}
+	return e, nil
+}
+
+// NewEnsemble wires an ensemble with explicit thresholds (len(thresholds)
+// must equal len(metrics)).
+func NewEnsemble(model *deploy.Model, metrics []Metric, thresholds []float64) (*Ensemble, error) {
+	if len(metrics) == 0 || len(metrics) != len(thresholds) {
+		return nil, errors.New("core: ensemble metric/threshold mismatch")
+	}
+	return &Ensemble{model: model, metrics: metrics, thresholds: thresholds}, nil
+}
+
+// Metrics returns the member metrics.
+func (e *Ensemble) Metrics() []Metric { return e.metrics }
+
+// Thresholds returns the member thresholds (aligned with Metrics).
+func (e *Ensemble) Thresholds() []float64 {
+	return append([]float64(nil), e.thresholds...)
+}
+
+// Check evaluates all members at the claimed location; the verdict alarms
+// if any member does. The returned Verdict carries the worst member's
+// score margin (score − threshold), so Score > Threshold iff Alarm.
+func (e *Ensemble) Check(o []int, le geom.Point) Verdict {
+	exp := NewExpectation(e.model, le)
+	return e.CheckWithExpectation(o, exp)
+}
+
+// CheckWithExpectation is Check with a shared precomputed expectation.
+func (e *Ensemble) CheckWithExpectation(o []int, exp *Expectation) Verdict {
+	worstMargin := 0.0
+	alarm := false
+	first := true
+	for mi, m := range e.metrics {
+		margin := m.Score(o, exp) - e.thresholds[mi]
+		if first || margin > worstMargin {
+			worstMargin = margin
+			first = false
+		}
+		if margin > 0 {
+			alarm = true
+		}
+	}
+	return Verdict{Score: worstMargin, Threshold: 0, Alarm: alarm}
+}

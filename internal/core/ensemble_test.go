@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func TestEnsembleValidation(t *testing.T) {
+	model := paperModel()
+	if _, err := TrainEnsemble(model, nil, TrainConfig{Trials: 10, Percentile: 99}); err == nil {
+		t.Error("empty ensemble should fail")
+	}
+	if _, err := NewEnsemble(model, AllMetrics(), []float64{1}); err == nil {
+		t.Error("mismatched thresholds should fail")
+	}
+	if _, err := NewEnsemble(model, nil, nil); err == nil {
+		t.Error("empty NewEnsemble should fail")
+	}
+}
+
+func TestEnsembleAccessorsAndIsolation(t *testing.T) {
+	model := paperModel()
+	e, err := NewEnsemble(model, AllMetrics(), []float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Metrics()) != 3 {
+		t.Fatal("metrics lost")
+	}
+	th := e.Thresholds()
+	th[0] = -999
+	if e.Thresholds()[0] == -999 {
+		t.Error("Thresholds aliases internal state")
+	}
+}
+
+func TestEnsembleFamilyFPRespectsBudget(t *testing.T) {
+	model := paperModel()
+	ens, err := TrainEnsemble(model, AllMetrics(), TrainConfig{
+		Trials: 800, Percentile: 99, Seed: 41, KeepInField: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh benign sample: the union alarm rate must stay near (and, by
+	// Bonferroni, not wildly above) the 1% budget.
+	scores, _, err := BenignScores(model, AllMetrics(), TrainConfig{
+		Trials: 800, Percentile: 99, Seed: 42, KeepInField: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms := 0
+	ths := ens.Thresholds()
+	for ti := range scores[0] {
+		for mi := range scores {
+			if scores[mi][ti] > ths[mi] {
+				alarms++
+				break
+			}
+		}
+	}
+	fp := float64(alarms) / float64(len(scores[0]))
+	if fp > 0.03 {
+		t.Errorf("ensemble FP = %v, budget 0.01", fp)
+	}
+}
+
+func TestEnsembleCatchesWhatAnyMemberCatches(t *testing.T) {
+	model := paperModel()
+	ens, err := TrainEnsemble(model, AllMetrics(), TrainConfig{
+		Trials: 800, Percentile: 99, Seed: 43, KeepInField: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(44)
+	const trials = 100
+	detected := 0
+	for i := 0; i < trials; i++ {
+		group, la := model.SampleLocation(r)
+		for !model.Field().Contains(la) {
+			group, la = model.SampleLocation(r)
+		}
+		a := model.SampleObservation(la, group, r)
+		le := attack.ForgeLocationInField(la, 140, model.Field(), r, 64)
+		e := NewExpectation(model, le)
+		var total int
+		for _, c := range a {
+			total += c
+		}
+		// Attacker optimizes against Diff only; Prob member still sees it.
+		o := attack.NewDiffMinimizer(e.Mu, attack.DecBounded).Taint(a, int(0.10*float64(total)))
+		v := ens.CheckWithExpectation(o, e)
+		if v.Alarm != (v.Score > v.Threshold) {
+			t.Fatal("verdict margin inconsistent with alarm")
+		}
+		if v.Alarm {
+			detected++
+		}
+	}
+	if dr := float64(detected) / trials; dr < 0.95 {
+		t.Errorf("ensemble DR at D=140 = %v", dr)
+	}
+}
+
+func TestEnsembleCheckMatchesExpectationPath(t *testing.T) {
+	model := paperModel()
+	ens, err := NewEnsemble(model, []Metric{DiffMetric{}}, []float64{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(45)
+	_, la := model.SampleLocation(r)
+	o := model.SampleObservation(la, -1, r)
+	le := geom.Pt(500, 500)
+	v1 := ens.Check(o, le)
+	v2 := ens.CheckWithExpectation(o, NewExpectation(model, le))
+	if v1 != v2 {
+		t.Errorf("Check (%v) != CheckWithExpectation (%v)", v1, v2)
+	}
+}

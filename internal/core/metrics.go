@@ -1,0 +1,132 @@
+// Package core implements LAD, the paper's contribution: localization
+// anomaly detection from deployment knowledge. A sensor that has derived
+// a location L_e compares its actual observation o (neighbor counts per
+// deployment group) with the expected observation µ at L_e; a large
+// inconsistency indicates that the localization was attacked.
+//
+// Three inconsistency metrics are provided (Section 5), all normalized
+// here to anomaly *scores* where larger means more anomalous, so one
+// trainer and one ROC builder serve all three:
+//
+//   - Diff:        DM = Σ_i |o_i − µ_i|
+//   - Add-all:     AM = Σ_i max(o_i, µ_i)
+//   - Probability: score = −ln min_i Pr(X_i = o_i | L_e)
+//     (the paper alarms when the min probability is *below* a threshold,
+//     which is equivalent to this score being *above* −ln of it).
+//
+// Thresholds are obtained by training on simulated benign deployments
+// (Section 5.5): the τ-percentile of the benign score distribution, with
+// 1−τ the target false-positive rate.
+package core
+
+import (
+	"math"
+
+	"repro/internal/deploy"
+	"repro/internal/geom"
+	"repro/internal/mathx"
+)
+
+// Expectation bundles what LAD knows about a claimed location L_e: the
+// per-group neighbor probabilities g_i(L_e) and the expected counts
+// µ_i = m·g_i(L_e). Computing it once per verdict amortizes the g-table
+// lookups across metrics.
+type Expectation struct {
+	Loc geom.Point
+	G   []float64 // g_i(L_e)
+	Mu  []float64 // m·g_i(L_e)
+	M   int       // group size m
+}
+
+// NewExpectation evaluates the deployment knowledge at le.
+func NewExpectation(model *deploy.Model, le geom.Point) *Expectation {
+	n := model.NumGroups()
+	e := &Expectation{
+		Loc: le,
+		G:   make([]float64, n),
+		Mu:  make([]float64, n),
+		M:   model.GroupSize(),
+	}
+	gt := model.GTable()
+	mm := float64(e.M)
+	for i := 0; i < n; i++ {
+		z := le.Dist(model.DeploymentPoint(i))
+		g := gt.Eval(z)
+		e.G[i] = g
+		e.Mu[i] = mm * g
+	}
+	return e
+}
+
+// Metric converts an observation and an expectation into an anomaly
+// score; larger is more anomalous. Implementations must be stateless and
+// safe for concurrent use.
+type Metric interface {
+	Name() string
+	Score(o []int, e *Expectation) float64
+}
+
+// DiffMetric is the paper's Difference metric (Section 5.2).
+type DiffMetric struct{}
+
+// Name implements Metric.
+func (DiffMetric) Name() string { return "diff" }
+
+// Score implements Metric: Σ_i |o_i − µ_i|.
+func (DiffMetric) Score(o []int, e *Expectation) float64 {
+	var sum float64
+	for i, c := range o {
+		sum += math.Abs(float64(c) - e.Mu[i])
+	}
+	return sum
+}
+
+// AddAllMetric is the paper's Add-all metric (Section 5.3).
+type AddAllMetric struct{}
+
+// Name implements Metric.
+func (AddAllMetric) Name() string { return "add-all" }
+
+// Score implements Metric: Σ_i max(o_i, µ_i) — the size of the union of
+// the actual and expected observations.
+func (AddAllMetric) Score(o []int, e *Expectation) float64 {
+	var sum float64
+	for i, c := range o {
+		sum += math.Max(float64(c), e.Mu[i])
+	}
+	return sum
+}
+
+// ProbMetric is the paper's Probability metric (Section 5.4).
+type ProbMetric struct{}
+
+// Name implements Metric.
+func (ProbMetric) Name() string { return "probability" }
+
+// Score implements Metric: −ln min_i Binom(m, g_i(L_e))(o_i). Clamped
+// probabilities keep the score finite for impossible observations.
+func (ProbMetric) Score(o []int, e *Expectation) float64 {
+	worst := math.Inf(-1)
+	for i, c := range o {
+		lp := mathx.BinomLogPMF(c, e.M, e.G[i])
+		if nl := -lp; nl > worst {
+			worst = nl
+		}
+	}
+	return worst
+}
+
+// AllMetrics returns the three paper metrics in presentation order.
+func AllMetrics() []Metric {
+	return []Metric{DiffMetric{}, AddAllMetric{}, ProbMetric{}}
+}
+
+// MetricByName resolves a metric from its Name(), or nil.
+func MetricByName(name string) Metric {
+	for _, m := range AllMetrics() {
+		if m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/geom"
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+func paperModel() *deploy.Model { return deploy.MustNew(deploy.PaperConfig()) }
+
+func TestNewExpectation(t *testing.T) {
+	model := paperModel()
+	e := NewExpectation(model, geom.Pt(500, 500))
+	if len(e.G) != 100 || len(e.Mu) != 100 || e.M != 300 {
+		t.Fatalf("expectation shape wrong: %d %d %d", len(e.G), len(e.Mu), e.M)
+	}
+	for i := range e.G {
+		if e.G[i] < 0 || e.G[i] > 1 {
+			t.Fatalf("G[%d] = %v", i, e.G[i])
+		}
+		if math.Abs(e.Mu[i]-300*e.G[i]) > 1e-9 {
+			t.Fatalf("Mu[%d] != m*G", i)
+		}
+	}
+}
+
+func TestDiffMetricHandComputed(t *testing.T) {
+	e := &Expectation{Mu: []float64{2, 5.5, 0}, G: []float64{0.1, 0.2, 0}, M: 10}
+	o := []int{4, 5, 1}
+	want := 2 + 0.5 + 1.0
+	if got := (DiffMetric{}).Score(o, e); math.Abs(got-want) > 1e-12 {
+		t.Errorf("diff = %v, want %v", got, want)
+	}
+	if got := (DiffMetric{}).Score([]int{2, 6, 0}, e); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("diff = %v, want 0.5", got)
+	}
+}
+
+func TestAddAllMetricHandComputed(t *testing.T) {
+	e := &Expectation{Mu: []float64{2, 5.5, 0}, G: []float64{0.1, 0.2, 0}, M: 10}
+	o := []int{4, 5, 1}
+	want := 4 + 5.5 + 1.0
+	if got := (AddAllMetric{}).Score(o, e); math.Abs(got-want) > 1e-12 {
+		t.Errorf("add-all = %v, want %v", got, want)
+	}
+}
+
+func TestProbMetricHandComputed(t *testing.T) {
+	e := &Expectation{G: []float64{0.5, 0.9}, Mu: []float64{5, 9}, M: 10}
+	o := []int{5, 1}
+	// Group 1 is wildly unlikely; score = −ln pmf(1; 10, 0.9).
+	want := -mathx.BinomLogPMF(1, 10, 0.9)
+	if got := (ProbMetric{}).Score(o, e); math.Abs(got-want) > 1e-9 {
+		t.Errorf("prob score = %v, want %v", got, want)
+	}
+}
+
+func TestMetricsGrowWithDisplacement(t *testing.T) {
+	// Moving the claimed location away from the truth must (on average)
+	// increase every metric's score — the paper's core intuition.
+	model := paperModel()
+	r := rng.New(1)
+	la := geom.Pt(500, 500)
+	o := model.SampleObservation(la, -1, r)
+	for _, m := range AllMetrics() {
+		prev := -math.MaxFloat64
+		for _, d := range []float64{0, 100, 200, 400} {
+			le := la.Add(geom.V(d, 0))
+			s := m.Score(o, NewExpectation(model, le))
+			if s <= prev {
+				t.Errorf("%s: score not increasing at displacement %v (%v <= %v)",
+					m.Name(), d, s, prev)
+			}
+			prev = s
+		}
+	}
+}
+
+func TestProbMetricFiniteOnImpossible(t *testing.T) {
+	model := paperModel()
+	// Claimed corner location, observation full of far-group neighbors.
+	o := make([]int, 100)
+	o[99] = 50
+	s := (ProbMetric{}).Score(o, NewExpectation(model, geom.Pt(50, 50)))
+	if math.IsInf(s, 0) || math.IsNaN(s) {
+		t.Errorf("score should stay finite, got %v", s)
+	}
+	if s < 100 {
+		t.Errorf("impossible observation should score huge, got %v", s)
+	}
+}
+
+func TestAllMetricsAndLookup(t *testing.T) {
+	ms := AllMetrics()
+	if len(ms) != 3 {
+		t.Fatalf("AllMetrics = %d", len(ms))
+	}
+	names := map[string]bool{}
+	for _, m := range ms {
+		names[m.Name()] = true
+		if MetricByName(m.Name()) == nil {
+			t.Errorf("MetricByName(%q) = nil", m.Name())
+		}
+	}
+	if !names["diff"] || !names["add-all"] || !names["probability"] {
+		t.Errorf("names = %v", names)
+	}
+	if MetricByName("nope") != nil {
+		t.Error("unknown metric should be nil")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	v := Verdict{Score: 1, Threshold: 2, Alarm: false}
+	if v.String() == "" {
+		t.Error("empty String")
+	}
+	v.Alarm = true
+	if v.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestDetectorCheck(t *testing.T) {
+	model := paperModel()
+	d := NewDetector(model, DiffMetric{}, 50)
+	if d.Threshold() != 50 || d.Metric().Name() != "diff" || d.Model() != model {
+		t.Error("accessor wiring wrong")
+	}
+	r := rng.New(2)
+	la := geom.Pt(500, 500)
+	o := model.SampleObservation(la, -1, r)
+	// Honest location: typically below a generous threshold.
+	v := d.Check(o, la)
+	if v.Score <= 0 {
+		t.Errorf("benign score = %v, want > 0 (binomial noise)", v.Score)
+	}
+	// Blatant lie: far location must alarm.
+	lie := d.Check(o, geom.Pt(50, 950))
+	if !lie.Alarm {
+		t.Errorf("blatant lie not alarmed: %v", lie)
+	}
+	if lie.Score <= v.Score {
+		t.Error("lie should score higher than truth")
+	}
+	// CheckWithExpectation agrees with Check.
+	e := NewExpectation(model, la)
+	if got := d.CheckWithExpectation(o, e); got.Score != v.Score {
+		t.Error("CheckWithExpectation disagrees with Check")
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/deploy"
+)
+
+// State is the serializable form of a trained detector: everything a
+// sensor needs pre-loaded before deployment (the deployment knowledge is
+// the paper's premise; the metric and threshold are LAD's training
+// output). The g(z) table is rebuilt on load rather than shipped — it is
+// derived data.
+type State struct {
+	// Version guards the wire format.
+	Version int `json:"version"`
+	// Deployment is the full deployment-knowledge configuration.
+	Deployment deploy.Config `json:"deployment"`
+	// Metric is the metric name ("diff", "add-all", "probability").
+	Metric string `json:"metric"`
+	// Threshold is the trained detection threshold.
+	Threshold float64 `json:"threshold"`
+	// Percentile records the τ the threshold was trained at (metadata).
+	Percentile float64 `json:"percentile,omitempty"`
+	// TrainTrials records the training sample size (metadata).
+	TrainTrials int `json:"train_trials,omitempty"`
+}
+
+// stateVersion is the current wire version.
+const stateVersion = 1
+
+// Save serializes a detector (with training metadata) to w as JSON.
+func Save(w io.Writer, d *Detector, percentile float64, trials int) error {
+	st := State{
+		Version:     stateVersion,
+		Deployment:  d.Model().Config(),
+		Metric:      d.Metric().Name(),
+		Threshold:   d.Threshold(),
+		Percentile:  percentile,
+		TrainTrials: trials,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st)
+}
+
+// Load reconstructs a detector from its serialized state, rebuilding the
+// deployment model (including the g(z) table).
+func Load(r io.Reader) (*Detector, error) {
+	var st State
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: decoding detector state: %w", err)
+	}
+	if st.Version != stateVersion {
+		return nil, fmt.Errorf("core: unsupported state version %d", st.Version)
+	}
+	metric := MetricByName(st.Metric)
+	if metric == nil {
+		return nil, fmt.Errorf("core: unknown metric %q", st.Metric)
+	}
+	model, err := deploy.New(st.Deployment)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuilding deployment model: %w", err)
+	}
+	return NewDetector(model, metric, st.Threshold), nil
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestStateSaveLoadRoundTrip(t *testing.T) {
+	model := paperModel()
+	orig := NewDetector(model, DiffMetric{}, 46.5)
+	var buf bytes.Buffer
+	if err := Save(&buf, orig, 99, 4000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"metric": "diff"`) {
+		t.Errorf("serialized form missing metric: %s", buf.String())
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Threshold() != 46.5 || loaded.Metric().Name() != "diff" {
+		t.Errorf("round trip lost fields: %v %v", loaded.Threshold(), loaded.Metric().Name())
+	}
+	// The rebuilt model must behave identically: same expectations.
+	probe := geom.Pt(421, 385)
+	e1 := NewExpectation(orig.Model(), probe)
+	e2 := NewExpectation(loaded.Model(), probe)
+	for i := range e1.Mu {
+		if e1.Mu[i] != e2.Mu[i] {
+			t.Fatalf("rebuilt model differs at group %d", i)
+		}
+	}
+}
+
+func TestStateLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("{garbage")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := Load(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("future version should fail")
+	}
+	if _, err := Load(strings.NewReader(
+		`{"version":1,"metric":"nope","deployment":{}}`)); err == nil {
+		t.Error("unknown metric should fail")
+	}
+	// Valid metric but invalid deployment.
+	if _, err := Load(strings.NewReader(
+		`{"version":1,"metric":"diff","deployment":{}}`)); err == nil {
+		t.Error("invalid deployment should fail")
+	}
+}
+
+func TestStateMetadataPreserved(t *testing.T) {
+	model := paperModel()
+	var buf bytes.Buffer
+	if err := Save(&buf, NewDetector(model, ProbMetric{}, 6.5), 99.9, 1234); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"percentile": 99.9`, `"train_trials": 1234`, `"probability"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("state missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"repro/internal/deploy"
+	"repro/internal/localize"
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+// TrainConfig controls threshold training (Section 5.5).
+type TrainConfig struct {
+	// Trials is the number of simulated benign sensors.
+	Trials int
+	// Percentile is τ: the share (in percent, e.g. 99) of benign metric
+	// results that must fall below the threshold; 100−τ is the target
+	// false-positive rate.
+	Percentile float64
+	// Seed makes training deterministic.
+	Seed uint64
+	// Workers caps the worker pool; 0 = GOMAXPROCS.
+	Workers int
+	// KeepInField restricts training victims to resident points inside
+	// the deployment field (edge sensors behave differently; the paper's
+	// setup keeps the field large enough that this barely matters).
+	KeepInField bool
+}
+
+func (c *TrainConfig) normalize() error {
+	if c.Trials <= 0 {
+		return errors.New("core: TrainConfig.Trials must be positive")
+	}
+	if c.Percentile <= 0 || c.Percentile >= 100 {
+		return errors.New("core: TrainConfig.Percentile must be in (0, 100)")
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return nil
+}
+
+// BenignSample is one training trial: a victim sensor in a clean
+// deployment, localized by the beaconless scheme.
+type BenignSample struct {
+	Observation []int
+	LocErr      float64 // |L_e − L_a| of the benign localization
+	Scores      []float64
+}
+
+// BenignScores simulates benign deployments and returns, per metric, the
+// score distribution observed on Trials victim sensors. It is the shared
+// engine behind Train and the experiment harness's ROC curves: training
+// data and false-positive measurements come from the same process.
+//
+// Each trial: draw a victim (group, actual location La), draw its
+// observation o_i ~ Binomial(m, g_i(La)) with self-exclusion, estimate
+// L_e with the beaconless MLE, then score every metric at L_e. Trials
+// whose victims land outside the field (Gaussian tails) are redrawn when
+// KeepInField is set.
+//
+// Trials fan out over a worker pool; per-trial RNG substreams are derived
+// up front from the master seed, so results are identical for any worker
+// count.
+func BenignScores(model *deploy.Model, metrics []Metric, cfg TrainConfig) ([][]float64, []float64, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, nil, err
+	}
+	if len(metrics) == 0 {
+		return nil, nil, errors.New("core: no metrics given")
+	}
+
+	loc := localize.NewBeaconlessModel(model)
+	scores := make([][]float64, len(metrics))
+	for i := range scores {
+		scores[i] = make([]float64, cfg.Trials)
+	}
+	locErrs := make([]float64, cfg.Trials)
+
+	// Pre-derive per-trial seeds so scheduling cannot perturb results.
+	master := rng.New(cfg.Seed)
+	seeds := make([]uint64, cfg.Trials)
+	for i := range seeds {
+		seeds[i] = master.Uint64()
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			o := make([]int, model.NumGroups())
+			for t := range next {
+				r := rng.New(seeds[t])
+				group, la := model.SampleLocation(r)
+				if cfg.KeepInField {
+					for !model.Field().Contains(la) {
+						group, la = model.SampleLocation(r)
+					}
+				}
+				model.SampleObservationInto(o, la, group, r)
+				le, err := loc.LocalizeObservation(o)
+				if err != nil {
+					// Isolated sensor: localization is impossible and LAD
+					// has nothing to verify. Score 0 (never alarms).
+					for mi := range metrics {
+						scores[mi][t] = 0
+					}
+					continue
+				}
+				locErrs[t] = le.Dist(la)
+				e := NewExpectation(model, le)
+				for mi, m := range metrics {
+					scores[mi][t] = m.Score(o, e)
+				}
+			}
+		}()
+	}
+	for t := 0; t < cfg.Trials; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+	return scores, locErrs, nil
+}
+
+// Train derives a detector for one metric: the threshold is the
+// τ-percentile of the benign score distribution. The benign scores are
+// returned alongside so callers can reuse them for ROC curves.
+func Train(model *deploy.Model, metric Metric, cfg TrainConfig) (*Detector, []float64, error) {
+	scores, _, err := BenignScores(model, []Metric{metric}, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	th := mathx.Percentile(scores[0], cfg.Percentile)
+	return NewDetector(model, metric, th), scores[0], nil
+}
+
+// ThresholdFromScores computes the τ-percentile threshold from an
+// existing benign score sample.
+func ThresholdFromScores(scores []float64, tau float64) float64 {
+	return mathx.Percentile(scores, tau)
+}

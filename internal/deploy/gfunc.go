@@ -1,0 +1,137 @@
+package deploy
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/mathx"
+)
+
+// DefaultOmega is the default number of sub-ranges of the g(z) lookup
+// table. The paper observes that "to gain satisfactory level of accuracy,
+// ω does not need to be very large"; TestGTableAccuracy quantifies this
+// (max error < 1e-4 already at ω = 256 for the paper's parameters).
+const DefaultOmega = 512
+
+// tailSigmas controls where g(z) is treated as exactly zero: beyond
+// z = R + tailSigmas·σ the Gaussian mass inside the neighborhood disk is
+// below ~1e-8 and not worth tabulating.
+const tailSigmas = 6
+
+// GExact evaluates Theorem 1 of the paper by adaptive quadrature:
+//
+//	g(z) = 1{z<R}·(1 − e^{−(R−z)²/2σ²})
+//	     + ∫_{|z−R|}^{z+R} f_R(ℓ)·2ℓ·acos((ℓ²+z²−R²)/(2ℓz)) dℓ
+//
+// where f_R(ℓ) = 1/(2πσ²)·e^{−ℓ²/2σ²}. It is the probability that a node
+// whose resident point is an isotropic Gaussian (σ) around its deployment
+// point lands within distance R of a point z away from that deployment
+// point.
+//
+// The z = 0 case degenerates (the acos argument divides by z); there the
+// neighborhood disk is centered on the deployment point and the answer is
+// the Rayleigh CDF 1 − e^{−R²/2σ²} in closed form.
+func GExact(z, r, sigma float64) float64 {
+	if z < 0 {
+		z = -z
+	}
+	if r <= 0 {
+		return 0
+	}
+	if z < 1e-9 {
+		return mathx.RayleighCDF(r, sigma)
+	}
+	if z >= r+tailSigmas*sigma {
+		return 0
+	}
+
+	var g float64
+	if z < r {
+		// Radii ℓ < R−z lie entirely inside the neighborhood disk: their
+		// whole circle contributes, which integrates in closed form to the
+		// Rayleigh CDF at R−z. This is the paper's first term.
+		g = mathx.RayleighCDF(r-z, sigma)
+	}
+
+	lo, hi := math.Abs(z-r), z+r
+	// Truncate the upper limit at the Gaussian tail: beyond ~8σ the
+	// density underflows and only wastes quadrature points.
+	if tail := tailSigmas * sigma * 1.5; hi > tail && lo < tail {
+		hi = tail
+	}
+	if hi <= lo {
+		return clamp01(g)
+	}
+	s2 := sigma * sigma
+	integrand := func(l float64) float64 {
+		// Density over the plane at radius ℓ times the arc length of the
+		// circle of radius ℓ that lies inside the neighborhood disk.
+		f := math.Exp(-l*l/(2*s2)) / (2 * math.Pi * s2)
+		return f * 2 * l * geom.ChordHalfAngle(l, z, r)
+	}
+	g += mathx.AdaptiveSimpson(integrand, lo, hi, 1e-10, 30)
+	return clamp01(g)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// GTable is the precomputed lookup table for g(z) prescribed by Section
+// 3.3: ω equal sub-ranges over [0, R+6σ] with linear interpolation, so a
+// sensor evaluates g in constant time. Beyond the table domain g is 0.
+type GTable struct {
+	r, sigma float64
+	table    *mathx.LinearTable
+}
+
+// NewGTable precomputes g(z) at omega+1 points for the given transmission
+// range and deployment spread.
+func NewGTable(r, sigma float64, omega int) *GTable {
+	if omega < 1 {
+		omega = 1
+	}
+	maxZ := r + tailSigmas*sigma
+	t, err := mathx.NewLinearTable(func(z float64) float64 {
+		return GExact(z, r, sigma)
+	}, 0, maxZ, omega)
+	if err != nil {
+		// Unreachable for validated inputs: omega >= 1 and maxZ > 0.
+		panic(err)
+	}
+	return &GTable{r: r, sigma: sigma, table: t}
+}
+
+// Eval returns the interpolated g(z); 0 beyond MaxZ.
+func (g *GTable) Eval(z float64) float64 {
+	if z < 0 {
+		z = -z
+	}
+	if z >= g.MaxZ() {
+		return 0
+	}
+	return g.table.Eval(z)
+}
+
+// MaxZ returns the distance beyond which g is treated as zero.
+func (g *GTable) MaxZ() float64 { return g.r + tailSigmas*g.sigma }
+
+// Omega returns the number of sub-ranges in the table.
+func (g *GTable) Omega() int { return g.table.Omega() }
+
+// Params returns the (R, σ) the table was built for.
+func (g *GTable) Params() (r, sigma float64) { return g.r, g.sigma }
+
+// MaxAbsError reports the worst interpolation error against the exact
+// integral, probing k points per sub-range. Used by the ω-sweep ablation.
+func (g *GTable) MaxAbsError(k int) float64 {
+	return g.table.MaxAbsError(func(z float64) float64 {
+		return GExact(z, g.r, g.sigma)
+	}, k)
+}

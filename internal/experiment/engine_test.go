@@ -1,0 +1,193 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/mathx"
+	"repro/internal/stats"
+)
+
+// quickOpts keeps unit tests fast while preserving statistical signal.
+func quickOpts() Options {
+	return Options{BenignTrials: 400, AttackTrials: 250, Seed: 99}
+}
+
+func model300() *deploy.Model { return deploy.MustNew(deploy.PaperConfig()) }
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := AttackScores(model300(), core.DiffMetric{}, AttackPoint{D: 80, XFrac: 0.1}, Options{}); err == nil {
+		t.Error("zero trials should fail")
+	}
+	if _, err := Benign(model300(), core.AllMetrics(), Options{}); err == nil {
+		t.Error("zero trials should fail")
+	}
+	d := DefaultOptions()
+	if d.BenignTrials <= 0 || d.AttackTrials <= 0 {
+		t.Error("defaults unusable")
+	}
+}
+
+func TestStrategyForMatchesMetric(t *testing.T) {
+	e := &core.Expectation{Mu: []float64{1}, G: []float64{0.1}, M: 10}
+	cases := []struct {
+		m    core.Metric
+		want string
+	}{
+		{core.DiffMetric{}, "greedy-diff/dec-bounded"},
+		{core.AddAllMetric{}, "greedy-addall/dec-bounded"},
+		{core.ProbMetric{}, "greedy-prob/dec-bounded"},
+	}
+	for _, c := range cases {
+		if got := StrategyFor(c.m, e, attack.DecBounded).Name(); got != c.want {
+			t.Errorf("StrategyFor(%s) = %q, want %q", c.m.Name(), got, c.want)
+		}
+	}
+}
+
+func TestAttackScoresDeterministicAcrossWorkers(t *testing.T) {
+	m := model300()
+	o1 := quickOpts()
+	o1.Workers = 1
+	s1, err := AttackScores(m, core.DiffMetric{}, AttackPoint{D: 100, XFrac: 0.1, Class: attack.DecBounded}, o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2 := quickOpts()
+	o2.Workers = 7
+	s2, err := AttackScores(m, core.DiffMetric{}, AttackPoint{D: 100, XFrac: 0.1, Class: attack.DecBounded}, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("scores differ at %d: %v vs %v", i, s1[i], s2[i])
+		}
+	}
+}
+
+func TestDetectionRate(t *testing.T) {
+	if DetectionRate(nil, 1) != 0 {
+		t.Error("empty should be 0")
+	}
+	if got := DetectionRate([]float64{1, 2, 3, 4}, 2.5); got != 0.5 {
+		t.Errorf("DR = %v", got)
+	}
+}
+
+func TestDetectionGrowsWithD(t *testing.T) {
+	m := model300()
+	opts := quickOpts()
+	benign, err := Benign(m, []core.Metric{core.DiffMetric{}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threshold := mathx.Percentile(benign[0], 99)
+	var prev float64 = -1
+	for _, d := range []float64{40, 100, 160} {
+		att, err := AttackScores(m, core.DiffMetric{}, AttackPoint{D: d, XFrac: 0.1, Class: attack.DecBounded}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dr := DetectionRate(att, threshold)
+		if dr < prev-0.05 {
+			t.Errorf("DR should grow with D: D=%v gives %v after %v", d, dr, prev)
+		}
+		prev = dr
+	}
+	if prev < 0.9 {
+		t.Errorf("DR at D=160 = %v, want > 0.9", prev)
+	}
+}
+
+func TestDecOnlyEasierToDetectThanDecBounded(t *testing.T) {
+	m := model300()
+	opts := quickOpts()
+	benign, err := Benign(m, []core.Metric{core.DiffMetric{}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var aucs [2]float64
+	for i, class := range []attack.Class{attack.DecBounded, attack.DecOnly} {
+		att, err := AttackScores(m, core.DiffMetric{}, AttackPoint{D: 60, XFrac: 0.1, Class: class}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aucs[i] = stats.AUC(stats.ROC(benign[0], att))
+	}
+	if aucs[1] < aucs[0]-0.02 {
+		t.Errorf("Dec-Only AUC (%v) should be >= Dec-Bounded AUC (%v)", aucs[1], aucs[0])
+	}
+}
+
+func TestDetectionDropsWithCompromise(t *testing.T) {
+	m := model300()
+	opts := quickOpts()
+	benign, err := Benign(m, []core.Metric{core.DiffMetric{}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threshold := mathx.Percentile(benign[0], 99)
+	drAt := func(xf float64) float64 {
+		att, err := AttackScores(m, core.DiffMetric{}, AttackPoint{D: 80, XFrac: xf, Class: attack.DecBounded}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return DetectionRate(att, threshold)
+	}
+	low := drAt(0.05)
+	high := drAt(0.50)
+	if high >= low {
+		t.Errorf("DR should drop with compromise: x=5%% → %v, x=50%% → %v", low, high)
+	}
+}
+
+func TestFigure7ShapeQuick(t *testing.T) {
+	fig, err := Figure7(model300(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != 7 {
+			t.Fatalf("series %s has %d points", s.Label, len(s.X))
+		}
+		// End of curve must dominate the start (rising DR with D).
+		if s.Y[len(s.Y)-1] < s.Y[0] {
+			t.Errorf("series %s not rising: %v", s.Label, s.Y)
+		}
+	}
+	// More compromise = weaker detection (compare the D=80 point, index 2).
+	if fig.Series[0].Y[2] < fig.Series[2].Y[2]-0.05 {
+		t.Errorf("x=10%% curve (%v) should dominate x=30%% (%v) at D=80",
+			fig.Series[0].Y[2], fig.Series[2].Y[2])
+	}
+	if fig.Chart().Title == "" {
+		t.Error("chart title empty")
+	}
+}
+
+func TestOmegaSweepShape(t *testing.T) {
+	fig := OmegaSweep()
+	s := fig.Series[0]
+	if len(s.X) < 5 {
+		t.Fatalf("points = %d", len(s.X))
+	}
+	// Error decreases (weakly) with omega and ends tiny.
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i] > s.Y[i-1]*1.5 {
+			t.Errorf("error grew at omega=%v: %v -> %v", s.X[i], s.Y[i-1], s.Y[i])
+		}
+	}
+	if last := s.Y[len(s.Y)-1]; last > 1e-5 {
+		t.Errorf("omega=1024 error = %v", last)
+	}
+	if math.IsNaN(s.Y[0]) {
+		t.Error("NaN error")
+	}
+}

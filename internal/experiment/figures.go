@@ -1,0 +1,240 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/mathx"
+	"repro/internal/plot"
+	"repro/internal/stats"
+)
+
+// Figure is one reproduced panel: data series plus provenance notes.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []plot.Series
+	Notes  []string
+}
+
+// Chart converts the figure to a renderable plot.Chart.
+func (f Figure) Chart() plot.Chart {
+	return plot.Chart{
+		Title:  fmt.Sprintf("%s — %s", f.ID, f.Title),
+		XLabel: f.XLabel,
+		YLabel: f.YLabel,
+		Series: f.Series,
+	}
+}
+
+// rocSeries converts an ROC into a plottable series, trimming the
+// uninformative FP > maxFP tail.
+func rocSeries(label string, pts []stats.ROCPoint, maxFP float64) plot.Series {
+	s := plot.Series{Label: label}
+	for _, p := range pts {
+		if p.FP > maxFP {
+			break
+		}
+		s.X = append(s.X, p.FP)
+		s.Y = append(s.Y, p.DR)
+	}
+	return s
+}
+
+// Figure4 reproduces "ROC curves for different detection metrics and
+// different degrees of damage" (DR-FP-M-D): x = 10%, m = 300,
+// Dec-Bounded, one panel per D ∈ {80, 120, 160}, curves for Diff,
+// Add-all and Probability.
+func Figure4(model *deploy.Model, opts Options) ([]Figure, error) {
+	metrics := core.AllMetrics()
+	benign, err := Benign(model, metrics, opts)
+	if err != nil {
+		return nil, err
+	}
+	var figs []Figure
+	for _, d := range []float64{80, 120, 160} {
+		fig := Figure{
+			ID:     "fig4",
+			Title:  fmt.Sprintf("ROC per metric, D=%.0f (x=10%%, m=300, Dec-Bounded)", d),
+			XLabel: "false positive rate",
+			YLabel: "detection rate",
+		}
+		for mi, m := range metrics {
+			attacked, err := AttackScores(model, m, AttackPoint{D: d, XFrac: 0.10, Class: attack.DecBounded}, opts)
+			if err != nil {
+				return nil, err
+			}
+			roc := stats.ROC(benign[mi], attacked)
+			fig.Series = append(fig.Series, rocSeries(m.Name(), roc, 1))
+			fig.Notes = append(fig.Notes,
+				fmt.Sprintf("AUC(%s, D=%.0f) = %.4f", m.Name(), d, stats.AUC(roc)))
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// Figure56 reproduces the Dec-Bounded vs Dec-Only ROC panels
+// (DR-FP-T-D): Figure 5 uses D ∈ {40, 80}, Figure 6 uses D ∈ {120, 160};
+// x = 10%, m = 300, Diff metric.
+func Figure56(model *deploy.Model, opts Options) ([]Figure, error) {
+	metric := core.DiffMetric{}
+	benign, err := Benign(model, []core.Metric{metric}, opts)
+	if err != nil {
+		return nil, err
+	}
+	var figs []Figure
+	for _, d := range []float64{40, 80, 120, 160} {
+		id := "fig5"
+		if d >= 120 {
+			id = "fig6"
+		}
+		fig := Figure{
+			ID:     id,
+			Title:  fmt.Sprintf("ROC per attack class, D=%.0f (x=10%%, m=300, Diff)", d),
+			XLabel: "false positive rate",
+			YLabel: "detection rate",
+		}
+		for _, class := range []attack.Class{attack.DecBounded, attack.DecOnly} {
+			attacked, err := AttackScores(model, metric, AttackPoint{D: d, XFrac: 0.10, Class: class}, opts)
+			if err != nil {
+				return nil, err
+			}
+			roc := stats.ROC(benign[0], attacked)
+			fig.Series = append(fig.Series, rocSeries(class.String(), roc, 1))
+			fig.Notes = append(fig.Notes,
+				fmt.Sprintf("AUC(%s, D=%.0f) = %.4f", class, d, stats.AUC(roc)))
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// Figure7 reproduces "Detection Rate vs Degree of Damage" (DR-D-x):
+// FP = 1%, m = 300, Diff metric, Dec-Bounded; curves for
+// x ∈ {10%, 20%, 30%}, D swept 40…160.
+func Figure7(model *deploy.Model, opts Options) (Figure, error) {
+	metric := core.DiffMetric{}
+	benign, err := Benign(model, []core.Metric{metric}, opts)
+	if err != nil {
+		return Figure{}, err
+	}
+	threshold := mathx.Percentile(benign[0], 99)
+	fig := Figure{
+		ID:     "fig7",
+		Title:  "Detection rate vs degree of damage (FP=1%, m=300, Diff, Dec-Bounded)",
+		XLabel: "degree of damage D",
+		YLabel: "detection rate",
+		Notes:  []string{fmt.Sprintf("trained threshold (P99 of benign Diff) = %.2f", threshold)},
+	}
+	ds := []float64{40, 60, 80, 100, 120, 140, 160}
+	for _, xf := range []float64{0.10, 0.20, 0.30} {
+		s := plot.Series{Label: fmt.Sprintf("x=%.0f%%", xf*100)}
+		for _, d := range ds {
+			attacked, err := AttackScores(model, metric, AttackPoint{D: d, XFrac: xf, Class: attack.DecBounded}, opts)
+			if err != nil {
+				return Figure{}, err
+			}
+			s.X = append(s.X, d)
+			s.Y = append(s.Y, DetectionRate(attacked, threshold))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure8 reproduces "Detection Rate vs the Percentage of Compromised
+// Nodes" (DR-x-D): FP = 1%, m = 300, Diff, Dec-Bounded; curves for
+// D ∈ {80, 120, 160}, x swept 0…60%.
+func Figure8(model *deploy.Model, opts Options) (Figure, error) {
+	metric := core.DiffMetric{}
+	benign, err := Benign(model, []core.Metric{metric}, opts)
+	if err != nil {
+		return Figure{}, err
+	}
+	threshold := mathx.Percentile(benign[0], 99)
+	fig := Figure{
+		ID:     "fig8",
+		Title:  "Detection rate vs compromised-neighbor share (FP=1%, m=300, Diff, Dec-Bounded)",
+		XLabel: "percentage of compromised nodes",
+		YLabel: "detection rate",
+		Notes:  []string{fmt.Sprintf("trained threshold (P99 of benign Diff) = %.2f", threshold)},
+	}
+	xs := []float64{0, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50, 0.60}
+	for _, d := range []float64{80, 120, 160} {
+		s := plot.Series{Label: fmt.Sprintf("D=%.0f", d)}
+		for _, xf := range xs {
+			attacked, err := AttackScores(model, metric, AttackPoint{D: d, XFrac: xf, Class: attack.DecBounded}, opts)
+			if err != nil {
+				return Figure{}, err
+			}
+			s.X = append(s.X, xf*100)
+			s.Y = append(s.Y, DetectionRate(attacked, threshold))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure9 reproduces "Detection Rate vs Network Density" (DR-m-x-D):
+// FP = 1%, Diff, Dec-Bounded; one panel per D ∈ {80, 100, 160}, curves
+// for x ∈ {10%, 20%, 30%}, m swept 100…1000. Each density retrains the
+// detector: denser networks localize more accurately, so the threshold
+// tightens at fixed FP — the mechanism the paper credits for the rising
+// curves.
+func Figure9(model *deploy.Model, opts Options) ([]Figure, error) {
+	cfg := model.Config()
+	metric := core.DiffMetric{}
+	ms := []int{100, 200, 300, 500, 700, 1000}
+	ds := []float64{80, 100, 160}
+	xfs := []float64{0.10, 0.20, 0.30}
+
+	// thresholds and per-m models.
+	type mState struct {
+		model     *deploy.Model
+		threshold float64
+	}
+	states := make([]mState, len(ms))
+	for i, m := range ms {
+		c := cfg
+		c.GroupSize = m
+		dm, err := deploy.New(c)
+		if err != nil {
+			return nil, err
+		}
+		benign, err := Benign(dm, []core.Metric{metric}, opts)
+		if err != nil {
+			return nil, err
+		}
+		states[i] = mState{model: dm, threshold: mathx.Percentile(benign[0], 99)}
+	}
+
+	var figs []Figure
+	for _, d := range ds {
+		fig := Figure{
+			ID:     "fig9",
+			Title:  fmt.Sprintf("Detection rate vs density, D=%.0f (FP=1%%, Diff, Dec-Bounded)", d),
+			XLabel: "m: nodes per deployment group",
+			YLabel: "detection rate",
+		}
+		for _, xf := range xfs {
+			s := plot.Series{Label: fmt.Sprintf("x=%.0f%%", xf*100)}
+			for i, m := range ms {
+				attacked, err := AttackScores(states[i].model, metric,
+					AttackPoint{D: d, XFrac: xf, Class: attack.DecBounded}, opts)
+				if err != nil {
+					return nil, err
+				}
+				s.X = append(s.X, float64(m))
+				s.Y = append(s.Y, DetectionRate(attacked, states[i].threshold))
+			}
+			fig.Series = append(fig.Series, s)
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}

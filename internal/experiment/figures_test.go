@@ -1,0 +1,217 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// tinyOpts are the cheapest options that still show the shapes.
+func tinyOpts() Options {
+	return Options{BenignTrials: 300, AttackTrials: 200, Seed: 5}
+}
+
+func TestFigure4Shapes(t *testing.T) {
+	figs, err := Figure4(model300(), tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 3 {
+		t.Fatalf("panels = %d, want 3 (D=80,120,160)", len(figs))
+	}
+	// Every panel: three ROC curves with sane endpoints.
+	aucByPanel := make([][]float64, len(figs))
+	for pi, f := range figs {
+		if len(f.Series) != 3 {
+			t.Fatalf("panel %d series = %d", pi, len(f.Series))
+		}
+		for _, s := range f.Series {
+			if len(s.X) < 2 {
+				t.Fatalf("panel %d series %s too short", pi, s.Label)
+			}
+			auc := stats.AUC(toROC(s.X, s.Y))
+			if auc < 0.4 || auc > 1.0001 {
+				t.Errorf("panel %d %s AUC = %v", pi, s.Label, auc)
+			}
+			aucByPanel[pi] = append(aucByPanel[pi], auc)
+		}
+		if len(f.Notes) != 3 {
+			t.Errorf("panel %d notes = %d", pi, len(f.Notes))
+		}
+	}
+	// Detection gets easier with D for every metric (paper's key claim).
+	for mi := 0; mi < 3; mi++ {
+		if aucByPanel[2][mi] < aucByPanel[0][mi]-0.02 {
+			t.Errorf("metric %d: AUC at D=160 (%v) below D=80 (%v)",
+				mi, aucByPanel[2][mi], aucByPanel[0][mi])
+		}
+	}
+	// At D=160 detection is essentially perfect for the Diff metric.
+	if aucByPanel[2][0] < 0.99 {
+		t.Errorf("Diff AUC at D=160 = %v, want ≈ 1", aucByPanel[2][0])
+	}
+}
+
+func TestFigure56Shapes(t *testing.T) {
+	figs, err := Figure56(model300(), tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("panels = %d, want 4 (D=40,80,120,160)", len(figs))
+	}
+	ids := map[string]int{}
+	for _, f := range figs {
+		ids[f.ID]++
+		if len(f.Series) != 2 {
+			t.Fatalf("%s series = %d", f.ID, len(f.Series))
+		}
+		aucB := stats.AUC(toROC(f.Series[0].X, f.Series[0].Y))
+		aucO := stats.AUC(toROC(f.Series[1].X, f.Series[1].Y))
+		// Dec-Only is never meaningfully harder than Dec-Bounded.
+		if aucO < aucB-0.03 {
+			t.Errorf("%s: Dec-Only AUC (%v) below Dec-Bounded (%v)", f.Title, aucO, aucB)
+		}
+	}
+	if ids["fig5"] != 2 || ids["fig6"] != 2 {
+		t.Errorf("panel ids = %v", ids)
+	}
+	// The Dec-Bounded/Dec-Only gap closes as D grows: compare D=40 vs 160.
+	gapAt := func(fi int) float64 {
+		f := figs[fi]
+		return stats.AUC(toROC(f.Series[1].X, f.Series[1].Y)) -
+			stats.AUC(toROC(f.Series[0].X, f.Series[0].Y))
+	}
+	if gapAt(0) < gapAt(3)-0.02 {
+		t.Errorf("class gap should shrink with D: D=40 gap %v, D=160 gap %v",
+			gapAt(0), gapAt(3))
+	}
+}
+
+func TestFigure8Shapes(t *testing.T) {
+	fig, err := Figure8(model300(), tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.X) != 9 {
+			t.Fatalf("series %s points = %d", s.Label, len(s.X))
+		}
+		// DR trends down with compromise: start vs end.
+		if s.Y[len(s.Y)-1] > s.Y[0]+0.05 {
+			t.Errorf("series %s should not rise with compromise: %v", s.Label, s.Y)
+		}
+	}
+	// Higher damage tolerates more compromise: at x=30% (index 5),
+	// D=160 must dominate D=80.
+	if fig.Series[2].Y[5] < fig.Series[0].Y[5]-0.05 {
+		t.Errorf("D=160 (%v) should beat D=80 (%v) at x=30%%",
+			fig.Series[2].Y[5], fig.Series[0].Y[5])
+	}
+	// D=160 tolerates heavy compromise (the paper's 50% claim).
+	if fig.Series[2].Y[7] < 0.8 {
+		t.Errorf("D=160 at x=50%% DR = %v, want high", fig.Series[2].Y[7])
+	}
+}
+
+func TestFigure9Shapes(t *testing.T) {
+	opts := Options{BenignTrials: 200, AttackTrials: 120, Seed: 6}
+	figs, err := Figure9(model300(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 3 {
+		t.Fatalf("panels = %d", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Series) != 3 {
+			t.Fatalf("%s series = %d", f.Title, len(f.Series))
+		}
+		for _, s := range f.Series {
+			if len(s.X) != 6 {
+				t.Fatalf("series %s points = %d", s.Label, len(s.X))
+			}
+		}
+	}
+	// Density helps: for the D=160 panel, x=10%, DR at m=1000 should be
+	// at least DR at m=100.
+	last := figs[2].Series[0]
+	if last.Y[len(last.Y)-1] < last.Y[0]-0.05 {
+		t.Errorf("DR should not degrade with density: %v", last.Y)
+	}
+	if last.Y[len(last.Y)-1] < 0.9 {
+		t.Errorf("DR at m=1000, D=160 = %v, want ≈ 1", last.Y[len(last.Y)-1])
+	}
+}
+
+func TestModelMismatchShapes(t *testing.T) {
+	opts := Options{BenignTrials: 250, AttackTrials: 150, Seed: 7}
+	fig, err := ModelMismatch(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	fp := fig.Series[0]
+	// At the matched σ'=50 (index 3) the FP rate should be near the 1%
+	// training target; gross mismatch (σ'=80) must inflate it.
+	if fp.Y[3] > 0.05 {
+		t.Errorf("matched-model FP = %v, want ≈ 0.01", fp.Y[3])
+	}
+	if fp.Y[len(fp.Y)-1] < fp.Y[3] {
+		t.Errorf("mismatch should raise FP: %v", fp.Y)
+	}
+	for _, v := range fig.Series[1].Y {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			t.Fatalf("DR out of range: %v", v)
+		}
+	}
+}
+
+func TestCorrectionShapes(t *testing.T) {
+	opts := Options{BenignTrials: 100, AttackTrials: 80, Seed: 8}
+	fig, err := Correction(model300(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	forged, plain := fig.Series[0], fig.Series[1]
+	for i := range forged.X {
+		// Accepting the forged location costs exactly D on average.
+		if math.Abs(forged.Y[i]-forged.X[i]) > 1 {
+			t.Errorf("forged error at D=%v is %v", forged.X[i], forged.Y[i])
+		}
+		// Correction must beat acceptance at every D.
+		if plain.Y[i] >= forged.Y[i] {
+			t.Errorf("correction no better than acceptance at D=%v: %v vs %v",
+				forged.X[i], plain.Y[i], forged.Y[i])
+		}
+	}
+}
+
+func TestFigureChartAndNotes(t *testing.T) {
+	fig := OmegaSweep()
+	c := fig.Chart()
+	if !strings.Contains(c.Title, "omega") {
+		t.Errorf("chart title = %q", c.Title)
+	}
+	if len(fig.Notes) == 0 {
+		t.Error("omega sweep should carry notes")
+	}
+}
+
+func toROC(x, y []float64) []stats.ROCPoint {
+	pts := make([]stats.ROCPoint, len(x))
+	for i := range x {
+		pts[i] = stats.ROCPoint{FP: x[i], DR: y[i]}
+	}
+	return pts
+}

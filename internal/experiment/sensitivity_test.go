@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSchemeSensitivityShapes(t *testing.T) {
+	opts := Options{BenignTrials: 400, AttackTrials: 160, Seed: 9}
+	fig, err := SchemeSensitivity(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("series = %d, want 5 schemes", len(fig.Series))
+	}
+	if len(fig.Notes) != 5 {
+		t.Fatalf("notes = %d", len(fig.Notes))
+	}
+	byName := map[string][]float64{}
+	for _, s := range fig.Series {
+		if len(s.X) != 4 {
+			t.Fatalf("scheme %s points = %d", s.Label, len(s.X))
+		}
+		for _, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Fatalf("scheme %s DR out of range: %v", s.Label, y)
+			}
+		}
+		// Detection improves (weakly) with damage for every scheme.
+		if s.Y[len(s.Y)-1] < s.Y[0]-0.05 {
+			t.Errorf("scheme %s DR not rising with D: %v", s.Label, s.Y)
+		}
+		byName[s.Label] = s.Y
+	}
+	// The experiment's core finding: a scheme's intrinsic error inflates
+	// its trained threshold, which costs detection. The beaconless MLE
+	// (tightest benign distribution) must therefore dominate the coarse
+	// MinMax scheme at every D, and be near-certain at D=160.
+	bl, mm := byName["beaconless-mle"], byName["min-max"]
+	if bl == nil || mm == nil {
+		t.Fatalf("missing schemes: %v", byName)
+	}
+	for i := range bl {
+		if bl[i] < mm[i]-0.1 {
+			t.Errorf("beaconless (%v) should dominate min-max (%v) at point %d",
+				bl[i], mm[i], i)
+		}
+	}
+	if bl[3] < 0.9 {
+		t.Errorf("beaconless DR at D=160 = %v, want ≈ 1", bl[3])
+	}
+}
+
+func TestLayoutAblationShapes(t *testing.T) {
+	opts := Options{BenignTrials: 300, AttackTrials: 150, Seed: 10}
+	fig, err := LayoutAblation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	labels := map[string]bool{}
+	for _, s := range fig.Series {
+		labels[s.Label] = true
+		if len(s.X) != 7 {
+			t.Fatalf("layout %s points = %d", s.Label, len(s.X))
+		}
+		// Rising and eventually near-certain for every layout: the §3.1
+		// claim that the scheme carries over.
+		if s.Y[len(s.Y)-1] < 0.9 {
+			t.Errorf("layout %s DR at D=160 = %v", s.Label, s.Y[len(s.Y)-1])
+		}
+		if s.Y[len(s.Y)-1] < s.Y[0] {
+			t.Errorf("layout %s DR not rising: %v", s.Label, s.Y)
+		}
+	}
+	for _, want := range []string{"grid", "hex", "random"} {
+		if !labels[want] {
+			t.Errorf("missing layout %q", want)
+		}
+	}
+	for _, n := range fig.Notes {
+		if !strings.Contains(n, "threshold") {
+			t.Errorf("note %q missing threshold", n)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package geom provides the small amount of planar geometry the LAD
+// reproduction needs: points and vectors, circles and their overlap
+// relations, point-in-triangle tests (for the APIT baseline), and
+// axis-aligned rectangles (for deployment fields and spatial hashing).
+//
+// All coordinates are in meters; the package is unit-agnostic otherwise.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Add returns p translated by the vector v.
+func (p Point) Add(v Vec) Point { return Point{p.X + v.DX, p.Y + v.DY} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Vec { return Vec{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root and is the preferred form for range comparisons in hot
+// loops (neighbor discovery over tens of thousands of nodes).
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Midpoint returns the point halfway between p and q.
+func (p Point) Midpoint(q Point) Point {
+	return Point{(p.X + q.X) / 2, (p.Y + q.Y) / 2}
+}
+
+// IsFinite reports whether both coordinates are finite numbers.
+func (p Point) IsFinite() bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) &&
+		!math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}
+
+// Vec is a displacement in the plane.
+type Vec struct {
+	DX, DY float64
+}
+
+// V is shorthand for Vec{dx, dy}.
+func V(dx, dy float64) Vec { return Vec{DX: dx, DY: dy} }
+
+// Add returns the vector sum v+w.
+func (v Vec) Add(w Vec) Vec { return Vec{v.DX + w.DX, v.DY + w.DY} }
+
+// Scale returns v scaled by k.
+func (v Vec) Scale(k float64) Vec { return Vec{v.DX * k, v.DY * k} }
+
+// Len returns the Euclidean length of v.
+func (v Vec) Len() float64 { return math.Hypot(v.DX, v.DY) }
+
+// Len2 returns the squared length of v.
+func (v Vec) Len2() float64 { return v.DX*v.DX + v.DY*v.DY }
+
+// Dot returns the dot product v·w.
+func (v Vec) Dot(w Vec) float64 { return v.DX*w.DX + v.DY*w.DY }
+
+// Cross returns the z-component of the 3-D cross product v×w. Its sign
+// tells which side of v the vector w lies on.
+func (v Vec) Cross(w Vec) float64 { return v.DX*w.DY - v.DY*w.DX }
+
+// Unit returns the unit vector in the direction of v. The zero vector is
+// returned unchanged.
+func (v Vec) Unit() Vec {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return Vec{v.DX / l, v.DY / l}
+}
+
+// FromPolar returns the vector with the given length and angle (radians,
+// counter-clockwise from +x).
+func FromPolar(r, theta float64) Vec {
+	s, c := math.Sincos(theta)
+	return Vec{r * c, r * s}
+}
+
+// Rect is an axis-aligned rectangle. Min is the lower-left corner, Max the
+// upper-right; a valid Rect has Min.X <= Max.X and Min.Y <= Max.Y.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect returns the rectangle spanned by any two opposite corners.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Point{math.Min(a.X, b.X), math.Min(a.Y, b.Y)},
+		Max: Point{math.Max(a.X, b.X), math.Max(a.Y, b.Y)},
+	}
+}
+
+// Square returns the axis-aligned square with the given lower-left corner
+// and side length.
+func Square(min Point, side float64) Rect {
+	return Rect{Min: min, Max: Point{min.X + side, min.Y + side}}
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the centroid of r.
+func (r Rect) Center() Point { return r.Min.Midpoint(r.Max) }
+
+// Contains reports whether p lies inside r (inclusive of edges).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Clamp returns the point of r closest to p.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Max(r.Min.X, math.Min(r.Max.X, p.X)),
+		Y: math.Max(r.Min.Y, math.Min(r.Max.Y, p.Y)),
+	}
+}
+
+// Intersects reports whether r and s share any point.
+func (r Rect) Intersects(s Rect) bool {
+	return r.Min.X <= s.Max.X && s.Min.X <= r.Max.X &&
+		r.Min.Y <= s.Max.Y && s.Min.Y <= r.Max.Y
+}
+
+// Circle is a disk defined by its center and radius.
+type Circle struct {
+	Center Point
+	R      float64
+}
+
+// Contains reports whether p lies inside or on the circle.
+func (c Circle) Contains(p Point) bool {
+	return c.Center.Dist2(p) <= c.R*c.R
+}
+
+// Area returns the disk area.
+func (c Circle) Area() float64 { return math.Pi * c.R * c.R }
+
+// Intersects reports whether two disks overlap (or touch).
+func (c Circle) Intersects(d Circle) bool {
+	sum := c.R + d.R
+	return c.Center.Dist2(d.Center) <= sum*sum
+}
+
+// IntersectionArea returns the area of the overlap of the two disks.
+// It is 0 when they are disjoint and the area of the smaller disk when one
+// is contained in the other.
+func (c Circle) IntersectionArea(d Circle) float64 {
+	z := c.Center.Dist(d.Center)
+	r1, r2 := c.R, d.R
+	if z >= r1+r2 {
+		return 0
+	}
+	if z <= math.Abs(r1-r2) {
+		r := math.Min(r1, r2)
+		return math.Pi * r * r
+	}
+	// Standard lens area via the two circular segments.
+	d1 := (z*z + r1*r1 - r2*r2) / (2 * z)
+	d2 := z - d1
+	seg := func(r, dd float64) float64 {
+		// Area of the circular segment of disk radius r cut by a chord at
+		// signed distance dd from the center.
+		x := clamp(dd/r, -1, 1)
+		return r*r*math.Acos(x) - dd*math.Sqrt(math.Max(0, r*r-dd*dd))
+	}
+	return seg(r1, d1) + seg(r2, d2)
+}
+
+// ChordHalfAngle returns, for a disk of radius R centered at distance z
+// from the origin, the half-angle subtended at the origin by the portion
+// of the circle of radius ell (centered at the origin) that lies inside
+// the disk. It evaluates acos((ell² + z² − R²)/(2·ell·z)), clamped to a
+// valid domain; this is the arc term of Theorem 1 in the LAD paper.
+//
+// Degenerate cases: when ell or z is zero the circle is either entirely
+// inside (return π) or entirely outside (return 0) the disk.
+func ChordHalfAngle(ell, z, r float64) float64 {
+	if ell <= 0 || z <= 0 {
+		if ell+z <= r { // concentric-ish: the whole circle is inside
+			return math.Pi
+		}
+		if math.Abs(ell-z) >= r {
+			return 0
+		}
+		return math.Pi
+	}
+	u := (ell*ell + z*z - r*r) / (2 * ell * z)
+	return math.Acos(clamp(u, -1, 1))
+}
+
+// Triangle is an ordered triple of vertices.
+type Triangle struct {
+	A, B, C Point
+}
+
+// Area returns the (positive) area of the triangle.
+func (t Triangle) Area() float64 {
+	return math.Abs(t.B.Sub(t.A).Cross(t.C.Sub(t.A))) / 2
+}
+
+// Contains reports whether p lies inside the triangle (edges inclusive),
+// using consistent orientation of the three sub-cross-products. This is
+// the point-in-triangle primitive of the APIT localization baseline.
+func (t Triangle) Contains(p Point) bool {
+	d1 := p.Sub(t.A).Cross(t.B.Sub(t.A))
+	d2 := p.Sub(t.B).Cross(t.C.Sub(t.B))
+	d3 := p.Sub(t.C).Cross(t.A.Sub(t.C))
+	hasNeg := d1 < 0 || d2 < 0 || d3 < 0
+	hasPos := d1 > 0 || d2 > 0 || d3 > 0
+	return !(hasNeg && hasPos)
+}
+
+// Centroid returns the barycenter of the triangle.
+func (t Triangle) Centroid() Point {
+	return Point{(t.A.X + t.B.X + t.C.X) / 3, (t.A.Y + t.B.Y + t.C.Y) / 3}
+}
+
+// Centroid returns the centroid of a set of points. It returns the origin
+// for an empty set.
+func Centroid(pts []Point) Point {
+	if len(pts) == 0 {
+		return Point{}
+	}
+	var sx, sy float64
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+	}
+	n := float64(len(pts))
+	return Point{sx / n, sy / n}
+}
+
+// WeightedCentroid returns the weighted centroid of points with the given
+// non-negative weights. Points and weights must have equal length; zero
+// total weight yields the unweighted centroid.
+func WeightedCentroid(pts []Point, w []float64) Point {
+	if len(pts) != len(w) {
+		panic("geom: WeightedCentroid length mismatch")
+	}
+	var sx, sy, sw float64
+	for i, p := range pts {
+		sx += p.X * w[i]
+		sy += p.Y * w[i]
+		sw += w[i]
+	}
+	if sw == 0 {
+		return Centroid(pts)
+	}
+	return Point{sx / sw, sy / sw}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,210 @@
+package localize
+
+import (
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/wsn"
+)
+
+// APIT is the area-based range-free scheme of He et al. (ref [12]). For
+// each triangle of audible beacons the node runs the *approximate*
+// point-in-triangle test: it compares its own signal strength towards the
+// three beacons against its neighbors'. If some neighbor is
+// simultaneously closer to (or farther from) all three beacons, the node
+// would move towards/away from the whole triangle by stepping to that
+// neighbor — evidence it sits outside; otherwise it presumes itself
+// inside. A grid SCAN aggregates the votes and the estimate is the
+// centroid of the maximum-overlap cells.
+//
+// Signal strength is modeled, as in the original simulation study, by a
+// monotone function of true distance, so "stronger signal" == "closer".
+type APIT struct {
+	net     *wsn.Network
+	beacons *BeaconSet
+	// MaxTriangles bounds the number of beacon triangles sampled per
+	// node (the full C(k,3) set explodes with audible beacon count).
+	MaxTriangles int
+	// GridCell is the SCAN raster resolution in meters.
+	GridCell float64
+	rng      *rng.Rand
+}
+
+// NewAPIT builds the scheme with sensible defaults (64 triangles, 10 m
+// raster).
+func NewAPIT(net *wsn.Network, bs *BeaconSet, r *rng.Rand) *APIT {
+	return &APIT{net: net, beacons: bs, MaxTriangles: 64, GridCell: 10, rng: r}
+}
+
+// Name implements Scheme.
+func (a *APIT) Name() string { return "apit" }
+
+// Localize implements Scheme.
+func (a *APIT) Localize(id wsn.NodeID) (geom.Point, error) {
+	heard := a.beacons.HeardBy(id)
+	if len(heard) < 3 {
+		return geom.Point{}, ErrUnderdetermined
+	}
+	self := a.net.Node(id).Pos
+	neighbors := a.net.NeighborsOf(id)
+
+	// Enumerate (or sample) beacon triangles.
+	tris := a.triangles(heard)
+	field := a.net.Model().Field()
+	nx := int(field.Width()/a.GridCell) + 1
+	ny := int(field.Height()/a.GridCell) + 1
+	grid := make([]int16, nx*ny)
+	covered := make([]bool, nx*ny) // cells inside at least one triangle
+
+	voted := false
+	for _, tri := range tris {
+		inside := a.approxPIT(self, neighbors, tri)
+		delta := int16(-1)
+		if inside {
+			delta = 1
+		}
+		voted = true
+		t := geom.Triangle{A: tri[0].Claimed, B: tri[1].Claimed, C: tri[2].Claimed}
+		// Rasterize the triangle's bounding box.
+		minX, maxX := t.A.X, t.A.X
+		minY, maxY := t.A.Y, t.A.Y
+		for _, p := range []geom.Point{t.B, t.C} {
+			minX, maxX = min2(minX, p.X), max2(maxX, p.X)
+			minY, maxY = min2(minY, p.Y), max2(maxY, p.Y)
+		}
+		i0 := clampIdx(int((minX-field.Min.X)/a.GridCell), nx)
+		i1 := clampIdx(int((maxX-field.Min.X)/a.GridCell), nx)
+		j0 := clampIdx(int((minY-field.Min.Y)/a.GridCell), ny)
+		j1 := clampIdx(int((maxY-field.Min.Y)/a.GridCell), ny)
+		for j := j0; j <= j1; j++ {
+			for i := i0; i <= i1; i++ {
+				c := geom.Pt(field.Min.X+(float64(i)+0.5)*a.GridCell,
+					field.Min.Y+(float64(j)+0.5)*a.GridCell)
+				if t.Contains(c) {
+					grid[j*nx+i] += delta
+					covered[j*nx+i] = true
+				}
+			}
+		}
+	}
+	if !voted {
+		return geom.Point{}, ErrUnderdetermined
+	}
+
+	// Centroid of the maximum-score cells, restricted to cells some
+	// triangle actually covers — an uncovered cell carries no evidence,
+	// and letting its zero score win would drag the estimate toward the
+	// union-complement of all triangles.
+	haveBest := false
+	var best int16
+	for idx, v := range grid {
+		if covered[idx] && (!haveBest || v > best) {
+			best = v
+			haveBest = true
+		}
+	}
+	if !haveBest {
+		// No triangle contained any cell (degenerate triangles only).
+		return geom.Point{}, ErrUnderdetermined
+	}
+	var sx, sy float64
+	var cnt int
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			if covered[j*nx+i] && grid[j*nx+i] == best {
+				sx += field.Min.X + (float64(i)+0.5)*a.GridCell
+				sy += field.Min.Y + (float64(j)+0.5)*a.GridCell
+				cnt++
+			}
+		}
+	}
+	return geom.Pt(sx/float64(cnt), sy/float64(cnt)), nil
+}
+
+// approxPIT implements the neighbor-comparison departure test.
+func (a *APIT) approxPIT(self geom.Point, neighbors []wsn.NodeID, tri [3]Beacon) bool {
+	// Own distances to the three beacons' true transmitters.
+	var selfD [3]float64
+	for k := 0; k < 3; k++ {
+		selfD[k] = self.Dist(a.net.Node(tri[k].ID).Pos)
+	}
+	for _, nb := range neighbors {
+		np := a.net.Node(nb).Pos
+		allCloser, allFarther := true, true
+		for k := 0; k < 3; k++ {
+			d := np.Dist(a.net.Node(tri[k].ID).Pos)
+			if d >= selfD[k] {
+				allCloser = false
+			}
+			if d <= selfD[k] {
+				allFarther = false
+			}
+		}
+		if allCloser || allFarther {
+			return false // departure direction exists: outside
+		}
+	}
+	return true
+}
+
+func (a *APIT) triangles(heard []Beacon) [][3]Beacon {
+	n := len(heard)
+	total := n * (n - 1) * (n - 2) / 6
+	var out [][3]Beacon
+	if total <= a.MaxTriangles {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				for k := j + 1; k < n; k++ {
+					out = append(out, [3]Beacon{heard[i], heard[j], heard[k]})
+				}
+			}
+		}
+		return out
+	}
+	seen := make(map[[3]int]bool, a.MaxTriangles)
+	for len(out) < a.MaxTriangles {
+		i, j, k := a.rng.Intn(n), a.rng.Intn(n), a.rng.Intn(n)
+		if i == j || j == k || i == k {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		if j > k {
+			j, k = k, j
+		}
+		if i > j {
+			i, j = j, i
+		}
+		key := [3]int{i, j, k}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, [3]Beacon{heard[i], heard[j], heard[k]})
+	}
+	return out
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}

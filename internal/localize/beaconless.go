@@ -1,0 +1,223 @@
+package localize
+
+import (
+	"math"
+
+	"repro/internal/deploy"
+	"repro/internal/geom"
+	"repro/internal/mathx"
+	"repro/internal/wsn"
+)
+
+// Beaconless is the beaconless location-discovery scheme of the paper's
+// ref [8]: a sensor estimates its location as the maximizer of the
+// likelihood of its observed per-group neighbor counts under the
+// deployment knowledge,
+//
+//	L_e = argmax_L  Σ_i  ln Binom(m, g_i(L))(o_i).
+//
+// The search seeds at the observation-weighted centroid of the deployment
+// points and refines with an adaptive compass (pattern) search: at each
+// scale it probes the four axis directions and halves the step when no
+// probe improves the likelihood. The likelihood surface is smooth and
+// unimodal within a cell, so this converges in a few dozen evaluations.
+type Beaconless struct {
+	model *deploy.Model
+	net   *wsn.Network // nil when used observation-only
+
+	// MaxStep and MinStep bound the pattern-search step length (meters).
+	// Zero values select defaults tied to the deployment cell size.
+	MaxStep float64
+	MinStep float64
+}
+
+// NewBeaconless builds the scheme for a deployed network.
+func NewBeaconless(net *wsn.Network) *Beaconless {
+	return &Beaconless{model: net.Model(), net: net}
+}
+
+// NewBeaconlessModel builds an observation-only instance (no network),
+// for use with LocalizeObservation — the experiment harness path.
+func NewBeaconlessModel(model *deploy.Model) *Beaconless {
+	return &Beaconless{model: model}
+}
+
+// Name implements Scheme.
+func (b *Beaconless) Name() string { return "beaconless-mle" }
+
+// Localize implements Scheme using the node's geometric observation.
+func (b *Beaconless) Localize(id wsn.NodeID) (geom.Point, error) {
+	if b.net == nil {
+		return geom.Point{}, ErrNoObservation
+	}
+	return b.LocalizeObservation(b.net.ObservationOf(id))
+}
+
+// LocalizeObservation estimates a location from an observation vector
+// o (length NumGroups).
+func (b *Beaconless) LocalizeObservation(o []int) (geom.Point, error) {
+	return b.LocalizeMasked(o, nil)
+}
+
+// LocalizeMasked is LocalizeObservation with groups flagged in exclude
+// removed from the likelihood — the LAD corrector uses this to trim
+// groups whose counts look tainted. A nil exclude means no exclusions.
+func (b *Beaconless) LocalizeMasked(o []int, exclude []bool) (geom.Point, error) {
+	ll := newLikelihood(b.model, o)
+	if ll == nil {
+		return geom.Point{}, ErrNoObservation
+	}
+	if exclude != nil {
+		kept := ll.active[:0]
+		for _, i := range ll.active {
+			if i < len(exclude) && exclude[i] {
+				continue
+			}
+			kept = append(kept, i)
+		}
+		ll.active = kept
+		if len(ll.active) == 0 {
+			return geom.Point{}, ErrNoObservation
+		}
+	}
+	start := b.initialGuess(o)
+	maxStep := b.MaxStep
+	if maxStep <= 0 {
+		// Half a deployment cell: the weighted centroid is never farther
+		// off than that in practice.
+		cfg := b.model.Config()
+		maxStep = cfg.Field.Width() / float64(cfg.GroupsX) / 2
+	}
+	minStep := b.MinStep
+	if minStep <= 0 {
+		minStep = 0.25
+	}
+	best := patternSearch(ll.at, start, maxStep, minStep)
+	return best, nil
+}
+
+// LogLikelihoodAt exposes the observation log-likelihood at an arbitrary
+// location; the LAD corrector re-uses it to re-estimate locations after
+// an alarm.
+func (b *Beaconless) LogLikelihoodAt(o []int, loc geom.Point) float64 {
+	ll := newLikelihood(b.model, o)
+	if ll == nil {
+		return math.Inf(-1)
+	}
+	return ll.at(loc)
+}
+
+// initialGuess returns the observation-weighted centroid of the
+// deployment points.
+func (b *Beaconless) initialGuess(o []int) geom.Point {
+	var sx, sy, sw float64
+	for i, c := range o {
+		if c <= 0 {
+			continue
+		}
+		dp := b.model.DeploymentPoint(i)
+		w := float64(c)
+		sx += dp.X * w
+		sy += dp.Y * w
+		sw += w
+	}
+	if sw == 0 {
+		return b.model.Field().Center()
+	}
+	return geom.Pt(sx/sw, sy/sw)
+}
+
+// likelihood evaluates the binomial log-likelihood of a fixed observation
+// at candidate locations. Group-independent terms (log C(m, o_i)) are
+// dropped — they do not affect the argmax — and only an active set of
+// groups near the search region or with nonzero counts is scanned.
+type likelihood struct {
+	model  *deploy.Model
+	counts []int
+	active []int // group indices that can influence the likelihood
+	m      int
+}
+
+func newLikelihood(model *deploy.Model, o []int) *likelihood {
+	if len(o) != model.NumGroups() {
+		return nil
+	}
+	total := 0
+	for _, c := range o {
+		total += c
+	}
+	if total == 0 {
+		return nil
+	}
+	ll := &likelihood{model: model, counts: o, m: model.GroupSize()}
+
+	// Active set: groups with a nonzero count always matter (their o_i·ln p
+	// term varies); zero-count groups matter only where g_i > 0, i.e.
+	// within MaxZ of the candidate. The pattern search stays within
+	// maxStep of the weighted centroid, so a margin of MaxZ + one cell
+	// around that centroid covers every reachable candidate.
+	var cx, cy, cw float64
+	for i, c := range o {
+		if c > 0 {
+			dp := model.DeploymentPoint(i)
+			cx += dp.X * float64(c)
+			cy += dp.Y * float64(c)
+			cw += float64(c)
+		}
+	}
+	center := geom.Pt(cx/cw, cy/cw)
+	cfg := model.Config()
+	margin := model.GTable().MaxZ() + cfg.Field.Width()/float64(cfg.GroupsX)
+	for i := 0; i < model.NumGroups(); i++ {
+		if o[i] > 0 || model.DeploymentPoint(i).Dist(center) <= margin {
+			ll.active = append(ll.active, i)
+		}
+	}
+	return ll
+}
+
+func (ll *likelihood) at(p geom.Point) float64 {
+	const eps = 1e-9
+	var sum float64
+	gt := ll.model.GTable()
+	for _, i := range ll.active {
+		z := p.Dist(ll.model.DeploymentPoint(i))
+		g := gt.Eval(z)
+		o := ll.counts[i]
+		if g <= 0 {
+			if o > 0 {
+				// Seeing neighbors from an unreachable group is (nearly)
+				// impossible: strongly penalized but finite, so the search
+				// can still climb out.
+				sum += float64(o) * math.Log(eps)
+			}
+			continue
+		}
+		g = mathx.Clamp(g, eps, 1-eps)
+		sum += float64(o)*math.Log(g) + float64(ll.m-o)*math.Log1p(-g)
+	}
+	return sum
+}
+
+// patternSearch maximizes f by compass search from start.
+func patternSearch(f func(geom.Point) float64, start geom.Point, maxStep, minStep float64) geom.Point {
+	best := start
+	bestV := f(best)
+	step := maxStep
+	dirs := [...]geom.Vec{{DX: 1}, {DX: -1}, {DY: 1}, {DY: -1},
+		{DX: 1, DY: 1}, {DX: 1, DY: -1}, {DX: -1, DY: 1}, {DX: -1, DY: -1}}
+	for step >= minStep {
+		improved := false
+		for _, d := range dirs {
+			cand := best.Add(d.Scale(step))
+			if v := f(cand); v > bestV {
+				best, bestV = cand, v
+				improved = true
+			}
+		}
+		if !improved {
+			step /= 2
+		}
+	}
+	return best
+}

@@ -1,0 +1,201 @@
+package localize
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/wsn"
+)
+
+func paperModel() *deploy.Model { return deploy.MustNew(deploy.PaperConfig()) }
+
+func TestBeaconlessRecoversSampledLocations(t *testing.T) {
+	// The MLE from binomially sampled observations should land within a
+	// few meters at m=300 (the beaconless paper's headline accuracy).
+	model := paperModel()
+	b := NewBeaconlessModel(model)
+	r := rng.New(42)
+	var worst, sum float64
+	const trials = 60
+	for i := 0; i < trials; i++ {
+		group, loc := model.SampleLocation(r)
+		// Keep victims inside the field to avoid edge distortion.
+		if !model.Field().Contains(loc) {
+			continue
+		}
+		o := model.SampleObservation(loc, group, r)
+		est, err := b.LocalizeObservation(o)
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		e := Error(est, loc)
+		sum += e
+		worst = math.Max(worst, e)
+	}
+	mean := sum / trials
+	if mean > 10 {
+		t.Errorf("mean localization error = %.2f m, want < 10 m", mean)
+	}
+	if worst > 40 {
+		t.Errorf("worst localization error = %.2f m, want < 40 m", worst)
+	}
+}
+
+func TestBeaconlessAccuracyImprovesWithDensity(t *testing.T) {
+	r := rng.New(7)
+	meanErr := func(groupSize int) float64 {
+		cfg := deploy.PaperConfig()
+		cfg.GroupSize = groupSize
+		model := deploy.MustNew(cfg)
+		b := NewBeaconlessModel(model)
+		var sum float64
+		n := 0
+		for i := 0; i < 50; i++ {
+			group, loc := model.SampleLocation(r)
+			if !model.Field().Contains(loc) {
+				continue
+			}
+			o := model.SampleObservation(loc, group, r)
+			est, err := b.LocalizeObservation(o)
+			if err != nil {
+				continue
+			}
+			sum += Error(est, loc)
+			n++
+		}
+		if n == 0 {
+			t.Fatal("no successful localizations")
+		}
+		return sum / float64(n)
+	}
+	sparse := meanErr(50)
+	dense := meanErr(600)
+	if dense >= sparse {
+		t.Errorf("error should drop with density: m=50 → %.2f, m=600 → %.2f", sparse, dense)
+	}
+}
+
+func TestBeaconlessOnRealNetwork(t *testing.T) {
+	cfg := deploy.PaperConfig()
+	cfg.GroupSize = 60 // keep the spatial build fast
+	model := deploy.MustNew(cfg)
+	net := wsn.Deploy(model, rng.New(5))
+	b := NewBeaconless(net)
+	if b.Name() != "beaconless-mle" {
+		t.Errorf("Name = %q", b.Name())
+	}
+	r := rng.New(6)
+	var sum float64
+	n := 0
+	for i := 0; i < 40; i++ {
+		id, _ := net.SampleNode(r)
+		node := net.Node(id)
+		if !model.Field().Contains(node.Pos) {
+			continue
+		}
+		est, err := b.Localize(id)
+		if err != nil {
+			continue
+		}
+		sum += Error(est, node.Pos)
+		n++
+	}
+	if n < 20 {
+		t.Fatalf("too few localizations: %d", n)
+	}
+	if mean := sum / float64(n); mean > 25 {
+		t.Errorf("mean error on real network = %.2f m", mean)
+	}
+}
+
+func TestBeaconlessEmptyObservation(t *testing.T) {
+	b := NewBeaconlessModel(paperModel())
+	if _, err := b.LocalizeObservation(make([]int, 100)); err != ErrNoObservation {
+		t.Errorf("err = %v, want ErrNoObservation", err)
+	}
+	if _, err := b.LocalizeObservation([]int{1, 2}); err != ErrNoObservation {
+		t.Errorf("wrong-length observation: err = %v", err)
+	}
+	// Model-only instance cannot Localize by id.
+	if _, err := b.Localize(0); err != ErrNoObservation {
+		t.Errorf("model-only Localize err = %v", err)
+	}
+}
+
+func TestBeaconlessLikelihoodPeaksNearTruth(t *testing.T) {
+	model := paperModel()
+	b := NewBeaconlessModel(model)
+	r := rng.New(9)
+	loc := geom.Pt(450, 520)
+	o := model.SampleObservation(loc, -1, r)
+	atTruth := b.LogLikelihoodAt(o, loc)
+	atFar := b.LogLikelihoodAt(o, geom.Pt(100, 100))
+	if atTruth <= atFar {
+		t.Errorf("likelihood at truth (%v) should exceed far point (%v)", atTruth, atFar)
+	}
+	if !math.IsInf(b.LogLikelihoodAt(make([]int, 100), loc), -1) {
+		t.Error("empty observation should have -Inf likelihood")
+	}
+}
+
+func TestPatternSearchFindsQuadraticMax(t *testing.T) {
+	f := func(p geom.Point) float64 {
+		return -(p.X-3)*(p.X-3) - (p.Y+2)*(p.Y+2)
+	}
+	got := patternSearch(f, geom.Pt(50, 50), 64, 1e-4)
+	if Error(got, geom.Pt(3, -2)) > 0.01 {
+		t.Errorf("pattern search found %v, want (3,-2)", got)
+	}
+}
+
+func TestLocalizeMasked(t *testing.T) {
+	model := paperModel()
+	b := NewBeaconlessModel(model)
+	r := rng.New(55)
+	loc := geom.Pt(500, 500)
+	o := model.SampleObservation(loc, -1, r)
+
+	// Masking nothing matches the plain path.
+	plain, err := b.LocalizeObservation(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked, err := b.LocalizeMasked(o, make([]bool, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != masked {
+		t.Errorf("empty mask changed the estimate: %v vs %v", plain, masked)
+	}
+
+	// Poison one group's count, then exclude it: the masked estimate must
+	// be closer to the truth than the poisoned plain estimate.
+	poisoned := append([]int(nil), o...)
+	poisoned[0] = 80 // group at (50,50), far from the victim
+	bad, err := b.LocalizeObservation(poisoned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exclude := make([]bool, 100)
+	exclude[0] = true
+	fixed, err := b.LocalizeMasked(poisoned, exclude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Dist(loc) > bad.Dist(loc)+1e-9 {
+		t.Errorf("masking the poisoned group should help: %.2f vs %.2f",
+			fixed.Dist(loc), bad.Dist(loc))
+	}
+
+	// Excluding every group leaves nothing to fit.
+	all := make([]bool, 100)
+	for i := range all {
+		all[i] = true
+	}
+	if _, err := b.LocalizeMasked(o, all); err != ErrNoObservation {
+		t.Errorf("err = %v, want ErrNoObservation", err)
+	}
+}

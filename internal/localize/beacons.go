@@ -1,0 +1,90 @@
+package localize
+
+import (
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/wsn"
+)
+
+// Beacon is an anchor node together with the location it *claims*. For an
+// honest beacon Claimed equals the node's true resident point; a
+// compromised beacon may declare anything (Section 6.3: "an adversary can
+// introduce arbitrarily large location errors by compromising a single
+// anchor node and having [it] declare a false location").
+type Beacon struct {
+	ID      wsn.NodeID
+	Claimed geom.Point
+	Range   float64 // beacon transmitter range (anchors use high power)
+}
+
+// BeaconSet is the anchor infrastructure of a beacon-based scheme.
+type BeaconSet struct {
+	net     *wsn.Network
+	beacons []Beacon
+}
+
+// SelectBeacons promotes count uniformly random nodes to beacons with the
+// given transmitter range and truthful location claims.
+func SelectBeacons(net *wsn.Network, count int, beaconRange float64, r *rng.Rand) *BeaconSet {
+	bs := &BeaconSet{net: net}
+	perm := r.Perm(net.Len())
+	if count > len(perm) {
+		count = len(perm)
+	}
+	for _, idx := range perm[:count] {
+		id := wsn.NodeID(idx)
+		net.MarkBeacon(id)
+		bs.beacons = append(bs.beacons, Beacon{
+			ID:      id,
+			Claimed: net.Node(id).Pos,
+			Range:   beaconRange,
+		})
+	}
+	return bs
+}
+
+// Beacons returns the beacon records (shared slice; treat as read-only).
+func (bs *BeaconSet) Beacons() []Beacon { return bs.beacons }
+
+// Len returns the number of beacons.
+func (bs *BeaconSet) Len() int { return len(bs.beacons) }
+
+// Compromise makes beacon index i lie: it will claim the given location.
+// This is the localization attack of Section 6.3 used by the
+// dvhop_attack example.
+func (bs *BeaconSet) Compromise(i int, claimed geom.Point) {
+	bs.net.MarkCompromised(bs.beacons[i].ID)
+	bs.beacons[i].Claimed = claimed
+}
+
+// HeardBy returns the beacons whose transmissions reach node id (true
+// beacon position within beacon range of the node).
+func (bs *BeaconSet) HeardBy(id wsn.NodeID) []Beacon {
+	p := bs.net.Node(id).Pos
+	var out []Beacon
+	for _, b := range bs.beacons {
+		if bs.net.Node(b.ID).Pos.Dist(p) <= b.Range {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Ranger models a distance measurement between a node and a beacon it
+// hears (TDoA/RSS/etc. abstracted to truth + noise).
+type Ranger func(trueDist float64) float64
+
+// PerfectRanger returns measurements without error.
+func PerfectRanger() Ranger { return func(d float64) float64 { return d } }
+
+// GaussianRanger adds zero-mean Gaussian noise with the given standard
+// deviation, floored at zero.
+func GaussianRanger(sigma float64, r *rng.Rand) Ranger {
+	return func(d float64) float64 {
+		v := d + sigma*r.Norm()
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+}

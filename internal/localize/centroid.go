@@ -1,0 +1,68 @@
+package localize
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/wsn"
+)
+
+// Centroid is the range-free scheme of Bulusu, Heidemann and Estrin
+// (refs [4, 5]): a node's estimate is the centroid of the claimed
+// locations of all beacons it hears. Low overhead, low accuracy.
+type Centroid struct {
+	beacons *BeaconSet
+}
+
+// NewCentroid builds the scheme over a beacon set.
+func NewCentroid(bs *BeaconSet) *Centroid { return &Centroid{beacons: bs} }
+
+// Name implements Scheme.
+func (c *Centroid) Name() string { return "centroid" }
+
+// Localize implements Scheme.
+func (c *Centroid) Localize(id wsn.NodeID) (geom.Point, error) {
+	heard := c.beacons.HeardBy(id)
+	if len(heard) == 0 {
+		return geom.Point{}, ErrNoObservation
+	}
+	pts := make([]geom.Point, len(heard))
+	for i, b := range heard {
+		pts[i] = b.Claimed
+	}
+	return geom.Centroid(pts), nil
+}
+
+// WeightedCentroid refines Centroid by weighting each beacon's claim with
+// the reciprocal of the measured distance (an RSS proxy): nearer beacons
+// pull harder.
+type WeightedCentroid struct {
+	beacons *BeaconSet
+	ranger  Ranger
+}
+
+// NewWeightedCentroid builds the scheme; ranger supplies the distance
+// measurements (PerfectRanger for the idealized variant).
+func NewWeightedCentroid(bs *BeaconSet, ranger Ranger) *WeightedCentroid {
+	return &WeightedCentroid{beacons: bs, ranger: ranger}
+}
+
+// Name implements Scheme.
+func (w *WeightedCentroid) Name() string { return "weighted-centroid" }
+
+// Localize implements Scheme.
+func (w *WeightedCentroid) Localize(id wsn.NodeID) (geom.Point, error) {
+	heard := w.beacons.HeardBy(id)
+	if len(heard) == 0 {
+		return geom.Point{}, ErrNoObservation
+	}
+	p := w.beacons.net.Node(id).Pos
+	pts := make([]geom.Point, len(heard))
+	wts := make([]float64, len(heard))
+	for i, b := range heard {
+		pts[i] = b.Claimed
+		d := w.ranger(w.beacons.net.Node(b.ID).Pos.Dist(p))
+		wts[i] = 1 / math.Max(d, 1e-3)
+	}
+	return geom.WeightedCentroid(pts, wts), nil
+}

@@ -1,0 +1,187 @@
+package localize
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/mathx"
+	"repro/internal/wsn"
+)
+
+// DVHop is the range-free scheme of Niculescu and Nath (ref [32]):
+// beacons flood the network so every node learns its minimum hop count to
+// each beacon; each beacon converts inter-beacon hop counts into an
+// average distance-per-hop correction; nodes multiply hops by the
+// correction of the nearest beacon and multilaterate.
+type DVHop struct {
+	net     *wsn.Network
+	beacons *BeaconSet
+	// hops[j][i] = minimum hop count from beacon j to node i (-1 if
+	// unreachable).
+	hops [][]int32
+	// hopSize[j] = beacon j's average meters-per-hop correction.
+	hopSize []float64
+}
+
+// NewDVHop floods the network from every beacon (BFS over the
+// connectivity graph) and computes the per-beacon hop-size corrections.
+// Construction is O(beacons × (nodes + edges)).
+func NewDVHop(net *wsn.Network, bs *BeaconSet) *DVHop {
+	d := &DVHop{net: net, beacons: bs}
+	adj := buildAdjacency(net)
+	for _, b := range bs.Beacons() {
+		d.hops = append(d.hops, bfsHops(adj, int32(b.ID), net.Len()))
+	}
+	// Hop-size correction: for beacon j,
+	//   c_j = Σ_k |claimed_j − claimed_k| / Σ_k hops(j, k).
+	bl := bs.Beacons()
+	d.hopSize = make([]float64, len(bl))
+	for j := range bl {
+		var distSum float64
+		var hopSum int64
+		for k := range bl {
+			if k == j {
+				continue
+			}
+			h := d.hops[j][bl[k].ID]
+			if h < 0 {
+				continue
+			}
+			distSum += bl[j].Claimed.Dist(bl[k].Claimed)
+			hopSum += int64(h)
+		}
+		if hopSum > 0 {
+			d.hopSize[j] = distSum / float64(hopSum)
+		} else {
+			// Isolated beacon: fall back to the nominal range.
+			d.hopSize[j] = net.Model().Range()
+		}
+	}
+	return d
+}
+
+// Name implements Scheme.
+func (d *DVHop) Name() string { return "dv-hop" }
+
+// Localize implements Scheme.
+func (d *DVHop) Localize(id wsn.NodeID) (geom.Point, error) {
+	bl := d.beacons.Beacons()
+	var refs []geom.Point
+	var dists []float64
+	// The node adopts the correction of the beacon with the fewest hops,
+	// per the DV-Hop protocol (the first correction to reach it).
+	bestHop := int32(math.MaxInt32)
+	hopSize := d.net.Model().Range()
+	for j := range bl {
+		h := d.hops[j][id]
+		if h >= 0 && h < bestHop {
+			bestHop = h
+			hopSize = d.hopSize[j]
+		}
+	}
+	for j, b := range bl {
+		h := d.hops[j][id]
+		if h < 0 {
+			continue
+		}
+		refs = append(refs, b.Claimed)
+		dists = append(dists, float64(h)*hopSize)
+	}
+	if len(refs) == 0 {
+		return geom.Point{}, ErrNoObservation
+	}
+	return Multilaterate(refs, dists)
+}
+
+// Amorphous is the scheme of Nagpal, Shrobe and Bachrach (ref [29]): like
+// DV-Hop, but the meters-per-hop correction is computed *offline* from
+// the expected node density using the Kleinrock–Silvester formula rather
+// than from online inter-beacon exchanges.
+type Amorphous struct {
+	dv      *DVHop
+	hopSize float64
+}
+
+// NewAmorphous builds the scheme; localDensity is the expected number of
+// neighbors per node (used by the offline hop-size formula).
+func NewAmorphous(net *wsn.Network, bs *BeaconSet, localDensity float64) *Amorphous {
+	return &Amorphous{
+		dv:      NewDVHop(net, bs),
+		hopSize: KleinrockSilvesterHopSize(net.Model().Range(), localDensity),
+	}
+}
+
+// Name implements Scheme.
+func (a *Amorphous) Name() string { return "amorphous" }
+
+// HopSize exposes the offline correction (meters per hop).
+func (a *Amorphous) HopSize() float64 { return a.hopSize }
+
+// Localize implements Scheme.
+func (a *Amorphous) Localize(id wsn.NodeID) (geom.Point, error) {
+	bl := a.dv.beacons.Beacons()
+	var refs []geom.Point
+	var dists []float64
+	for j, b := range bl {
+		h := a.dv.hops[j][id]
+		if h < 0 {
+			continue
+		}
+		refs = append(refs, b.Claimed)
+		dists = append(dists, float64(h)*a.hopSize)
+	}
+	if len(refs) == 0 {
+		return geom.Point{}, ErrNoObservation
+	}
+	return Multilaterate(refs, dists)
+}
+
+// KleinrockSilvesterHopSize returns the expected per-hop progress of a
+// greedy flood in a random network with transmission range r and expected
+// local density nLocal (neighbors per node):
+//
+//	hop = r · (1 + e^{−n} − ∫_{−1}^{1} e^{−(n/π)(acos t − t·sqrt(1−t²))} dt)
+func KleinrockSilvesterHopSize(r, nLocal float64) float64 {
+	if nLocal <= 0 {
+		return r
+	}
+	integral := mathx.AdaptiveSimpson(func(t float64) float64 {
+		return math.Exp(-(nLocal / math.Pi) * (math.Acos(t) - t*math.Sqrt(1-t*t)))
+	}, -1, 1, 1e-10, 30)
+	return r * (1 + math.Exp(-nLocal) - integral)
+}
+
+// buildAdjacency materializes the symmetric connectivity graph (default
+// range) once so repeated BFS floods don't re-query the spatial index.
+func buildAdjacency(net *wsn.Network) [][]int32 {
+	adj := make([][]int32, net.Len())
+	for i := 0; i < net.Len(); i++ {
+		for _, nb := range net.NeighborsOf(wsn.NodeID(i)) {
+			adj[i] = append(adj[i], int32(nb))
+		}
+	}
+	return adj
+}
+
+// bfsHops returns minimum hop counts from src to every node (-1 when
+// unreachable).
+func bfsHops(adj [][]int32, src int32, n int) []int32 {
+	hops := make([]int32, n)
+	for i := range hops {
+		hops[i] = -1
+	}
+	hops[src] = 0
+	queue := make([]int32, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if hops[v] < 0 {
+				hops[v] = hops[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return hops
+}

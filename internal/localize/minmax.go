@@ -1,0 +1,48 @@
+package localize
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/wsn"
+)
+
+// MinMax is the bounding-box multilateration of Savvides et al. (the
+// "N-hop multilateration" paper's lightweight primitive, ref [36]): each
+// beacon j with measured distance d_j constrains the node to the square
+// [x_j ± d_j] × [y_j ± d_j]; the estimate is the center of the
+// intersection of all squares. Far cheaper than least squares on a mote
+// (only comparisons), at some accuracy cost.
+type MinMax struct {
+	beacons *BeaconSet
+	ranger  Ranger
+}
+
+// NewMinMax builds the scheme with the given distance measurer.
+func NewMinMax(bs *BeaconSet, ranger Ranger) *MinMax {
+	return &MinMax{beacons: bs, ranger: ranger}
+}
+
+// Name implements Scheme.
+func (m *MinMax) Name() string { return "min-max" }
+
+// Localize implements Scheme.
+func (m *MinMax) Localize(id wsn.NodeID) (geom.Point, error) {
+	heard := m.beacons.HeardBy(id)
+	if len(heard) == 0 {
+		return geom.Point{}, ErrNoObservation
+	}
+	p := m.beacons.net.Node(id).Pos
+	lox, loy := math.Inf(-1), math.Inf(-1)
+	hix, hiy := math.Inf(1), math.Inf(1)
+	for _, b := range heard {
+		d := m.ranger(m.beacons.net.Node(b.ID).Pos.Dist(p))
+		lox = math.Max(lox, b.Claimed.X-d)
+		loy = math.Max(loy, b.Claimed.Y-d)
+		hix = math.Min(hix, b.Claimed.X+d)
+		hiy = math.Min(hiy, b.Claimed.Y+d)
+	}
+	// Noisy measurements can empty the intersection; fall back to the
+	// midpoint of the crossed bounds, which is still the best guess.
+	return geom.Pt((lox+hix)/2, (loy+hiy)/2), nil
+}

@@ -1,0 +1,75 @@
+package localize
+
+import (
+	"repro/internal/geom"
+	"repro/internal/mathx"
+	"repro/internal/wsn"
+)
+
+// MMSE is the minimum-mean-square-error multilateration estimator that,
+// as Section 6.3 notes, "almost all of the range-based localization
+// schemes and some range-free schemes eventually reduce to": given
+// beacons at claimed positions (x_j, y_j) with measured distances d_j,
+// subtract the last equation from the others to linearize
+//
+//	(x−x_j)² + (y−y_j)² = d_j²
+//
+// and solve the resulting overdetermined linear system by least squares.
+type MMSE struct {
+	beacons *BeaconSet
+	ranger  Ranger
+}
+
+// NewMMSE builds the estimator with the given distance measurer.
+func NewMMSE(bs *BeaconSet, ranger Ranger) *MMSE {
+	return &MMSE{beacons: bs, ranger: ranger}
+}
+
+// Name implements Scheme.
+func (m *MMSE) Name() string { return "mmse-multilateration" }
+
+// Localize implements Scheme.
+func (m *MMSE) Localize(id wsn.NodeID) (geom.Point, error) {
+	heard := m.beacons.HeardBy(id)
+	if len(heard) == 0 {
+		return geom.Point{}, ErrNoObservation
+	}
+	if len(heard) < 3 {
+		return geom.Point{}, ErrUnderdetermined
+	}
+	p := m.beacons.net.Node(id).Pos
+	refs := make([]geom.Point, len(heard))
+	dists := make([]float64, len(heard))
+	for i, b := range heard {
+		refs[i] = b.Claimed
+		dists[i] = m.ranger(m.beacons.net.Node(b.ID).Pos.Dist(p))
+	}
+	return Multilaterate(refs, dists)
+}
+
+// Multilaterate solves the multilateration problem directly from claimed
+// reference positions and measured distances. It is exported for reuse by
+// DV-Hop and Amorphous, whose "distances" are hop-count estimates.
+func Multilaterate(refs []geom.Point, dists []float64) (geom.Point, error) {
+	n := len(refs)
+	if n < 3 || len(dists) != n {
+		return geom.Point{}, ErrUnderdetermined
+	}
+	// Linearize against the last reference.
+	last := refs[n-1]
+	dn := dists[n-1]
+	a := make([][]float64, 0, n-1)
+	b := make([]float64, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		ri := refs[i]
+		a = append(a, []float64{2 * (ri.X - last.X), 2 * (ri.Y - last.Y)})
+		b = append(b, ri.X*ri.X-last.X*last.X+
+			ri.Y*ri.Y-last.Y*last.Y+
+			dn*dn-dists[i]*dists[i])
+	}
+	x, y, err := mathx.LeastSquares2(a, b)
+	if err != nil {
+		return geom.Point{}, ErrUnderdetermined
+	}
+	return geom.Pt(x, y), nil
+}

@@ -1,0 +1,50 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func BenchmarkAdaptiveSimpson(b *testing.B) {
+	f := func(x float64) float64 { return math.Exp(-x*x/2) * math.Cos(3*x) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AdaptiveSimpson(f, 0, 5, 1e-10, 30)
+	}
+}
+
+func BenchmarkGaussLegendre16(b *testing.B) {
+	f := func(x float64) float64 { return math.Exp(-x*x/2) * math.Cos(3*x) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GaussLegendre16(f, 0, 5)
+	}
+}
+
+func BenchmarkBinomLogPMF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BinomLogPMF(i%300, 300, 0.13)
+	}
+}
+
+func BenchmarkLinearTableEval(b *testing.B) {
+	tb, err := NewLinearTable(math.Sin, 0, 10, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Eval(float64(i%1000) / 100)
+	}
+}
+
+func BenchmarkPercentile(b *testing.B) {
+	xs := make([]float64, 4000)
+	for i := range xs {
+		xs[i] = math.Sin(float64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Percentile(xs, 99)
+	}
+}

@@ -1,0 +1,196 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalPDFKnownValues(t *testing.T) {
+	// Standard normal at 0: 1/sqrt(2π).
+	want := 1 / math.Sqrt(2*math.Pi)
+	if got := NormalPDF(0, 0, 1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("N(0,1) pdf at 0 = %v, want %v", got, want)
+	}
+	// Symmetry.
+	if math.Abs(NormalPDF(1.3, 0, 1)-NormalPDF(-1.3, 0, 1)) > 1e-15 {
+		t.Error("pdf not symmetric")
+	}
+	// Location/scale shift.
+	if math.Abs(NormalPDF(5, 5, 2)-NormalPDF(0, 0, 2)) > 1e-15 {
+		t.Error("pdf not shift invariant")
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	if got := NormalCDF(0, 0, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Phi(0) = %v, want 0.5", got)
+	}
+	// Phi(1.96) ≈ 0.975.
+	if got := NormalCDF(1.959963985, 0, 1); math.Abs(got-0.975) > 1e-6 {
+		t.Errorf("Phi(1.96) = %v, want 0.975", got)
+	}
+	// CDF is the integral of the PDF.
+	integral := AdaptiveSimpson(func(x float64) float64 { return NormalPDF(x, 2, 3) }, -30, 4, 1e-12, 40)
+	if got := NormalCDF(4, 2, 3); math.Abs(got-integral) > 1e-8 {
+		t.Errorf("CDF = %v, ∫pdf = %v", got, integral)
+	}
+}
+
+func TestGauss2DPDFIntegratesToOne(t *testing.T) {
+	// Radial integration: ∫0..∞ f(ℓ)·2πℓ dℓ = 1.
+	sigma := 50.0
+	f := func(l float64) float64 { return Gauss2DPDF(l, 0, sigma) * 2 * math.Pi * l }
+	got := AdaptiveSimpson(f, 0, 8*sigma, 1e-12, 40)
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("2D Gaussian mass = %v, want 1", got)
+	}
+	// Peak value from the paper's Figure 2 scale: 1/(2πσ²) ≈ 6.4e−5 at σ=50.
+	want := 1 / (2 * math.Pi * sigma * sigma)
+	if got := Gauss2DPDF(0, 0, sigma); math.Abs(got-want) > 1e-15 {
+		t.Errorf("peak = %v, want %v", got, want)
+	}
+}
+
+func TestRayleighCDF(t *testing.T) {
+	sigma := 50.0
+	if got := RayleighCDF(0, sigma); got != 0 {
+		t.Errorf("Rayleigh(0) = %v", got)
+	}
+	if got := RayleighCDF(-5, sigma); got != 0 {
+		t.Errorf("Rayleigh(-5) = %v", got)
+	}
+	// Must equal the radial integral of the 2-D Gaussian.
+	for _, l := range []float64{10, 50, 100, 200} {
+		want := AdaptiveSimpson(func(u float64) float64 {
+			return Gauss2DPDF(u, 0, sigma) * 2 * math.Pi * u
+		}, 0, l, 1e-12, 40)
+		if got := RayleighCDF(l, sigma); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Rayleigh(%v) = %v, want %v", l, got, want)
+		}
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 0},
+		{5, 5, 0},
+		{5, 2, math.Log(10)},
+		{10, 3, math.Log(120)},
+		{300, 150, 0}, // filled below
+	}
+	cases[4].want = func() float64 {
+		// Sum of logs as reference.
+		var s float64
+		for i := 1; i <= 150; i++ {
+			s += math.Log(float64(300-150+i)) - math.Log(float64(i))
+		}
+		return s
+	}()
+	for _, c := range cases {
+		got := LogChoose(c.n, c.k)
+		if math.Abs(got-c.want) > 1e-8*math.Max(1, math.Abs(c.want)) {
+			t.Errorf("LogChoose(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+	if !math.IsInf(LogChoose(5, -1), -1) || !math.IsInf(LogChoose(5, 6), -1) {
+		t.Error("out-of-range LogChoose should be -Inf")
+	}
+}
+
+func TestBinomPMFSumsToOne(t *testing.T) {
+	for _, n := range []int{1, 7, 50, 300} {
+		for _, p := range []float64{0.01, 0.2, 0.5, 0.93} {
+			var sum float64
+			for k := 0; k <= n; k++ {
+				pm := BinomPMF(k, n, p)
+				if pm < 0 || pm > 1 {
+					t.Fatalf("pmf out of range: n=%d p=%v k=%d pm=%v", n, p, k, pm)
+				}
+				sum += pm
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("pmf sum n=%d p=%v: %v", n, p, sum)
+			}
+		}
+	}
+}
+
+func TestBinomPMFEdges(t *testing.T) {
+	if BinomPMF(0, 10, 0) != 1 || BinomPMF(3, 10, 0) != 0 {
+		t.Error("p=0 edge wrong")
+	}
+	if BinomPMF(10, 10, 1) != 1 || BinomPMF(9, 10, 1) != 0 {
+		t.Error("p=1 edge wrong")
+	}
+	if BinomPMF(-1, 10, 0.5) != 0 || BinomPMF(11, 10, 0.5) != 0 {
+		t.Error("out-of-range k should be 0")
+	}
+}
+
+func TestBinomPMFMatchesExactSmall(t *testing.T) {
+	// n=4, p=0.3: exact values.
+	exact := []float64{0.2401, 0.4116, 0.2646, 0.0756, 0.0081}
+	for k, want := range exact {
+		if got := BinomPMF(k, 4, 0.3); math.Abs(got-want) > 1e-9 {
+			t.Errorf("BinomPMF(%d,4,0.3) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestBinomCDF(t *testing.T) {
+	if got := BinomCDF(-1, 10, 0.5); got != 0 {
+		t.Errorf("CDF(-1) = %v", got)
+	}
+	if got := BinomCDF(10, 10, 0.5); got != 1 {
+		t.Errorf("CDF(n) = %v", got)
+	}
+	// Monotone non-decreasing in k.
+	prev := 0.0
+	for k := 0; k <= 20; k++ {
+		c := BinomCDF(k, 20, 0.37)
+		if c < prev-1e-12 {
+			t.Fatalf("CDF decreasing at k=%d", k)
+		}
+		prev = c
+	}
+	if math.Abs(prev-1) > 1e-9 {
+		t.Errorf("CDF(n) = %v, want 1", prev)
+	}
+}
+
+func TestBinomModeIsArgmaxProperty(t *testing.T) {
+	f := func(nRaw int, pRaw float64) bool {
+		n := nRaw%200 + 1
+		if n < 1 {
+			n = -n + 1
+		}
+		p := math.Abs(math.Mod(pRaw, 1))
+		mode := BinomMode(n, p)
+		pm := BinomPMF(mode, n, p)
+		// No other k may beat the mode (ties allowed).
+		for k := 0; k <= n; k++ {
+			if BinomPMF(k, n, p) > pm+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomLogPMFFiniteOnImpossible(t *testing.T) {
+	// Clamped probabilities keep log-likelihoods finite for the MLE search.
+	got := BinomLogPMF(5, 10, 0)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("clamped log pmf should be finite, got %v", got)
+	}
+	if !math.IsInf(BinomLogPMF(-2, 10, 0.5), -1) {
+		t.Error("k<0 should be -Inf")
+	}
+}

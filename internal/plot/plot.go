@@ -1,0 +1,174 @@
+// Package plot renders experiment results as ASCII line charts, aligned
+// text tables, and CSV — the repository is stdlib-only, so figures are
+// reproduced as data series plus terminal graphics rather than bitmaps.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Chart is a renderable figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// seriesMarkers distinguish curves in ASCII output.
+var seriesMarkers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart on a width×height character canvas. Axes are
+// annotated with min/max; each series uses its own marker; overlapping
+// points keep the earlier series' marker.
+func (c Chart) Render(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 6 {
+		height = 6
+	}
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range c.Series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if first {
+		return c.Title + "\n(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	canvas := make([][]byte, height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", width))
+	}
+	plotAt := func(x, y float64, marker byte) {
+		cx := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		cy := int(math.Round((y - ymin) / (ymax - ymin) * float64(height-1)))
+		row := height - 1 - cy
+		if row < 0 || row >= height || cx < 0 || cx >= width {
+			return
+		}
+		if canvas[row][cx] == ' ' {
+			canvas[row][cx] = marker
+		}
+	}
+	for si, s := range c.Series {
+		marker := seriesMarkers[si%len(seriesMarkers)]
+		for i := range s.X {
+			plotAt(s.X[i], s.Y[i], marker)
+			// Linear interpolation between consecutive points for
+			// continuity on sparse series.
+			if i > 0 {
+				steps := width / 4
+				for k := 1; k < steps; k++ {
+					t := float64(k) / float64(steps)
+					plotAt(s.X[i-1]+(s.X[i]-s.X[i-1])*t,
+						s.Y[i-1]+(s.Y[i]-s.Y[i-1])*t, marker)
+				}
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	fmt.Fprintf(&b, "%10.3g ┤\n", ymax)
+	for _, row := range canvas {
+		fmt.Fprintf(&b, "%10s │%s\n", "", row)
+	}
+	fmt.Fprintf(&b, "%10.3g └%s\n", ymin, strings.Repeat("─", width))
+	fmt.Fprintf(&b, "%10s  %-*.3g%*.3g\n", "", width/2, xmin, width-width/2, xmax)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%10s  x: %s   y: %s\n", "", c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%10s  %c %s\n", "", seriesMarkers[si%len(seriesMarkers)], s.Label)
+	}
+	return b.String()
+}
+
+// Table renders rows as an aligned text table with a header.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders series as long-format CSV: series,x,y.
+func CSV(series []Series) string {
+	var b strings.Builder
+	b.WriteString("series,x,y\n")
+	for _, s := range series {
+		label := strings.ReplaceAll(s.Label, ",", ";")
+		for i := range s.X {
+			fmt.Fprintf(&b, "%s,%g,%g\n", label, s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+// FormatFloat renders a float compactly for tables.
+func FormatFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.4g", v)
+}

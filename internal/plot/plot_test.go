@@ -1,0 +1,92 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderContainsMarkersAndLabels(t *testing.T) {
+	c := Chart{
+		Title:  "Detection rate",
+		XLabel: "FP",
+		YLabel: "DR",
+		Series: []Series{
+			{Label: "diff", X: []float64{0, 0.5, 1}, Y: []float64{0, 0.8, 1}},
+			{Label: "add-all", X: []float64{0, 0.5, 1}, Y: []float64{0, 0.4, 1}},
+		},
+	}
+	out := c.Render(60, 15)
+	for _, want := range []string{"Detection rate", "diff", "add-all", "*", "o", "x: FP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 15 {
+		t.Errorf("render too short: %d lines", len(lines))
+	}
+}
+
+func TestRenderEmptyAndDegenerate(t *testing.T) {
+	out := Chart{Title: "empty"}.Render(40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart: %q", out)
+	}
+	// Single point and NaNs should not panic.
+	c := Chart{Series: []Series{{
+		Label: "p",
+		X:     []float64{1, math.NaN()},
+		Y:     []float64{2, math.NaN()},
+	}}}
+	if out := c.Render(10, 3); out == "" { // also exercises min clamps
+		t.Error("degenerate chart rendered empty")
+	}
+}
+
+func TestRenderClampsCanvasSize(t *testing.T) {
+	c := Chart{Series: []Series{{Label: "s", X: []float64{0, 1}, Y: []float64{0, 1}}}}
+	out := c.Render(1, 1)
+	if len(out) == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"D", "DR"}, [][]string{
+		{"80", "0.41"},
+		{"160", "1.00"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "D") || !strings.Contains(lines[0], "DR") {
+		t.Errorf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "-") {
+		t.Errorf("separator wrong: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[3], "160") {
+		t.Errorf("row wrong: %q", lines[3])
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV([]Series{
+		{Label: "a,b", X: []float64{1, 2}, Y: []float64{3, 4}},
+	})
+	want := "series,x,y\na;b,1,3\na;b,2,4\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if FormatFloat(math.NaN()) != "n/a" {
+		t.Error("NaN should be n/a")
+	}
+	if FormatFloat(0.123456) != "0.1235" {
+		t.Errorf("got %q", FormatFloat(0.123456))
+	}
+}

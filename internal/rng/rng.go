@@ -1,0 +1,165 @@
+// Package rng provides a small deterministic random-number generator used
+// throughout the simulation: xoshiro256★★ seeded through splitmix64, with
+// samplers for the distributions the LAD reproduction draws from (uniform,
+// 2-D Gaussian resident-point offsets, binomial neighbor counts).
+//
+// Determinism matters here: Monte-Carlo experiments fan out across a
+// worker pool, and each worker derives an independent substream via Split,
+// so a given master seed reproduces identical figures regardless of
+// GOMAXPROCS or goroutine scheduling.
+package rng
+
+import "math"
+
+// Rand is a deterministic pseudo-random source. It is NOT safe for
+// concurrent use; share nothing, Split instead.
+type Rand struct {
+	s        [4]uint64
+	spare    float64 // cached second variate of the polar method
+	hasSpare bool
+}
+
+// splitmix64 advances the seed and returns a well-mixed 64-bit value. It
+// is the recommended seeder for xoshiro-family generators.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from the given 64-bit seed.
+func New(seed uint64) *Rand {
+	var r Rand
+	s := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&s)
+	}
+	// xoshiro must not start at the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits (xoshiro256★★).
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split derives an independent substream from r, advancing r. Substreams
+// obtained from distinct calls are (for all practical purposes) pairwise
+// independent; this is how per-worker generators are made.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64() ^ 0xd2b74407b1ce6e93)
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	// Multiply-shift rejection-free mapping is fine for simulation use.
+	return int((uint64(r.Uint64()>>11) * uint64(n)) >> 53)
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a standard normal variate using the Marsaglia polar method.
+func (r *Rand) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.hasSpare = true
+		return u * f
+	}
+}
+
+// Gauss2D returns an isotropic 2-D Gaussian offset with the given sigma —
+// the paper's deployment distribution for a node around its deployment
+// point.
+func (r *Rand) Gauss2D(sigma float64) (dx, dy float64) {
+	return sigma * r.Norm(), sigma * r.Norm()
+}
+
+// Binomial returns a draw from Binomial(n, p). For small n·p it uses the
+// waiting-time (geometric) method; otherwise it sums Bernoulli trials in
+// blocks via the normal approximation safeguard-free exact inversion.
+// n is at most ~1000 here, so an O(n) fallback is acceptable; the
+// geometric shortcut makes the common sparse case (g_i(z) ≈ 0 for far
+// groups) effectively O(np + 1).
+func (r *Rand) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if p > 0.5 {
+		return n - r.Binomial(n, 1-p)
+	}
+	// Waiting-time method: count how many geometric(p) gaps fit in n trials.
+	// E[work] = np + 1, ideal for the sparse per-group neighbor counts.
+	lnq := math.Log1p(-p)
+	count := 0
+	pos := 0
+	for {
+		u := r.Float64()
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		gap := int(math.Log(u)/lnq) + 1
+		pos += gap
+		if pos > n {
+			return count
+		}
+		count++
+	}
+}
+
+// Shuffle permutes idx in place (Fisher–Yates).
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

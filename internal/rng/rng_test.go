@@ -1,0 +1,248 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds coincide %d/1000 times", same)
+	}
+}
+
+func TestZeroSeedIsValid(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Errorf("seed 0 produced only %d distinct values", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	s1 := parent.Split()
+	s2 := parent.Split()
+	matches := 0
+	for i := 0; i < 1000; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			matches++
+		}
+	}
+	if matches > 2 {
+		t.Errorf("substreams coincide %d/1000 times", matches)
+	}
+	// Splitting is itself deterministic.
+	p1, p2 := New(9), New(9)
+	a, b := p1.Split(), p2.Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split not deterministic")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	r := New(2)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		sum += f
+		sum2 += f * f
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean = %v", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.005 {
+		t.Errorf("uniform variance = %v", variance)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := New(3)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for d, c := range counts {
+		if math.Abs(float64(c)-n/10) > 500 {
+			t.Errorf("digit %d count %d too far from %d", d, c, n/10)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestUniform(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(-3, 7)
+		if v < -3 || v >= 7 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	var sum, sum2, sum4 float64
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sum2 += x * x
+		sum4 += x * x * x * x
+	}
+	mean := sum / n
+	variance := sum2 / n
+	kurt := sum4 / n
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %v", variance)
+	}
+	if math.Abs(kurt-3) > 0.1 {
+		t.Errorf("normal 4th moment = %v, want 3", kurt)
+	}
+}
+
+func TestGauss2DIsotropy(t *testing.T) {
+	r := New(6)
+	const n = 100000
+	sigma := 50.0
+	var sx2, sy2, sxy float64
+	for i := 0; i < n; i++ {
+		dx, dy := r.Gauss2D(sigma)
+		sx2 += dx * dx
+		sy2 += dy * dy
+		sxy += dx * dy
+	}
+	if math.Abs(sx2/n-sigma*sigma) > 60 {
+		t.Errorf("var(x) = %v, want %v", sx2/n, sigma*sigma)
+	}
+	if math.Abs(sy2/n-sigma*sigma) > 60 {
+		t.Errorf("var(y) = %v, want %v", sy2/n, sigma*sigma)
+	}
+	if math.Abs(sxy/n) > 30 {
+		t.Errorf("cov(x,y) = %v, want 0", sxy/n)
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	r := New(7)
+	if r.Binomial(0, 0.5) != 0 || r.Binomial(10, 0) != 0 {
+		t.Error("degenerate binomial should be 0")
+	}
+	if r.Binomial(10, 1) != 10 {
+		t.Error("p=1 binomial should be n")
+	}
+	if r.Binomial(-5, 0.5) != 0 {
+		t.Error("negative n should be 0")
+	}
+	for i := 0; i < 1000; i++ {
+		v := r.Binomial(20, 0.3)
+		if v < 0 || v > 20 {
+			t.Fatalf("binomial out of range: %d", v)
+		}
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(8)
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{300, 0.02}, {300, 0.39}, {300, 0.85}, {50, 0.5}, {1000, 0.005},
+	}
+	const trials = 20000
+	for _, c := range cases {
+		var sum, sum2 float64
+		for i := 0; i < trials; i++ {
+			v := float64(r.Binomial(c.n, c.p))
+			sum += v
+			sum2 += v * v
+		}
+		mean := sum / trials
+		variance := sum2/trials - mean*mean
+		wantMean := float64(c.n) * c.p
+		wantVar := wantMean * (1 - c.p)
+		if math.Abs(mean-wantMean) > 4*math.Sqrt(wantVar/trials)+0.05 {
+			t.Errorf("Binomial(%d,%v) mean = %v, want %v", c.n, c.p, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar)/math.Max(1, wantVar) > 0.1 {
+			t.Errorf("Binomial(%d,%v) var = %v, want %v", c.n, c.p, variance, wantVar)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(9)
+	for trial := 0; trial < 50; trial++ {
+		p := r.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				t.Fatalf("invalid permutation: %v", p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleUniformity(t *testing.T) {
+	// First element of a shuffled 4-array should be ~uniform.
+	r := New(10)
+	counts := make([]int, 4)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		a := []int{0, 1, 2, 3}
+		r.Shuffle(4, func(i, j int) { a[i], a[j] = a[j], a[i] })
+		counts[a[0]]++
+	}
+	for v, c := range counts {
+		if math.Abs(float64(c)-n/4) > 500 {
+			t.Errorf("value %d first-position count %d, want ~%d", v, c, n/4)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package routing implements greedy geographic forwarding — the
+// application class the LAD paper's introduction motivates ("location
+// information is also important for geographic routing protocols, in
+// which such information is used to select the next forwarding host").
+//
+// The router is deliberately simple (GPSR's greedy mode with a
+// radius-bounded final hop and no perimeter recovery): its purpose here
+// is to quantify what localization attacks do to a location-dependent
+// service, and how much LAD-gating — refusing to forward through nodes
+// whose locations failed verification — restores.
+package routing
+
+import (
+	"errors"
+
+	"repro/internal/geom"
+	"repro/internal/wsn"
+)
+
+// LocationProvider reports the location a node *advertises*. Honest
+// nodes advertise their localization result; attacked nodes a forged
+// one. ok=false means the node advertises nothing (e.g. LAD rejected its
+// location) and cannot be chosen as a next hop.
+type LocationProvider func(id wsn.NodeID) (geom.Point, bool)
+
+// TrueLocations advertises every node's actual resident point.
+func TrueLocations(net *wsn.Network) LocationProvider {
+	return func(id wsn.NodeID) (geom.Point, bool) {
+		return net.Node(id).Pos, true
+	}
+}
+
+// Router performs greedy geographic forwarding over a network.
+type Router struct {
+	net  *wsn.Network
+	locs LocationProvider
+	// MaxHops bounds a route; 0 selects a generous default derived from
+	// the field diagonal over the radio range.
+	MaxHops int
+}
+
+// NewRouter builds a router using the given advertised locations.
+func NewRouter(net *wsn.Network, locs LocationProvider) *Router {
+	return &Router{net: net, locs: locs}
+}
+
+// Routing errors.
+var (
+	// ErrVoid means greedy forwarding hit a local minimum: no neighbor is
+	// closer (by advertised position) to the destination.
+	ErrVoid = errors.New("routing: greedy void (no neighbor makes progress)")
+	// ErrHopLimit means the route exceeded MaxHops.
+	ErrHopLimit = errors.New("routing: hop limit exceeded")
+	// ErrNoLocation means an endpoint advertises no location.
+	ErrNoLocation = errors.New("routing: endpoint has no advertised location")
+)
+
+// Route forwards greedily from src to dst and returns the node sequence
+// (src first, dst last). At each step the packet moves to the neighbor
+// whose advertised position is strictly closest to dst's advertised
+// position; the route completes when dst itself is a neighbor.
+func (r *Router) Route(src, dst wsn.NodeID) ([]wsn.NodeID, error) {
+	dstPos, ok := r.locs(dst)
+	if !ok {
+		return nil, ErrNoLocation
+	}
+	if _, ok := r.locs(src); !ok {
+		return nil, ErrNoLocation
+	}
+	maxHops := r.MaxHops
+	if maxHops <= 0 {
+		field := r.net.Model().Field()
+		diag := field.Min.Dist(field.Max)
+		maxHops = int(diag/r.net.Model().Range())*4 + 16
+	}
+
+	path := []wsn.NodeID{src}
+	cur := src
+	for hops := 0; ; hops++ {
+		if cur == dst {
+			return path, nil
+		}
+		if hops >= maxHops {
+			return path, ErrHopLimit
+		}
+		curPos, ok := r.locs(cur)
+		if !ok {
+			// The current holder lost its location mid-route (gated).
+			return path, ErrVoid
+		}
+		best := wsn.NodeID(-1)
+		bestD := curPos.Dist(dstPos)
+		for _, nb := range r.net.NeighborsOf(cur) {
+			if nb == dst {
+				best = dst
+				break
+			}
+			p, ok := r.locs(nb)
+			if !ok {
+				continue // gated node: not eligible as a next hop
+			}
+			if d := p.Dist(dstPos); d < bestD {
+				best, bestD = nb, d
+			}
+		}
+		if best < 0 {
+			return path, ErrVoid
+		}
+		path = append(path, best)
+		cur = best
+	}
+}
+
+// Stats aggregates routing outcomes over many (src, dst) pairs.
+type Stats struct {
+	Attempts  int
+	Delivered int
+	Voids     int
+	HopLimit  int
+	TotalHops int // over delivered routes
+}
+
+// DeliveryRate returns Delivered/Attempts.
+func (s Stats) DeliveryRate() float64 {
+	if s.Attempts == 0 {
+		return 0
+	}
+	return float64(s.Delivered) / float64(s.Attempts)
+}
+
+// MeanHops returns the average hop count of delivered routes.
+func (s Stats) MeanHops() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.TotalHops) / float64(s.Delivered)
+}
+
+// Evaluate routes between the given pairs and aggregates outcomes.
+func (r *Router) Evaluate(pairs [][2]wsn.NodeID) Stats {
+	var s Stats
+	for _, pr := range pairs {
+		s.Attempts++
+		path, err := r.Route(pr[0], pr[1])
+		switch err {
+		case nil:
+			s.Delivered++
+			s.TotalHops += len(path) - 1
+		case ErrVoid, ErrNoLocation:
+			s.Voids++
+		case ErrHopLimit:
+			s.HopLimit++
+		}
+	}
+	return s
+}

@@ -1,0 +1,181 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/wsn"
+)
+
+func denseNet(seed uint64) *wsn.Network {
+	cfg := deploy.Config{
+		Field:     geom.NewRect(geom.Pt(0, 0), geom.Pt(600, 600)),
+		GroupsX:   6,
+		GroupsY:   6,
+		GroupSize: 60,
+		Sigma:     50,
+		Range:     60,
+		Layout:    deploy.LayoutGrid,
+	}
+	return wsn.Deploy(deploy.MustNew(cfg), rng.New(seed))
+}
+
+// interiorPairs returns routable pairs with both endpoints inside the
+// field (Gaussian-tail exiles distort greedy forwarding).
+func interiorPairs(net *wsn.Network, n int, seed uint64) [][2]wsn.NodeID {
+	r := rng.New(seed)
+	field := net.Model().Field()
+	inner := geom.NewRect(
+		geom.Pt(field.Min.X+60, field.Min.Y+60),
+		geom.Pt(field.Max.X-60, field.Max.Y-60))
+	var pairs [][2]wsn.NodeID
+	for len(pairs) < n {
+		a, _ := net.SampleNode(r)
+		b, _ := net.SampleNode(r)
+		if a == b {
+			continue
+		}
+		if !inner.Contains(net.Node(a).Pos) || !inner.Contains(net.Node(b).Pos) {
+			continue
+		}
+		pairs = append(pairs, [2]wsn.NodeID{a, b})
+	}
+	return pairs
+}
+
+func TestGreedyDeliversOnDenseNetwork(t *testing.T) {
+	net := denseNet(1)
+	router := NewRouter(net, TrueLocations(net))
+	stats := router.Evaluate(interiorPairs(net, 80, 2))
+	if dr := stats.DeliveryRate(); dr < 0.9 {
+		t.Errorf("delivery rate = %v, want > 0.9 on a dense network", dr)
+	}
+	if stats.MeanHops() <= 0 {
+		t.Error("mean hops should be positive")
+	}
+}
+
+func TestRouteReachesDestination(t *testing.T) {
+	net := denseNet(3)
+	router := NewRouter(net, TrueLocations(net))
+	pairs := interiorPairs(net, 20, 4)
+	for _, pr := range pairs {
+		path, err := router.Route(pr[0], pr[1])
+		if err != nil {
+			continue
+		}
+		if path[0] != pr[0] || path[len(path)-1] != pr[1] {
+			t.Fatalf("path endpoints wrong: %v for pair %v", path, pr)
+		}
+		// Each hop must be a real radio link.
+		for i := 1; i < len(path); i++ {
+			d := net.Node(path[i-1]).Pos.Dist(net.Node(path[i]).Pos)
+			if d > net.Model().Range()+1e-9 {
+				t.Fatalf("hop %d–%d spans %.1f m > range", path[i-1], path[i], d)
+			}
+		}
+	}
+}
+
+func TestRouteSelfDelivery(t *testing.T) {
+	net := denseNet(5)
+	router := NewRouter(net, TrueLocations(net))
+	path, err := router.Route(7, 7)
+	if err != nil || len(path) != 1 || path[0] != 7 {
+		t.Errorf("self route = %v, %v", path, err)
+	}
+}
+
+func TestForgedLocationsBreakRouting(t *testing.T) {
+	net := denseNet(6)
+	honest := NewRouter(net, TrueLocations(net)).Evaluate(interiorPairs(net, 60, 7))
+
+	// A third of nodes advertise positions reflected across the field —
+	// the aftermath of a successful localization attack.
+	r := rng.New(8)
+	forged := map[wsn.NodeID]geom.Point{}
+	for i := 0; i < net.Len(); i++ {
+		if r.Float64() < 0.33 {
+			p := net.Node(wsn.NodeID(i)).Pos
+			forged[wsn.NodeID(i)] = geom.Pt(600-p.X, 600-p.Y)
+		}
+	}
+	lying := func(id wsn.NodeID) (geom.Point, bool) {
+		if p, ok := forged[id]; ok {
+			return p, true
+		}
+		return net.Node(id).Pos, true
+	}
+	attacked := NewRouter(net, lying).Evaluate(interiorPairs(net, 60, 7))
+	if attacked.DeliveryRate() >= honest.DeliveryRate() {
+		t.Errorf("forged locations should hurt delivery: honest %v, attacked %v",
+			honest.DeliveryRate(), attacked.DeliveryRate())
+	}
+
+	// LAD-style gating: the forged nodes' locations fail verification, so
+	// they advertise nothing and are skipped as next hops.
+	gated := func(id wsn.NodeID) (geom.Point, bool) {
+		if _, ok := forged[id]; ok {
+			return geom.Point{}, false
+		}
+		return net.Node(id).Pos, true
+	}
+	// Gate only pairs whose endpoints survived.
+	var pairs [][2]wsn.NodeID
+	for _, pr := range interiorPairs(net, 120, 7) {
+		if _, bad := forged[pr[0]]; bad {
+			continue
+		}
+		if _, bad := forged[pr[1]]; bad {
+			continue
+		}
+		pairs = append(pairs, pr)
+		if len(pairs) == 60 {
+			break
+		}
+	}
+	recovered := NewRouter(net, gated).Evaluate(pairs)
+	if recovered.DeliveryRate() <= attacked.DeliveryRate() {
+		t.Errorf("gating should restore delivery: attacked %v, gated %v",
+			attacked.DeliveryRate(), recovered.DeliveryRate())
+	}
+}
+
+func TestNoLocationEndpoints(t *testing.T) {
+	net := denseNet(9)
+	none := func(wsn.NodeID) (geom.Point, bool) { return geom.Point{}, false }
+	router := NewRouter(net, none)
+	if _, err := router.Route(0, 1); err != ErrNoLocation {
+		t.Errorf("err = %v, want ErrNoLocation", err)
+	}
+}
+
+func TestHopLimit(t *testing.T) {
+	net := denseNet(10)
+	router := NewRouter(net, TrueLocations(net))
+	router.MaxHops = 1
+	pairs := interiorPairs(net, 30, 11)
+	sawLimit := false
+	for _, pr := range pairs {
+		if _, err := router.Route(pr[0], pr[1]); err == ErrHopLimit {
+			sawLimit = true
+			break
+		}
+	}
+	if !sawLimit {
+		t.Error("one-hop limit should trip on some long pair")
+	}
+}
+
+func TestStatsArithmetic(t *testing.T) {
+	s := Stats{Attempts: 4, Delivered: 2, TotalHops: 10}
+	if s.DeliveryRate() != 0.5 || s.MeanHops() != 5 {
+		t.Errorf("stats = %+v", s)
+	}
+	var zero Stats
+	if zero.DeliveryRate() != 0 || zero.MeanHops() != 0 {
+		t.Error("zero stats should be zero")
+	}
+}

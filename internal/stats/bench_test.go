@@ -1,0 +1,41 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func benchScores(n int, shift float64) []float64 {
+	xs := make([]float64, n)
+	x := 0.123
+	for i := range xs {
+		x = math.Mod(x*1.61803398875+0.7, 1)
+		xs[i] = x + shift
+	}
+	return xs
+}
+
+func BenchmarkROC(b *testing.B) {
+	benign := benchScores(4000, 0)
+	attacked := benchScores(1500, 0.4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ROC(benign, attacked)
+	}
+}
+
+func BenchmarkAUC(b *testing.B) {
+	pts := ROC(benchScores(4000, 0), benchScores(1500, 0.4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AUC(pts)
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	xs := benchScores(4000, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Summarize(xs)
+	}
+}

@@ -1,0 +1,243 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("summary = %+v", s)
+	}
+	// Unbiased variance of this classic sample is 32/7.
+	if math.Abs(s.Variance-32.0/7) > 1e-12 {
+		t.Errorf("variance = %v, want %v", s.Variance, 32.0/7)
+	}
+	if math.Abs(s.Std-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("std = %v", s.Std)
+	}
+	one := Summarize([]float64{3})
+	if one.Variance != 0 || one.Std != 0 || one.Mean != 3 {
+		t.Errorf("singleton summary = %+v", one)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4})
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.P(c.x); got != c.want {
+			t.Errorf("P(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.N() != 4 {
+		t.Errorf("N = %d", e.N())
+	}
+	if got := e.Quantile(0.5); got != 2.5 {
+		t.Errorf("median = %v", got)
+	}
+	empty := NewECDF(nil)
+	if got := empty.P(1); got != 0 {
+		t.Errorf("empty P = %v", got)
+	}
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	e := NewECDF([]float64{5, 1, 9, 3, 3, 7})
+	f := func(x1, x2 float64) bool {
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		return e.P(x1) <= e.P(x2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 11} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Errorf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Errorf("bin1 = %d", h.Counts[1])
+	}
+	if h.Counts[4] != 1 { // 9.99
+		t.Errorf("bin4 = %d", h.Counts[4])
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid histogram should panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestROCPerfectSeparation(t *testing.T) {
+	benign := []float64{1, 2, 3}
+	attacked := []float64{10, 11, 12}
+	pts := ROC(benign, attacked)
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	// At FP=0 we should already have DR=1.
+	if got := DRAtFP(pts, 0); got != 1 {
+		t.Errorf("DR at FP=0 = %v, want 1", got)
+	}
+	if auc := AUC(pts); math.Abs(auc-1) > 1e-12 {
+		t.Errorf("AUC = %v, want 1", auc)
+	}
+}
+
+func TestROCRandomScores(t *testing.T) {
+	// Identical distributions: AUC ≈ 0.5, DR ≈ FP along the curve.
+	benign := make([]float64, 0, 1000)
+	attacked := make([]float64, 0, 1000)
+	x := 0.0
+	for i := 0; i < 1000; i++ {
+		x = math.Mod(x+0.754877666, 1) // low-discrepancy fill of [0,1)
+		benign = append(benign, x)
+		attacked = append(attacked, math.Mod(x+0.5, 1))
+	}
+	pts := ROC(benign, attacked)
+	if auc := AUC(pts); math.Abs(auc-0.5) > 0.05 {
+		t.Errorf("AUC = %v, want ~0.5", auc)
+	}
+}
+
+func TestROCEndpointsAndMonotonicity(t *testing.T) {
+	benign := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	attacked := []float64{2, 7, 1, 8, 2, 8}
+	pts := ROC(benign, attacked)
+	if pts[0].FP != 0 {
+		t.Errorf("first FP = %v, want 0", pts[0].FP)
+	}
+	last := pts[len(pts)-1]
+	if last.FP != 1 || last.DR != 1 {
+		t.Errorf("last point = %+v, want (1,1)", last)
+	}
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].FP < pts[j].FP }) {
+		t.Error("FP not non-decreasing")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].DR < pts[i-1].DR-1e-12 {
+			t.Error("DR not non-decreasing along the curve")
+		}
+	}
+}
+
+func TestROCEmptyInputs(t *testing.T) {
+	if pts := ROC(nil, []float64{1}); pts != nil {
+		t.Error("empty benign should yield nil")
+	}
+	if pts := ROC([]float64{1}, nil); pts != nil {
+		t.Error("empty attacked should yield nil")
+	}
+}
+
+func TestDRAtFP(t *testing.T) {
+	pts := []ROCPoint{{FP: 0, DR: 0.2}, {FP: 0.1, DR: 0.8}, {FP: 1, DR: 1}}
+	if got := DRAtFP(pts, 0); got != 0.2 {
+		t.Errorf("DR(0) = %v", got)
+	}
+	if got := DRAtFP(pts, 0.05); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("DR(0.05) = %v, want 0.5", got)
+	}
+	if got := DRAtFP(pts, 1); got != 1 {
+		t.Errorf("DR(1) = %v", got)
+	}
+	if got := DRAtFP(pts, 2); got != 1 {
+		t.Errorf("DR(2) = %v", got)
+	}
+	if !math.IsNaN(DRAtFP(nil, 0.5)) {
+		t.Error("empty curve should be NaN")
+	}
+	// Duplicate-FP vertical jump returns the max.
+	dup := []ROCPoint{{FP: 0, DR: 0.1}, {FP: 0.5, DR: 0.2}, {FP: 0.5, DR: 0.9}, {FP: 1, DR: 1}}
+	if got := DRAtFP(dup, 0.5); got != 0.9 {
+		t.Errorf("vertical jump DR = %v, want 0.9", got)
+	}
+}
+
+func TestRate(t *testing.T) {
+	if Rate(1, 4) != 0.25 || Rate(0, 0) != 0 || Rate(3, 3) != 1 {
+		t.Error("Rate misbehaves")
+	}
+}
+
+func TestAUCBoundsProperty(t *testing.T) {
+	f := func(seedB, seedA uint8) bool {
+		benign := make([]float64, 0, 50)
+		attacked := make([]float64, 0, 50)
+		x := float64(seedB) / 256
+		y := float64(seedA) / 256
+		for i := 0; i < 50; i++ {
+			x = math.Mod(x*1.61803+0.1, 1)
+			y = math.Mod(y*1.32471+0.2, 1)
+			benign = append(benign, x)
+			attacked = append(attacked, y+0.1) // slight shift
+		}
+		auc := AUC(ROC(benign, attacked))
+		return auc >= -1e-9 && auc <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	// Degenerate denominator.
+	lo, hi := WilsonInterval(0, 0, 1.96)
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty interval = [%v, %v]", lo, hi)
+	}
+	// Endpoints stay in [0, 1] and bracket the point estimate.
+	cases := []struct{ hits, total int }{
+		{0, 100}, {100, 100}, {50, 100}, {1, 10}, {999, 1000},
+	}
+	for _, c := range cases {
+		lo, hi := WilsonInterval(c.hits, c.total, 1.96)
+		p := float64(c.hits) / float64(c.total)
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Errorf("interval [%v, %v] malformed", lo, hi)
+		}
+		if p < lo-1e-9 || p > hi+1e-9 {
+			t.Errorf("point estimate %v outside [%v, %v]", p, lo, hi)
+		}
+	}
+	// Known value: 50/100 at z=1.96 gives ≈ [0.404, 0.596].
+	lo, hi = WilsonInterval(50, 100, 1.96)
+	if math.Abs(lo-0.404) > 0.005 || math.Abs(hi-0.596) > 0.005 {
+		t.Errorf("Wilson(50/100) = [%v, %v]", lo, hi)
+	}
+	// Wider sample narrows the interval.
+	lo1, hi1 := WilsonInterval(5, 10, 1.96)
+	lo2, hi2 := WilsonInterval(500, 1000, 1.96)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Error("larger sample should narrow the interval")
+	}
+}

@@ -1,0 +1,43 @@
+package wsn
+
+import (
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/rng"
+)
+
+func BenchmarkDeploy(b *testing.B) {
+	model := deploy.MustNew(smallConfig())
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Deploy(model, r)
+	}
+}
+
+func BenchmarkNeighborQuery(b *testing.B) {
+	net := smallNetwork(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.NeighborsOf(NodeID(i % net.Len()))
+	}
+}
+
+func BenchmarkObservationOf(b *testing.B) {
+	net := smallNetwork(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ObservationOf(NodeID(i % net.Len()))
+	}
+}
+
+func BenchmarkHelloProtocolRound(b *testing.B) {
+	net := smallNetwork(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.RunHelloProtocol(ProtocolConfig{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

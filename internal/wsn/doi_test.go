@@ -1,0 +1,88 @@
+package wsn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinkFactorProperties(t *testing.T) {
+	net := smallNetwork(31)
+	net.DOI = 0.2
+	// Symmetric, deterministic, bounded.
+	seen := map[float64]int{}
+	for a := NodeID(0); a < 50; a++ {
+		for b := a + 1; b < 50; b++ {
+			f1 := net.linkFactor(a, b)
+			f2 := net.linkFactor(b, a)
+			if f1 != f2 {
+				t.Fatalf("link factor asymmetric for (%d,%d)", a, b)
+			}
+			if f1 < 0.8-1e-12 || f1 > 1.2+1e-12 {
+				t.Fatalf("link factor out of [0.8, 1.2]: %v", f1)
+			}
+			seen[math.Round(f1*100)/100]++
+		}
+	}
+	if len(seen) < 10 {
+		t.Errorf("link factors insufficiently spread: %d distinct buckets", len(seen))
+	}
+	// DOI=0 means ideal disk.
+	net.DOI = 0
+	if net.linkFactor(1, 2) != 1 {
+		t.Error("DOI=0 should give factor 1")
+	}
+}
+
+func TestDOIChangesProtocolObservations(t *testing.T) {
+	net := smallNetwork(32)
+	ideal, err := net.RunHelloProtocol(ProtocolConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.DOI = 0.3
+	irregular, err := net.RunHelloProtocol(ProtocolConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some observations must differ…
+	diff := 0
+	var idealTotal, irregularTotal int
+	for id := range ideal {
+		for g := range ideal[id] {
+			if ideal[id][g] != irregular[id][g] {
+				diff++
+			}
+			idealTotal += ideal[id][g]
+			irregularTotal += irregular[id][g]
+		}
+	}
+	if diff == 0 {
+		t.Fatal("DOI=0.3 changed nothing")
+	}
+	// …but the total neighbor mass stays in the same ballpark (the factor
+	// is symmetric around 1; area scales like E[f²] ≈ 1 + DOI²/3).
+	ratio := float64(irregularTotal) / float64(idealTotal)
+	if ratio < 0.9 || ratio > 1.15 {
+		t.Errorf("total observation ratio = %v, want ≈ 1.03", ratio)
+	}
+}
+
+func TestDOIDeterministicAcrossRounds(t *testing.T) {
+	net := smallNetwork(33)
+	net.DOI = 0.25
+	a, err := net.RunHelloProtocol(ProtocolConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.RunHelloProtocol(ProtocolConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range a {
+		for g := range a[id] {
+			if a[id][g] != b[id][g] {
+				t.Fatalf("irregularity not stable across identical rounds")
+			}
+		}
+	}
+}

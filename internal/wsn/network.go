@@ -1,0 +1,335 @@
+// Package wsn is the wireless-sensor-network substrate: node placement
+// according to the deployment model, spatial-hash neighbor discovery, a
+// unit-disk (optionally lossy) radio, and the group-ID HELLO protocol
+// with which sensors build the observation vectors that both the
+// beaconless localization scheme and the LAD detector consume.
+package wsn
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/deploy"
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// NodeID indexes a node within its network.
+type NodeID int32
+
+// Node is one sensor. Pos is the resident point (unknown to the node
+// itself until localization); Group is burnt into its memory before
+// deployment; TxRange may differ from the network default for
+// range-change attackers.
+type Node struct {
+	ID          NodeID
+	Group       int
+	Pos         geom.Point
+	TxRange     float64
+	Compromised bool
+	IsBeacon    bool // beacon/anchor nodes know Pos (GPS or manual config)
+}
+
+// Network is a deployed sensor field. It is immutable after Deploy apart
+// from the explicitly mutating attack helpers (MarkCompromised,
+// SetTxRange).
+type Network struct {
+	model *deploy.Model
+	nodes []Node
+	index *spatialIndex
+	// LossProb is the per-link probability that a broadcast is not
+	// received, applied independently per receiver in the event-driven
+	// protocol. The geometric fast path ignores it.
+	LossProb float64
+	// DOI is the degree of radio irregularity (He et al.'s DOI model,
+	// simplified to a deterministic per-link factor): a transmission over
+	// a link reaches distance TxRange·f where f is a link-specific value
+	// in [1−DOI, 1+DOI]. Zero means a perfect unit disk. Like LossProb it
+	// only affects the event-driven protocol path.
+	DOI float64
+
+	// salt decorrelates per-link irregularity across deployments.
+	salt uint64
+}
+
+// Deploy places model.TotalNodes() sensors: node i belongs to group
+// i / GroupSize and lands at a Gaussian offset from its group's
+// deployment point.
+func Deploy(model *deploy.Model, r *rng.Rand) *Network {
+	n := model.TotalNodes()
+	net := &Network{
+		model: model,
+		nodes: make([]Node, n),
+		index: newSpatialIndex(model.Range()),
+		salt:  r.Uint64(),
+	}
+	gs := model.GroupSize()
+	for i := 0; i < n; i++ {
+		group := i / gs
+		pos := model.SampleResident(group, r)
+		net.nodes[i] = Node{
+			ID:      NodeID(i),
+			Group:   group,
+			Pos:     pos,
+			TxRange: model.Range(),
+		}
+		net.index.insert(int32(i), pos)
+	}
+	return net
+}
+
+// Model returns the deployment knowledge the network was built from.
+func (net *Network) Model() *deploy.Model { return net.model }
+
+// Len returns the number of nodes.
+func (net *Network) Len() int { return len(net.nodes) }
+
+// Node returns a copy of node id.
+func (net *Network) Node(id NodeID) Node { return net.nodes[id] }
+
+// pos is the position accessor handed to the spatial index.
+func (net *Network) pos(i int32) geom.Point { return net.nodes[i].Pos }
+
+// MarkCompromised flags a node as attacker-controlled.
+func (net *Network) MarkCompromised(id NodeID) { net.nodes[id].Compromised = true }
+
+// MarkBeacon flags a node as a beacon/anchor that knows its own location.
+func (net *Network) MarkBeacon(id NodeID) { net.nodes[id].IsBeacon = true }
+
+// SetTxRange overrides a node's transmission range (range-change attack
+// via transmission-power change, Section 6).
+func (net *Network) SetTxRange(id NodeID, r float64) { net.nodes[id].TxRange = r }
+
+// ForEachWithin calls fn for every node within radius r of p (including
+// any node exactly at p).
+func (net *Network) ForEachWithin(p geom.Point, r float64, fn func(NodeID)) {
+	net.index.forEachWithin(p, r, net.pos, func(i int32) { fn(NodeID(i)) })
+}
+
+// NeighborsOf returns the ids of all nodes within the *network default*
+// range of node id, excluding the node itself. Reception is governed by
+// the sender's TxRange in the protocol paths; this geometric helper uses
+// the symmetric default range, which is what the localization literature
+// calls the connectivity graph.
+func (net *Network) NeighborsOf(id NodeID) []NodeID {
+	var out []NodeID
+	p := net.nodes[id].Pos
+	net.ForEachWithin(p, net.model.Range(), func(n NodeID) {
+		if n != id {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// Degree returns the neighbor count of node id.
+func (net *Network) Degree(id NodeID) int { return len(net.NeighborsOf(id)) }
+
+// AverageDegree estimates the mean degree over a sample of k nodes (or
+// all nodes when k <= 0 or k >= Len).
+func (net *Network) AverageDegree(k int, r *rng.Rand) float64 {
+	n := net.Len()
+	if n == 0 {
+		return 0
+	}
+	if k <= 0 || k >= n {
+		var sum int
+		for i := 0; i < n; i++ {
+			sum += net.Degree(NodeID(i))
+		}
+		return float64(sum) / float64(n)
+	}
+	var sum int
+	for i := 0; i < k; i++ {
+		sum += net.Degree(NodeID(r.Intn(n)))
+	}
+	return float64(sum) / float64(k)
+}
+
+// ObservationOf computes node id's observation vector o = (o_1 … o_n)
+// geometrically (perfect HELLO exchange, no loss, no attacks): the count
+// of neighbors per group.
+func (net *Network) ObservationOf(id NodeID) []int {
+	o := make([]int, net.model.NumGroups())
+	for _, nb := range net.NeighborsOf(id) {
+		o[net.nodes[nb].Group]++
+	}
+	return o
+}
+
+// HelloMsg is one group-membership announcement. Sender carries the
+// transmitting node; ClaimedGroup is what the message *says* (an
+// impersonator lies); Auth is an optional authentication tag checked by
+// a MessageFilter.
+type HelloMsg struct {
+	Sender       NodeID
+	ClaimedGroup int
+	Auth         []byte
+}
+
+// Behavior decides what HELLO messages a node emits. Returning nil means
+// silence. The benign behavior announces the node's true group once.
+type Behavior func(n Node) []HelloMsg
+
+// BenignBehavior is the default: one truthful announcement.
+func BenignBehavior(n Node) []HelloMsg {
+	return []HelloMsg{{Sender: n.ID, ClaimedGroup: n.Group}}
+}
+
+// MessageFilter can reject a received message (e.g. failed MAC, failed
+// packet leash). A nil filter accepts everything.
+type MessageFilter func(receiver Node, msg HelloMsg, senderPos geom.Point) bool
+
+// Tunnel is a wormhole (ref [15] of the paper): every message transmitted
+// within Radius of In is recorded and replayed from Out with the sender's
+// original transmission range. The message still *claims* its true
+// origin, which is what geographic packet leashes check.
+type Tunnel struct {
+	In, Out geom.Point
+	Radius  float64
+}
+
+// ProtocolConfig controls the event-driven HELLO round.
+type ProtocolConfig struct {
+	Window     float64 // HELLOs are scheduled uniformly in [0, Window]
+	PropDelay  float64 // per-meter propagation delay
+	Behaviors  map[NodeID]Behavior
+	Filter     MessageFilter
+	Tunnels    []Tunnel
+	Seed       uint64
+	EventLimit uint64 // safety budget; 0 = none
+}
+
+// RunHelloProtocol runs one HELLO round over the discrete-event kernel
+// and returns each node's observation vector. Compared with
+// ObservationOf, this path honors per-node TxRange, packet loss,
+// per-message behaviors (attacks) and receive filters (defenses).
+func (net *Network) RunHelloProtocol(cfg ProtocolConfig) ([][]int, error) {
+	if cfg.Window <= 0 {
+		cfg.Window = 1
+	}
+	k := sim.NewKernel()
+	k.SetEventBudget(cfg.EventLimit)
+	r := rng.New(cfg.Seed)
+	groups := net.model.NumGroups()
+
+	obs := make([][]int, net.Len())
+	for i := range obs {
+		obs[i] = make([]int, groups)
+	}
+
+	for i := range net.nodes {
+		node := net.nodes[i] // copy: behaviors must not mutate network state
+		behave := BenignBehavior
+		if cfg.Behaviors != nil {
+			if b, ok := cfg.Behaviors[node.ID]; ok {
+				b := b
+				behave = b
+			}
+		}
+		at := r.Float64() * cfg.Window
+		k.At(at, func(float64) {
+			msgs := behave(node)
+			for _, msg := range msgs {
+				if msg.ClaimedGroup < 0 || msg.ClaimedGroup >= groups {
+					continue // malformed; receivers would drop it
+				}
+				net.broadcast(k, r, cfg, node, msg, obs)
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		return nil, fmt.Errorf("wsn: HELLO round: %w", err)
+	}
+	return obs, nil
+}
+
+func (net *Network) broadcast(k *sim.Kernel, r *rng.Rand, cfg ProtocolConfig,
+	sender Node, msg HelloMsg, obs [][]int) {
+	net.radiate(k, r, cfg, sender.Pos, sender, msg, obs)
+	// Wormholes replay in-range transmissions at their far endpoint. The
+	// claimed origin stays the sender's true position: a geographic leash
+	// at the receiving side therefore rejects the replica.
+	for _, t := range cfg.Tunnels {
+		if sender.Pos.Dist(t.In) <= t.Radius {
+			net.radiate(k, r, cfg, t.Out, sender, msg, obs)
+		}
+	}
+}
+
+// linkFactor returns the deterministic radio-irregularity factor of the
+// (a, b) link: 1 for an ideal disk, otherwise a hash-derived value in
+// [1−DOI, 1+DOI] that is stable across protocol rounds (terrain and
+// antenna asymmetries don't re-roll per packet).
+func (net *Network) linkFactor(a, b NodeID) float64 {
+	if net.DOI <= 0 {
+		return 1
+	}
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	x := net.salt ^ (uint64(lo)<<32 | uint64(uint32(hi)))
+	// splitmix64 finalizer for a well-mixed unit float.
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	u := float64(x>>11) / (1 << 53)
+	return 1 - net.DOI + 2*net.DOI*u
+}
+
+// radiate delivers msg to every node within the sender's range of the
+// emission point (which is the tunnel exit for wormhole replicas).
+func (net *Network) radiate(k *sim.Kernel, r *rng.Rand, cfg ProtocolConfig,
+	from geom.Point, sender Node, msg HelloMsg, obs [][]int) {
+	reach := sender.TxRange * (1 + net.DOI)
+	net.ForEachWithin(from, reach, func(rx NodeID) {
+		if rx == sender.ID {
+			return
+		}
+		if net.DOI > 0 &&
+			net.nodes[rx].Pos.Dist(from) > sender.TxRange*net.linkFactor(sender.ID, rx) {
+			return
+		}
+		if net.LossProb > 0 && r.Float64() < net.LossProb {
+			return
+		}
+		rxNode := net.nodes[rx]
+		dist := rxNode.Pos.Dist(from)
+		msg := msg
+		k.After(dist*cfg.PropDelay, func(float64) {
+			if cfg.Filter != nil && !cfg.Filter(rxNode, msg, sender.Pos) {
+				return
+			}
+			obs[rx][msg.ClaimedGroup]++
+		})
+	})
+}
+
+// ErrNoNodes is returned by sampling helpers on an empty network.
+var ErrNoNodes = errors.New("wsn: network has no nodes")
+
+// SampleNode returns a uniformly random node id.
+func (net *Network) SampleNode(r *rng.Rand) (NodeID, error) {
+	if net.Len() == 0 {
+		return 0, ErrNoNodes
+	}
+	return NodeID(r.Intn(net.Len())), nil
+}
+
+// CompromiseFraction marks a fraction frac of the *neighbors of id* as
+// compromised (the paper's attacker controls a share of the victim's
+// neighborhood) and returns their ids.
+func (net *Network) CompromiseFraction(id NodeID, frac float64, r *rng.Rand) []NodeID {
+	nbs := net.NeighborsOf(id)
+	want := int(frac * float64(len(nbs)))
+	perm := r.Perm(len(nbs))
+	out := make([]NodeID, 0, want)
+	for _, pi := range perm[:want] {
+		net.MarkCompromised(nbs[pi])
+		out = append(out, nbs[pi])
+	}
+	return out
+}

@@ -1,0 +1,385 @@
+package wsn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/deploy"
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// smallConfig keeps spatial tests fast: 5×5 groups of 40 nodes.
+func smallConfig() deploy.Config {
+	return deploy.Config{
+		Field:     geom.NewRect(geom.Pt(0, 0), geom.Pt(500, 500)),
+		GroupsX:   5,
+		GroupsY:   5,
+		GroupSize: 40,
+		Sigma:     50,
+		Range:     50,
+		Layout:    deploy.LayoutGrid,
+	}
+}
+
+func smallNetwork(seed uint64) *Network {
+	return Deploy(deploy.MustNew(smallConfig()), rng.New(seed))
+}
+
+func TestDeployBasics(t *testing.T) {
+	net := smallNetwork(1)
+	if net.Len() != 1000 {
+		t.Fatalf("Len = %d", net.Len())
+	}
+	for i := 0; i < net.Len(); i++ {
+		n := net.Node(NodeID(i))
+		if n.Group != i/40 {
+			t.Fatalf("node %d group = %d", i, n.Group)
+		}
+		if n.TxRange != 50 {
+			t.Fatalf("node %d TxRange = %v", i, n.TxRange)
+		}
+		if n.Compromised || n.IsBeacon {
+			t.Fatal("fresh node should be clean")
+		}
+	}
+}
+
+func TestNeighborsMatchBruteForce(t *testing.T) {
+	net := smallNetwork(2)
+	r := rng.New(3)
+	for trial := 0; trial < 30; trial++ {
+		id := NodeID(r.Intn(net.Len()))
+		got := map[NodeID]bool{}
+		for _, nb := range net.NeighborsOf(id) {
+			got[nb] = true
+		}
+		p := net.Node(id).Pos
+		R := net.Model().Range()
+		want := map[NodeID]bool{}
+		for j := 0; j < net.Len(); j++ {
+			if NodeID(j) == id {
+				continue
+			}
+			if net.Node(NodeID(j)).Pos.Dist(p) <= R {
+				want[NodeID(j)] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("node %d: %d neighbors via index, %d brute force", id, len(got), len(want))
+		}
+		for nb := range want {
+			if !got[nb] {
+				t.Fatalf("node %d: missing neighbor %d", id, nb)
+			}
+		}
+	}
+}
+
+func TestForEachWithinLargerRadius(t *testing.T) {
+	// Queries beyond the index build radius must still be exact.
+	net := smallNetwork(4)
+	q := geom.Pt(250, 250)
+	count := 0
+	net.ForEachWithin(q, 170, func(NodeID) { count++ })
+	want := 0
+	for i := 0; i < net.Len(); i++ {
+		if net.Node(NodeID(i)).Pos.Dist(q) <= 170 {
+			want++
+		}
+	}
+	if count != want {
+		t.Errorf("radius-170 query = %d, brute force = %d", count, want)
+	}
+	// Zero radius finds nothing.
+	zero := 0
+	net.ForEachWithin(q, 0, func(NodeID) { zero++ })
+	if zero != 0 {
+		t.Errorf("zero-radius query = %d", zero)
+	}
+}
+
+func TestObservationOfSumsToDegree(t *testing.T) {
+	net := smallNetwork(5)
+	r := rng.New(6)
+	for trial := 0; trial < 20; trial++ {
+		id := NodeID(r.Intn(net.Len()))
+		o := net.ObservationOf(id)
+		var sum int
+		for _, c := range o {
+			sum += c
+		}
+		if sum != net.Degree(id) {
+			t.Fatalf("observation sum %d != degree %d", sum, net.Degree(id))
+		}
+	}
+}
+
+func TestObservationMatchesBinomialModel(t *testing.T) {
+	// The full spatial simulation must agree with the paper's analytical
+	// model o_i ~ Binomial(m, g_i(L)): compare empirical mean neighbor
+	// counts per group against µ for probe nodes near the field center.
+	model := deploy.MustNew(smallConfig())
+	master := rng.New(10)
+	groups := model.NumGroups()
+	sums := make([]float64, groups)
+	mus := make([]float64, groups)
+	const reps = 60
+	probes := 0
+	for rep := 0; rep < reps; rep++ {
+		net := Deploy(model, master.Split())
+		// Probe all nodes in the central region for this deployment.
+		for i := 0; i < net.Len(); i++ {
+			n := net.Node(NodeID(i))
+			if n.Pos.Dist(geom.Pt(250, 250)) > 60 {
+				continue
+			}
+			probes++
+			o := net.ObservationOf(NodeID(i))
+			mu := model.ExpectedObservation(n.Pos)
+			mu[n.Group] -= model.G(n.Group, n.Pos) // self-exclusion
+			for g := 0; g < groups; g++ {
+				sums[g] += float64(o[g])
+				mus[g] += mu[g]
+			}
+		}
+	}
+	if probes < 200 {
+		t.Fatalf("too few probes: %d", probes)
+	}
+	for g := 0; g < groups; g++ {
+		mean := sums[g] / float64(probes)
+		want := mus[g] / float64(probes)
+		if want < 1 {
+			continue
+		}
+		se := math.Sqrt(want / float64(probes))
+		if math.Abs(mean-want) > 6*se+0.25 {
+			t.Errorf("group %d: empirical %v vs model %v", g, mean, want)
+		}
+	}
+}
+
+func TestAverageDegreeMatchesTheory(t *testing.T) {
+	net := smallNetwork(11)
+	r := rng.New(12)
+	avg := net.AverageDegree(300, r)
+	// Central nodes see density·πR² ≈ (1000/250000)·π·2500 ≈ 31.4 but edge
+	// effects drag the global average down; just sanity-check the scale.
+	if avg < 15 || avg > 35 {
+		t.Errorf("average degree = %v, expected O(20–31)", avg)
+	}
+	full := net.AverageDegree(0, r)
+	if full < 15 || full > 35 {
+		t.Errorf("full average degree = %v", full)
+	}
+}
+
+func TestRunHelloProtocolBenignMatchesGeometric(t *testing.T) {
+	net := smallNetwork(13)
+	obs, err := net.RunHelloProtocol(ProtocolConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(14)
+	for trial := 0; trial < 25; trial++ {
+		id := NodeID(r.Intn(net.Len()))
+		want := net.ObservationOf(id)
+		for g := range want {
+			if obs[id][g] != want[g] {
+				t.Fatalf("node %d group %d: protocol %d, geometric %d",
+					id, g, obs[id][g], want[g])
+			}
+		}
+	}
+}
+
+func TestRunHelloProtocolSilence(t *testing.T) {
+	net := smallNetwork(15)
+	victim := NodeID(0)
+	nbs := net.NeighborsOf(victim)
+	if len(nbs) == 0 {
+		t.Skip("victim has no neighbors in this draw")
+	}
+	silenced := nbs[0]
+	behaviors := map[NodeID]Behavior{
+		silenced: func(Node) []HelloMsg { return nil },
+	}
+	obs, err := net.RunHelloProtocol(ProtocolConfig{Seed: 2, Behaviors: behaviors})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := net.ObservationOf(victim)
+	g := net.Node(silenced).Group
+	if obs[victim][g] != want[g]-1 {
+		t.Errorf("silence attack: group %d count = %d, want %d", g, obs[victim][g], want[g]-1)
+	}
+}
+
+func TestRunHelloProtocolImpersonation(t *testing.T) {
+	net := smallNetwork(16)
+	victim := NodeID(5)
+	nbs := net.NeighborsOf(victim)
+	if len(nbs) == 0 {
+		t.Skip("victim has no neighbors in this draw")
+	}
+	liar := nbs[0]
+	trueGroup := net.Node(liar).Group
+	fakeGroup := (trueGroup + 7) % net.Model().NumGroups()
+	behaviors := map[NodeID]Behavior{
+		liar: func(n Node) []HelloMsg {
+			return []HelloMsg{{Sender: n.ID, ClaimedGroup: fakeGroup}}
+		},
+	}
+	obs, err := net.RunHelloProtocol(ProtocolConfig{Seed: 3, Behaviors: behaviors})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := net.ObservationOf(victim)
+	if obs[victim][trueGroup] != want[trueGroup]-1 {
+		t.Errorf("true group count = %d, want %d", obs[victim][trueGroup], want[trueGroup]-1)
+	}
+	if obs[victim][fakeGroup] != want[fakeGroup]+1 {
+		t.Errorf("fake group count = %d, want %d", obs[victim][fakeGroup], want[fakeGroup]+1)
+	}
+}
+
+func TestRunHelloProtocolMultiImpersonationAndFilter(t *testing.T) {
+	net := smallNetwork(17)
+	victim := NodeID(9)
+	nbs := net.NeighborsOf(victim)
+	if len(nbs) == 0 {
+		t.Skip("victim has no neighbors in this draw")
+	}
+	flooder := nbs[0]
+	groups := net.Model().NumGroups()
+	behaviors := map[NodeID]Behavior{
+		flooder: func(n Node) []HelloMsg {
+			msgs := make([]HelloMsg, 0, groups+1)
+			for g := 0; g < groups; g++ {
+				msgs = append(msgs, HelloMsg{Sender: n.ID, ClaimedGroup: g})
+			}
+			msgs = append(msgs, HelloMsg{Sender: n.ID, ClaimedGroup: -1}) // malformed
+			return msgs
+		},
+	}
+	obs, err := net.RunHelloProtocol(ProtocolConfig{Seed: 4, Behaviors: behaviors})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := net.ObservationOf(victim)
+	var gotTotal, wantTotal int
+	for g := 0; g < groups; g++ {
+		gotTotal += obs[victim][g]
+		wantTotal += base[g]
+	}
+	// Flooder withheld its one truthful HELLO (-1) and injected `groups` lies.
+	if gotTotal != wantTotal-1+groups {
+		t.Errorf("flooded total = %d, want %d", gotTotal, wantTotal-1+groups)
+	}
+
+	// A filter that drops every message from the flooder (failed MAC)
+	// removes its contribution entirely.
+	filter := func(rx Node, msg HelloMsg, origin geom.Point) bool {
+		return msg.Sender != flooder
+	}
+	obs2, err := net.RunHelloProtocol(ProtocolConfig{Seed: 4, Behaviors: behaviors, Filter: filter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTotal = 0
+	for g := 0; g < groups; g++ {
+		gotTotal += obs2[victim][g]
+	}
+	if gotTotal != wantTotal-1 {
+		t.Errorf("filtered total = %d, want %d", gotTotal, wantTotal-1)
+	}
+}
+
+func TestRunHelloProtocolRangeChange(t *testing.T) {
+	net := smallNetwork(18)
+	// Pick a node and a far non-neighbor, then boost the far node's range.
+	victim := NodeID(3)
+	vp := net.Node(victim).Pos
+	var far NodeID = -1
+	for i := 0; i < net.Len(); i++ {
+		d := net.Node(NodeID(i)).Pos.Dist(vp)
+		if d > 60 && d < 100 {
+			far = NodeID(i)
+			break
+		}
+	}
+	if far < 0 {
+		t.Skip("no suitable far node")
+	}
+	net.SetTxRange(far, 120)
+	obs, err := net.RunHelloProtocol(ProtocolConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := net.ObservationOf(victim)
+	g := net.Node(far).Group
+	if obs[victim][g] != base[g]+1 {
+		t.Errorf("range-change: group %d = %d, want %d", g, obs[victim][g], base[g]+1)
+	}
+}
+
+func TestRunHelloProtocolLoss(t *testing.T) {
+	net := smallNetwork(19)
+	net.LossProb = 1 // every packet lost
+	obs, err := net.RunHelloProtocol(ProtocolConfig{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range obs {
+		for g, c := range obs[id] {
+			if c != 0 {
+				t.Fatalf("node %d group %d observed %d despite total loss", id, g, c)
+			}
+		}
+	}
+}
+
+func TestRunHelloProtocolEventBudget(t *testing.T) {
+	net := smallNetwork(20)
+	_, err := net.RunHelloProtocol(ProtocolConfig{Seed: 7, EventLimit: 5})
+	if err == nil {
+		t.Error("tiny event budget should trip")
+	}
+}
+
+func TestCompromiseFraction(t *testing.T) {
+	net := smallNetwork(21)
+	r := rng.New(22)
+	id, err := net.SampleNode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbs := net.NeighborsOf(id)
+	if len(nbs) < 10 {
+		t.Skip("sparse neighborhood")
+	}
+	comp := net.CompromiseFraction(id, 0.3, r)
+	want := int(0.3 * float64(len(nbs)))
+	if len(comp) != want {
+		t.Errorf("compromised %d, want %d", len(comp), want)
+	}
+	seen := map[NodeID]bool{}
+	for _, c := range comp {
+		if seen[c] {
+			t.Fatal("duplicate compromised node")
+		}
+		seen[c] = true
+		if !net.Node(c).Compromised {
+			t.Fatal("node not marked compromised")
+		}
+	}
+}
+
+func TestMarkBeacon(t *testing.T) {
+	net := smallNetwork(23)
+	net.MarkBeacon(4)
+	if !net.Node(4).IsBeacon {
+		t.Error("MarkBeacon had no effect")
+	}
+}

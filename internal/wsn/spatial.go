@@ -1,0 +1,64 @@
+package wsn
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// cellKey identifies one bucket of the spatial hash grid.
+type cellKey struct{ cx, cy int32 }
+
+// spatialIndex is a uniform-grid spatial hash over node positions. The
+// cell size equals the query radius the network was built for, so a range
+// query touches at most the 3×3 surrounding cells. Gaussian tails can put
+// nodes outside the nominal field, hence the map (unbounded domain)
+// rather than a dense array.
+type spatialIndex struct {
+	cell  float64
+	cells map[cellKey][]int32
+}
+
+func newSpatialIndex(cell float64) *spatialIndex {
+	if cell <= 0 || math.IsNaN(cell) {
+		panic("wsn: spatial index needs a positive cell size")
+	}
+	return &spatialIndex{cell: cell, cells: make(map[cellKey][]int32)}
+}
+
+func (s *spatialIndex) keyFor(p geom.Point) cellKey {
+	return cellKey{
+		cx: int32(math.Floor(p.X / s.cell)),
+		cy: int32(math.Floor(p.Y / s.cell)),
+	}
+}
+
+func (s *spatialIndex) insert(id int32, p geom.Point) {
+	k := s.keyFor(p)
+	s.cells[k] = append(s.cells[k], id)
+}
+
+// forEachWithin invokes fn for every node id whose position (as reported
+// by pos) lies within r of q. Cells up to ceil(r/cell) away are scanned,
+// so radii larger than the build radius still return correct results.
+func (s *spatialIndex) forEachWithin(q geom.Point, r float64, pos func(int32) geom.Point, fn func(int32)) {
+	if r <= 0 {
+		return
+	}
+	reach := int32(math.Ceil(r / s.cell))
+	center := s.keyFor(q)
+	r2 := r * r
+	for dy := -reach; dy <= reach; dy++ {
+		for dx := -reach; dx <= reach; dx++ {
+			ids, ok := s.cells[cellKey{center.cx + dx, center.cy + dy}]
+			if !ok {
+				continue
+			}
+			for _, id := range ids {
+				if pos(id).Dist2(q) <= r2 {
+					fn(id)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package lad is the public API of the LAD reproduction — "LAD:
+// Localization Anomaly Detection for Wireless Sensor Networks" (Du, Fang,
+// Ning; IPDPS 2005), rebuilt from scratch in pure-stdlib Go.
+//
+// The library answers one question for a sensor in a group-deployed
+// wireless sensor network: is the location I derived during the
+// localization phase consistent with the neighbors I actually hear?
+// A sensor knows (a) the deployment knowledge — where each group was
+// dropped and how its nodes scatter — and (b) its observation — how many
+// neighbors of each group it hears. LAD scores the inconsistency between
+// the observation and the expectation at the claimed location and raises
+// an alarm above a trained threshold.
+//
+// # Quick start
+//
+//	model, _ := lad.NewModel(lad.PaperDeployment())
+//	det, _, _ := lad.Train(model, lad.Diff(), lad.TrainConfig{
+//		Trials: 4000, Percentile: 99, Seed: 1,
+//	})
+//	verdict := det.Check(observation, claimedLocation)
+//	if verdict.Alarm { /* reject the location */ }
+//
+// The packages under internal/ hold the substrates (deployment knowledge,
+// network simulator, localization schemes, attacker framework, experiment
+// harness); this package re-exports the surface a downstream user needs.
+package lad
+
+import (
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/geom"
+	"repro/internal/localize"
+	"repro/internal/rng"
+	"repro/internal/wsn"
+)
+
+// Re-exported geometry.
+type (
+	// Point is a planar location in meters.
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle (the deployment field).
+	Rect = geom.Rect
+)
+
+// Pt is shorthand for a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// NewRect builds the rectangle spanned by two corners.
+func NewRect(a, b Point) Rect { return geom.NewRect(a, b) }
+
+// Deployment knowledge (Section 3 of the paper).
+type (
+	// DeployConfig describes a group-based deployment.
+	DeployConfig = deploy.Config
+	// Model is immutable deployment knowledge: deployment points, spread,
+	// range, and the precomputed g(z) table of Theorem 1.
+	Model = deploy.Model
+	// Layout selects the deployment-point arrangement.
+	Layout = deploy.Layout
+)
+
+// Layout values.
+const (
+	LayoutGrid   = deploy.LayoutGrid
+	LayoutHex    = deploy.LayoutHex
+	LayoutRandom = deploy.LayoutRandom
+)
+
+// PaperDeployment returns the paper's evaluation setup: 1000×1000 m
+// field, 10×10 groups at cell centers, m=300, σ=50, R=50.
+func PaperDeployment() DeployConfig { return deploy.PaperConfig() }
+
+// NewModel validates the configuration and precomputes the deployment
+// knowledge.
+func NewModel(cfg DeployConfig) (*Model, error) { return deploy.New(cfg) }
+
+// The LAD detector (Sections 4–5).
+type (
+	// Metric scores the inconsistency between an observation and the
+	// expectation at a claimed location; higher is more anomalous.
+	Metric = core.Metric
+	// Expectation is the deployment knowledge evaluated at one location.
+	Expectation = core.Expectation
+	// Detector is a trained metric + threshold.
+	Detector = core.Detector
+	// Verdict is the outcome of one check.
+	Verdict = core.Verdict
+	// TrainConfig controls threshold training.
+	TrainConfig = core.TrainConfig
+	// Corrector re-estimates locations after an alarm (the paper's
+	// stated future work).
+	Corrector = core.Corrector
+)
+
+// Diff returns the paper's Difference metric (the best performer).
+func Diff() Metric { return core.DiffMetric{} }
+
+// AddAll returns the paper's Add-all metric.
+func AddAll() Metric { return core.AddAllMetric{} }
+
+// Probability returns the paper's Probability metric.
+func Probability() Metric { return core.ProbMetric{} }
+
+// Metrics returns all three paper metrics.
+func Metrics() []Metric { return core.AllMetrics() }
+
+// Train derives a detector threshold from simulated benign deployments
+// (Section 5.5): the τ-percentile of the benign score distribution, with
+// 100−τ the target false-positive percentage. The benign scores are
+// returned for reuse (ROC curves, re-thresholding).
+func Train(model *Model, metric Metric, cfg TrainConfig) (*Detector, []float64, error) {
+	return core.Train(model, metric, cfg)
+}
+
+// NewDetector wires a detector with an explicit, externally chosen
+// threshold.
+func NewDetector(model *Model, metric Metric, threshold float64) *Detector {
+	return core.NewDetector(model, metric, threshold)
+}
+
+// NewExpectation evaluates µ and g at a claimed location once so several
+// checks can share it.
+func NewExpectation(model *Model, le Point) *Expectation {
+	return core.NewExpectation(model, le)
+}
+
+// NewCorrector builds a location corrector over the deployment knowledge.
+func NewCorrector(model *Model) *Corrector { return core.NewCorrector(model) }
+
+// Localization (the substrate LAD verifies; Section 7.2).
+type (
+	// Beaconless is the deployment-knowledge MLE localization scheme the
+	// paper evaluates LAD with (its ref [8]).
+	Beaconless = localize.Beaconless
+	// Scheme is any localization algorithm bound to a network.
+	Scheme = localize.Scheme
+)
+
+// NewBeaconless builds the beaconless scheme for observation-only use.
+func NewBeaconless(model *Model) *Beaconless {
+	return localize.NewBeaconlessModel(model)
+}
+
+// Attacks (Section 6).
+type (
+	// AttackClass distinguishes Dec-Bounded from Dec-Only adversaries.
+	AttackClass = attack.Class
+	// AttackStrategy taints observations within a compromised-node budget.
+	AttackStrategy = attack.Strategy
+)
+
+// Attack classes.
+const (
+	DecBounded = attack.DecBounded
+	DecOnly    = attack.DecOnly
+)
+
+// Network simulation.
+type (
+	// Network is a deployed sensor field.
+	Network = wsn.Network
+	// NodeID indexes a node.
+	NodeID = wsn.NodeID
+)
+
+// DeployNetwork places model.TotalNodes() sensors with the given seed.
+func DeployNetwork(model *Model, seed uint64) *Network {
+	return wsn.Deploy(model, rng.New(seed))
+}
