@@ -1,0 +1,155 @@
+// Command ladd is the LAD detection daemon: it trains (or reuses) a
+// detector per deployment configuration and serves anomaly checks over
+// HTTP/JSON.
+//
+// Endpoints:
+//
+//	POST /v1/check        score one observation/location pair
+//	POST /v1/check/batch  score many pairs in one request (batched path)
+//	GET  /healthz         readiness (503 until the default detector is trained)
+//	GET  /metrics         Prometheus text metrics
+//
+// Usage:
+//
+//	ladd                                  # paper deployment, diff metric
+//	ladd -addr :9090 -metric probability -trials 8000
+//	ladd -spec deployment.json            # full DetectorSpec from a file
+//
+// Requests may carry their own "detector" spec; the daemon trains it on
+// first sight and caches it by a canonical config hash, so clients that
+// agree on a deployment share one training run.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		specFile    = flag.String("spec", "", "JSON file with the default DetectorSpec (its fields overlay the flags below; unknown keys are rejected)")
+		metric      = flag.String("metric", "diff", "default metric: diff, add-all, probability")
+		trials      = flag.Int("trials", 4000, "default training trials")
+		percentile  = flag.Float64("percentile", 99, "default training percentile τ")
+		seed        = flag.Uint64("seed", 1, "default training seed")
+		keepInField = flag.Bool("keep-in-field", true, "train on in-field victims only")
+		maxBatch    = flag.Int("max-batch", serve.DefaultMaxBatch, "max items per batch request")
+		warmupOnly  = flag.Bool("warmup-only", false, "train the default detector, print its threshold, and exit")
+	)
+	flag.Parse()
+
+	spec := serve.DetectorSpec{
+		Deployment: deploy.PaperConfig(),
+		Metric:     *metric,
+		Train: serve.TrainSpec{
+			Trials:      *trials,
+			Percentile:  *percentile,
+			Seed:        *seed,
+			KeepInField: *keepInField,
+		},
+	}
+	if *specFile != "" {
+		f, err := os.Open(*specFile)
+		if err != nil {
+			log.Fatalf("ladd: reading -spec: %v", err)
+		}
+		dec := json.NewDecoder(f)
+		// Strict: a typo'd key would otherwise be dropped silently and the
+		// daemon would serve thresholds from a spec the operator never wrote.
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			log.Fatalf("ladd: parsing -spec: %v", err)
+		}
+		f.Close()
+	}
+
+	srv, err := serve.NewServer(serve.ServerConfig{Default: spec, MaxBatch: *maxBatch}, nil)
+	if err != nil {
+		log.Fatalf("ladd: %v", err)
+	}
+
+	warmup := func() (*time.Duration, error) {
+		log.Printf("ladd: training default detector (metric=%s trials=%d percentile=%g, key %.12s…)",
+			spec.Metric, spec.Train.Trials, spec.Train.Percentile, spec.Key())
+		start := time.Now()
+		if err := srv.Warmup(); err != nil {
+			return nil, err
+		}
+		took := time.Since(start).Round(time.Millisecond)
+		return &took, nil
+	}
+	if *warmupOnly {
+		if _, err := warmup(); err != nil {
+			log.Fatalf("ladd: warmup failed: %v", err)
+		}
+		det, err := srv.Pool().Get(spec)
+		if err != nil {
+			log.Fatalf("ladd: %v", err)
+		}
+		log.Printf("ladd: threshold %.4f", det.Threshold())
+		fmt.Printf("%g\n", det.Threshold())
+		return
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("ladd: listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+	// Warm up after the listener is up: /healthz answers 503 during the
+	// (possibly multi-second) training run instead of refusing
+	// connections, so orchestrators see "starting", not "dead".
+	go func() {
+		took, err := warmup()
+		if err != nil {
+			log.Printf("ladd: warmup failed: %v", err)
+			errCh <- fmt.Errorf("warmup: %w", err)
+			return
+		}
+		det, err := srv.Pool().Get(spec)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		log.Printf("ladd: trained in %s; threshold %.4f — ready", *took, det.Threshold())
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("ladd: serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Print("ladd: shutting down (draining in-flight requests)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("ladd: shutdown: %v", err)
+	}
+	entries, hits, misses := srv.Pool().Stats()
+	log.Printf("ladd: bye (detectors cached: %d, pool hits/misses: %d/%d)", entries, hits, misses)
+}

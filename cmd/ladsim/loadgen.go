@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/rng"
+	"repro/internal/serve"
+)
+
+// loadgenOptions configure the ladd load generator.
+type loadgenOptions struct {
+	url         string
+	duration    time.Duration
+	concurrency int
+	batch       int
+	locations   int
+	seed        uint64
+}
+
+// runLoadgen drives a running ladd instance with benign batch traffic and
+// reports sustained QPS and latency percentiles. Payloads are generated
+// up front from the paper deployment (the daemon's default spec), so the
+// measurement loop does nothing but HTTP.
+func runLoadgen(o loadgenOptions) error {
+	model, err := lad.NewModel(lad.PaperDeployment())
+	if err != nil {
+		return err
+	}
+	if o.batch < 1 {
+		o.batch = 1
+	}
+	if o.locations < 1 || o.locations > o.batch {
+		o.locations = max(1, o.batch/8)
+	}
+
+	// Wait for the daemon to finish warmup. The probe client has its own
+	// timeout so one wedged connection cannot outlive the deadline.
+	probe := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resp, err := probe.Get(o.url + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("loadgen: %s not healthy after 2m", o.url)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// Pre-encode a rotation of distinct payloads.
+	const payloads = 64
+	r := rng.New(o.seed)
+	bodies := make([][]byte, payloads)
+	endpoint := o.url + "/v1/check/batch"
+	single := o.batch == 1
+	if single {
+		endpoint = o.url + "/v1/check"
+	}
+	for pi := range bodies {
+		items := make([]serve.BatchItemJSON, o.batch)
+		locs := make([]lad.Point, o.locations)
+		groups := make([]int, o.locations)
+		for i := range locs {
+			for {
+				g, p := model.SampleLocation(r)
+				if model.Field().Contains(p) {
+					groups[i], locs[i] = g, p
+					break
+				}
+			}
+		}
+		for i := range items {
+			li := i % o.locations
+			items[i] = serve.BatchItemJSON{
+				Observation: model.SampleObservation(locs[li], groups[li], r),
+				Location:    serve.PointJSON{X: locs[li].X, Y: locs[li].Y},
+			}
+		}
+		var body any
+		if single {
+			body = serve.CheckRequest{Observation: items[0].Observation, Location: items[0].Location}
+		} else {
+			body = serve.BatchRequest{Items: items}
+		}
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		bodies[pi] = raw
+	}
+
+	fmt.Printf("loadgen: %s for %s, %d workers, batch %d (%d distinct locations/batch)\n",
+		endpoint, o.duration, o.concurrency, o.batch, o.locations)
+
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: o.concurrency,
+		},
+	}
+	var (
+		requests atomic.Uint64
+		failures atomic.Uint64
+		wg       sync.WaitGroup
+	)
+	latencies := make([][]time.Duration, o.concurrency)
+	stop := time.Now().Add(o.duration)
+	start := time.Now()
+	for w := 0; w < o.concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, 4096)
+			for i := 0; time.Now().Before(stop); i++ {
+				body := bodies[(w+i)%payloads]
+				t0 := time.Now()
+				resp, err := client.Post(endpoint, "application/json", bytes.NewReader(body))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+					continue
+				}
+				lat = append(lat, time.Since(t0))
+				requests.Add(1)
+			}
+			latencies[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p / 100 * float64(len(all)-1))
+		return all[i]
+	}
+	req := requests.Load()
+	obs := req * uint64(o.batch)
+	fmt.Printf("loadgen: %d requests (%d failed) in %s\n", req, failures.Load(), elapsed.Round(time.Millisecond))
+	fmt.Printf("loadgen: %.0f req/s, %.0f observations/s\n",
+		float64(req)/elapsed.Seconds(), float64(obs)/elapsed.Seconds())
+	fmt.Printf("loadgen: latency p50 %s  p95 %s  p99 %s  max %s\n",
+		pct(50).Round(time.Microsecond), pct(95).Round(time.Microsecond),
+		pct(99).Round(time.Microsecond), pct(100).Round(time.Microsecond))
+	if failures.Load() > req/10 {
+		fmt.Fprintln(os.Stderr, "loadgen: >10% of requests failed")
+		os.Exit(1)
+	}
+	return nil
+}

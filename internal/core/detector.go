@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/deploy"
 	"repro/internal/geom"
@@ -29,12 +30,20 @@ type Detector struct {
 	model     *deploy.Model
 	metric    Metric
 	threshold float64
+	// expPool recycles Expectation buffers across CheckBatch calls so
+	// batched scoring does not allocate per verdict.
+	expPool sync.Pool
 }
 
 // NewDetector wires a detector with an explicit threshold (normally
 // produced by Train).
 func NewDetector(model *deploy.Model, metric Metric, threshold float64) *Detector {
-	return &Detector{model: model, metric: metric, threshold: threshold}
+	d := &Detector{model: model, metric: metric, threshold: threshold}
+	n := model.NumGroups()
+	d.expPool.New = func() any {
+		return &Expectation{G: make([]float64, n), Mu: make([]float64, n)}
+	}
+	return d
 }
 
 // Metric returns the detector's metric.
@@ -52,9 +61,64 @@ func (d *Detector) Check(o []int, le geom.Point) Verdict {
 	return d.CheckWithExpectation(o, e)
 }
 
+// CheckPooled is Check scoring through a recycled Expectation buffer —
+// same verdict, no per-call slice allocations. The serving layer uses it
+// for single-observation requests; Check stays allocation-per-call so
+// callers that retain the expectation indirectly are unaffected.
+func (d *Detector) CheckPooled(o []int, le geom.Point) Verdict {
+	e := d.expPool.Get().(*Expectation)
+	e.Fill(d.model, le)
+	v := d.CheckWithExpectation(o, e)
+	d.expPool.Put(e)
+	return v
+}
+
 // CheckWithExpectation is Check with a precomputed expectation (several
 // metrics can share one).
 func (d *Detector) CheckWithExpectation(o []int, e *Expectation) Verdict {
 	s := d.metric.Score(o, e)
 	return Verdict{Score: s, Threshold: d.threshold, Alarm: s > d.threshold}
+}
+
+// BatchItem is one observation/claimed-location pair in a batched check.
+type BatchItem struct {
+	Observation []int
+	Location    geom.Point
+}
+
+// CheckBatch scores many observations in one call. Results are identical
+// to calling Check on each item in order; the batch path is faster
+// because items that share a claimed location share one Expectation, and
+// the expectation buffers themselves are recycled through a sync.Pool, so
+// the g-table evaluation cost is paid once per distinct location instead
+// of once per item. This is the hot path of the ladd serving daemon,
+// where many sensors report against a handful of claimed positions.
+func (d *Detector) CheckBatch(items []BatchItem) []Verdict {
+	verdicts := make([]Verdict, len(items))
+	d.CheckBatchInto(verdicts, items)
+	return verdicts
+}
+
+// CheckBatchInto is CheckBatch writing into dst (length len(items)),
+// avoiding the result allocation in serving loops.
+func (d *Detector) CheckBatchInto(dst []Verdict, items []BatchItem) {
+	if len(dst) != len(items) {
+		panic("core: CheckBatchInto length mismatch")
+	}
+	if len(items) == 0 {
+		return
+	}
+	exps := make(map[geom.Point]*Expectation, 1+len(items)/8)
+	for i, it := range items {
+		e := exps[it.Location]
+		if e == nil {
+			e = d.expPool.Get().(*Expectation)
+			e.Fill(d.model, it.Location)
+			exps[it.Location] = e
+		}
+		dst[i] = d.CheckWithExpectation(it.Observation, e)
+	}
+	for _, e := range exps {
+		d.expPool.Put(e)
+	}
 }

@@ -42,11 +42,24 @@ type Expectation struct {
 func NewExpectation(model *deploy.Model, le geom.Point) *Expectation {
 	n := model.NumGroups()
 	e := &Expectation{
-		Loc: le,
-		G:   make([]float64, n),
-		Mu:  make([]float64, n),
-		M:   model.GroupSize(),
+		G:  make([]float64, n),
+		Mu: make([]float64, n),
 	}
+	e.Fill(model, le)
+	return e
+}
+
+// Fill re-evaluates the expectation at le in place, reusing the G/Mu
+// buffers (which must have length model.NumGroups()). The arithmetic is
+// identical to NewExpectation, so pooled and freshly allocated
+// expectations produce bit-identical scores.
+func (e *Expectation) Fill(model *deploy.Model, le geom.Point) {
+	n := model.NumGroups()
+	if len(e.G) != n || len(e.Mu) != n {
+		panic("core: Expectation.Fill buffer length mismatch")
+	}
+	e.Loc = le
+	e.M = model.GroupSize()
 	gt := model.GTable()
 	mm := float64(e.M)
 	for i := 0; i < n; i++ {
@@ -55,7 +68,6 @@ func NewExpectation(model *deploy.Model, le geom.Point) *Expectation {
 		e.G[i] = g
 		e.Mu[i] = mm * g
 	}
-	return e
 }
 
 // Metric converts an observation and an expectation into an anomaly

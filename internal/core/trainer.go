@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"math"
 	"runtime"
 	"sync"
 
@@ -64,6 +65,10 @@ type BenignSample struct {
 // Trials fan out over a worker pool; per-trial RNG substreams are derived
 // up front from the master seed, so results are identical for any worker
 // count.
+//
+// Trials whose localization fails (isolated sensors) carry a NaN entry in
+// the returned localization errors; use SummarizeLocErrs to aggregate
+// without the failures biasing the mean toward zero.
 func BenignScores(model *deploy.Model, metrics []Metric, cfg TrainConfig) ([][]float64, []float64, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, nil, err
@@ -105,10 +110,13 @@ func BenignScores(model *deploy.Model, metrics []Metric, cfg TrainConfig) ([][]f
 				le, err := loc.LocalizeObservation(o)
 				if err != nil {
 					// Isolated sensor: localization is impossible and LAD
-					// has nothing to verify. Score 0 (never alarms).
+					// has nothing to verify. Score 0 (never alarms); the
+					// localization error is marked NaN so aggregates can
+					// exclude the trial instead of counting it as 0 m.
 					for mi := range metrics {
 						scores[mi][t] = 0
 					}
+					locErrs[t] = math.NaN()
 					continue
 				}
 				locErrs[t] = le.Dist(la)
@@ -143,4 +151,27 @@ func Train(model *deploy.Model, metric Metric, cfg TrainConfig) (*Detector, []fl
 // existing benign score sample.
 func ThresholdFromScores(scores []float64, tau float64) float64 {
 	return mathx.Percentile(scores, tau)
+}
+
+// SummarizeLocErrs aggregates the localization errors returned by
+// BenignScores: the mean over successful trials and the count of failed
+// ones (NaN entries, i.e. isolated sensors that could not localize).
+// Failures are excluded from the mean rather than counted as 0 m, which
+// would silently bias accuracy summaries downward. The mean is NaN when
+// every trial failed.
+func SummarizeLocErrs(locErrs []float64) (mean float64, failures int) {
+	var sum float64
+	n := 0
+	for _, e := range locErrs {
+		if math.IsNaN(e) {
+			failures++
+			continue
+		}
+		sum += e
+		n++
+	}
+	if n == 0 {
+		return math.NaN(), failures
+	}
+	return sum / float64(n), failures
 }

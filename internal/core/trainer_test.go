@@ -32,12 +32,31 @@ func TestBenignScoresShapeAndDeterminism(t *testing.T) {
 		}
 	}
 	// Benign localization errors should be small (beaconless accuracy).
-	var sum float64
-	for _, e := range locErrs {
-		sum += e
+	// Failed localizations are NaN-marked and excluded from the mean.
+	mean, failures := SummarizeLocErrs(locErrs)
+	if failures == len(locErrs) {
+		t.Fatal("every benign trial failed to localize")
 	}
-	if mean := sum / float64(len(locErrs)); mean > 15 {
+	if mean > 15 {
 		t.Errorf("mean benign localization error = %.1f m", mean)
+	}
+}
+
+func TestSummarizeLocErrs(t *testing.T) {
+	mean, failures := SummarizeLocErrs([]float64{4, math.NaN(), 8, math.NaN()})
+	if failures != 2 {
+		t.Errorf("failures = %d, want 2", failures)
+	}
+	if mean != 6 {
+		t.Errorf("mean = %v, want 6 (NaN trials must not drag the mean down)", mean)
+	}
+	mean, failures = SummarizeLocErrs([]float64{math.NaN()})
+	if failures != 1 || !math.IsNaN(mean) {
+		t.Errorf("all-failed sample: mean = %v failures = %d, want NaN / 1", mean, failures)
+	}
+	mean, failures = SummarizeLocErrs(nil)
+	if failures != 0 || !math.IsNaN(mean) {
+		t.Errorf("empty sample: mean = %v failures = %d, want NaN / 0", mean, failures)
 	}
 }
 

@@ -1,0 +1,67 @@
+package deploy
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+)
+
+// HashWriter canonically encodes integers and floats into a hash: every
+// value as 8 big-endian bytes, floats by their IEEE-754 bits. It is the
+// single encoding shared by Config.Hash and the serving layer's detector
+// cache keys, so the two cannot drift apart byte-wise.
+type HashWriter struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+// NewHashWriter wraps h.
+func NewHashWriter(h hash.Hash) *HashWriter { return &HashWriter{h: h} }
+
+// Uint writes v as 8 big-endian bytes.
+func (w *HashWriter) Uint(v uint64) {
+	binary.BigEndian.PutUint64(w.buf[:], v)
+	w.h.Write(w.buf[:])
+}
+
+// Int writes v via its two's-complement uint64 form.
+func (w *HashWriter) Int(v int) { w.Uint(uint64(v)) }
+
+// Float writes v's IEEE-754 bit pattern (so -0 and +0 differ, as do
+// semantically equal but differently rounded values).
+func (w *HashWriter) Float(v float64) { w.Uint(math.Float64bits(v)) }
+
+// Bool writes v as 0 or 1.
+func (w *HashWriter) Bool(v bool) {
+	if v {
+		w.Uint(1)
+	} else {
+		w.Uint(0)
+	}
+}
+
+// Hash returns a canonical hex digest of the configuration, suitable as a
+// cache key for trained detectors: two configs hash equal iff every field
+// is bit-identical (callers that want normalization should normalize
+// before hashing). The encoding is versioned by a leading tag so future
+// Config fields can extend it without silently colliding with old
+// digests.
+func (c Config) Hash() string {
+	h := sha256.New()
+	w := NewHashWriter(h)
+	w.Uint(1) // encoding version
+	w.Float(c.Field.Min.X)
+	w.Float(c.Field.Min.Y)
+	w.Float(c.Field.Max.X)
+	w.Float(c.Field.Max.Y)
+	w.Int(c.GroupsX)
+	w.Int(c.GroupsY)
+	w.Int(c.GroupSize)
+	w.Float(c.Sigma)
+	w.Float(c.Range)
+	w.Int(int(c.Layout))
+	w.Uint(c.RandomSeed)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,44 @@
+package deploy
+
+import "testing"
+
+func TestConfigHashStableAndSensitive(t *testing.T) {
+	base := PaperConfig()
+	h1 := base.Hash()
+	if h1 != base.Hash() {
+		t.Fatal("hash not deterministic")
+	}
+	if len(h1) != 64 {
+		t.Fatalf("hash length = %d, want 64 hex chars", len(h1))
+	}
+	// Every field must perturb the digest.
+	perturb := []func(*Config){
+		func(c *Config) { c.Field.Max.X += 1 },
+		func(c *Config) { c.Field.Min.Y -= 1 },
+		func(c *Config) { c.GroupsX++ },
+		func(c *Config) { c.GroupsY++ },
+		func(c *Config) { c.GroupSize++ },
+		func(c *Config) { c.Sigma += 0.5 },
+		func(c *Config) { c.Range += 0.5 },
+		func(c *Config) { c.Layout = LayoutHex },
+		func(c *Config) { c.RandomSeed = 7 },
+	}
+	seen := map[string]int{h1: -1}
+	for i, p := range perturb {
+		c := base
+		p(&c)
+		h := c.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("perturbation %d collides with %d", i, prev)
+		}
+		seen[h] = i
+	}
+	// Field-order confusion guard: swapping two equal-typed fields must
+	// not produce the same digest.
+	a, b := base, base
+	a.GroupsX, a.GroupsY = 3, 5
+	b.GroupsX, b.GroupsY = 5, 3
+	if a.Hash() == b.Hash() {
+		t.Error("GroupsX/GroupsY swap collides")
+	}
+}

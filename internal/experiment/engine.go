@@ -20,6 +20,7 @@ package experiment
 
 import (
 	"errors"
+	"math"
 	"runtime"
 	"sync"
 
@@ -117,7 +118,10 @@ func AttackScores(model *deploy.Model, metric core.Metric, pt AttackPoint, opts 
 				for _, c := range a {
 					total += c
 				}
-				x := int(pt.XFrac * float64(total))
+				// ⌈x%·|a|⌉ per §7.1. The 1e-9 slack keeps binary-float
+				// noise (0.07*100 = 7.000000000000001) from rounding an
+				// exact product up and granting a phantom extra node.
+				x := int(math.Ceil(pt.XFrac*float64(total) - 1e-9))
 				o := StrategyFor(metric, e, pt.Class).Taint(a, x)
 				scores[t] = metric.Score(o, e)
 			}

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning
+// sub-millisecond cache-hit scoring through multi-second cold training.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// endpointStats is one endpoint's counters: requests by status class and
+// a cumulative latency histogram.
+type endpointStats struct {
+	ok      atomic.Uint64 // 2xx
+	badReq  atomic.Uint64 // 4xx
+	failed  atomic.Uint64 // 5xx
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumNano atomic.Int64
+}
+
+func newEndpointStats() *endpointStats {
+	return &endpointStats{buckets: make([]atomic.Uint64, len(latencyBuckets))}
+}
+
+func (s *endpointStats) observe(status int, d time.Duration) {
+	switch {
+	case status >= 500:
+		s.failed.Add(1)
+	case status >= 400:
+		s.badReq.Add(1)
+	default:
+		s.ok.Add(1)
+	}
+	sec := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			s.buckets[i].Add(1)
+		}
+	}
+	s.count.Add(1)
+	s.sumNano.Add(d.Nanoseconds())
+}
+
+// Metrics aggregates per-endpoint request counters plus the observation
+// counter (items scored, so batch traffic is visible beyond request
+// counts). Cache hit/miss numbers are read live from the pool when
+// rendering. Safe for concurrent use.
+type Metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+	scored    atomic.Uint64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{endpoints: make(map[string]*endpointStats)}
+}
+
+func (m *Metrics) endpoint(name string) *endpointStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.endpoints[name]
+	if s == nil {
+		s = newEndpointStats()
+		m.endpoints[name] = s
+	}
+	return s
+}
+
+// Observe records one finished request.
+func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
+	m.endpoint(endpoint).observe(status, d)
+}
+
+// AddScored records n scored observations.
+func (m *Metrics) AddScored(n int) { m.scored.Add(uint64(n)) }
+
+// Render emits the Prometheus text exposition format. pool may be nil.
+func (m *Metrics) Render(pool *DetectorPool) string {
+	var b strings.Builder
+	m.mu.Lock()
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	stats := make(map[string]*endpointStats, len(names))
+	for _, name := range names {
+		stats[name] = m.endpoints[name]
+	}
+	m.mu.Unlock()
+
+	b.WriteString("# HELP ladd_requests_total Requests by endpoint and status class.\n")
+	b.WriteString("# TYPE ladd_requests_total counter\n")
+	for _, name := range names {
+		s := stats[name]
+		fmt.Fprintf(&b, "ladd_requests_total{endpoint=%q,code=\"2xx\"} %d\n", name, s.ok.Load())
+		fmt.Fprintf(&b, "ladd_requests_total{endpoint=%q,code=\"4xx\"} %d\n", name, s.badReq.Load())
+		fmt.Fprintf(&b, "ladd_requests_total{endpoint=%q,code=\"5xx\"} %d\n", name, s.failed.Load())
+	}
+
+	b.WriteString("# HELP ladd_request_duration_seconds Request latency histogram.\n")
+	b.WriteString("# TYPE ladd_request_duration_seconds histogram\n")
+	for _, name := range names {
+		s := stats[name]
+		for i, ub := range latencyBuckets {
+			fmt.Fprintf(&b, "ladd_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				name, formatBound(ub), s.buckets[i].Load())
+		}
+		fmt.Fprintf(&b, "ladd_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n",
+			name, s.count.Load())
+		fmt.Fprintf(&b, "ladd_request_duration_seconds_sum{endpoint=%q} %g\n",
+			name, float64(s.sumNano.Load())/1e9)
+		fmt.Fprintf(&b, "ladd_request_duration_seconds_count{endpoint=%q} %d\n",
+			name, s.count.Load())
+	}
+
+	b.WriteString("# HELP ladd_observations_scored_total Observations scored (batch items counted individually).\n")
+	b.WriteString("# TYPE ladd_observations_scored_total counter\n")
+	fmt.Fprintf(&b, "ladd_observations_scored_total %d\n", m.scored.Load())
+
+	if pool != nil {
+		entries, hits, misses := pool.Stats()
+		b.WriteString("# HELP ladd_detector_cache_entries Trained detectors resident in the pool.\n")
+		b.WriteString("# TYPE ladd_detector_cache_entries gauge\n")
+		fmt.Fprintf(&b, "ladd_detector_cache_entries %d\n", entries)
+		b.WriteString("# HELP ladd_detector_cache_hits_total Pool lookups served from cache.\n")
+		b.WriteString("# TYPE ladd_detector_cache_hits_total counter\n")
+		fmt.Fprintf(&b, "ladd_detector_cache_hits_total %d\n", hits)
+		b.WriteString("# HELP ladd_detector_cache_misses_total Pool lookups that trained a new detector.\n")
+		b.WriteString("# TYPE ladd_detector_cache_misses_total counter\n")
+		fmt.Fprintf(&b, "ladd_detector_cache_misses_total %d\n", misses)
+		b.WriteString("# HELP ladd_detector_cache_hit_rate Share of pool lookups served from cache.\n")
+		b.WriteString("# TYPE ladd_detector_cache_hit_rate gauge\n")
+		rate := 0.0
+		if total := hits + misses; total > 0 {
+			rate = float64(hits) / float64(total)
+		}
+		fmt.Fprintf(&b, "ladd_detector_cache_hit_rate %g\n", rate)
+	}
+	return b.String()
+}
+
+// formatBound renders a bucket bound the way Prometheus clients expect
+// (shortest decimal, no exponent for these magnitudes).
+func formatBound(ub float64) string {
+	if ub == math.Trunc(ub) {
+		return fmt.Sprintf("%g", ub)
+	}
+	return strings.TrimRight(fmt.Sprintf("%.4f", ub), "0")
+}

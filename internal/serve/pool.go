@@ -1,0 +1,180 @@
+// Package serve is the online serving layer of the LAD reproduction: a
+// stdlib-only HTTP/JSON front end that turns a trained detector's pure
+// Check(observation, location) function into a high-throughput scoring
+// service. The pieces:
+//
+//   - DetectorPool caches trained detectors keyed by a canonical hash of
+//     the deployment config + training config + metric, so heterogeneous
+//     clients that agree on a deployment share one training run.
+//   - Server exposes /v1/check (single) and /v1/check/batch (many
+//     observations per request, scored through core.Detector.CheckBatch),
+//     plus /healthz and a Prometheus-style /metrics.
+//
+// cmd/ladd wires this package into a daemon; cmd/ladsim -loadgen drives
+// it to measure sustained QPS.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/deploy"
+)
+
+// TrainSpec is the JSON-facing subset of core.TrainConfig a client may
+// request a detector trained with.
+type TrainSpec struct {
+	Trials      int     `json:"trials"`
+	Percentile  float64 `json:"percentile"`
+	Seed        uint64  `json:"seed"`
+	KeepInField bool    `json:"keep_in_field"`
+}
+
+// TrainConfig converts the spec to the core training configuration.
+// Workers is deliberately not client-controllable.
+func (t TrainSpec) TrainConfig() core.TrainConfig {
+	return core.TrainConfig{
+		Trials:      t.Trials,
+		Percentile:  t.Percentile,
+		Seed:        t.Seed,
+		KeepInField: t.KeepInField,
+	}
+}
+
+// DetectorSpec fully determines a trained detector: the deployment
+// knowledge, the metric, and how the threshold is trained.
+type DetectorSpec struct {
+	Deployment deploy.Config `json:"deployment"`
+	Metric     string        `json:"metric"`
+	Train      TrainSpec     `json:"train"`
+}
+
+// Key returns the canonical cache key: a hash of the deployment config
+// hash, the metric name, and every training field. Two specs share a key
+// iff they would train bit-identical detectors.
+func (s DetectorSpec) Key() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00", s.Deployment.Hash(), s.Metric)
+	w := deploy.NewHashWriter(h)
+	w.Int(s.Train.Trials)
+	w.Float(s.Train.Percentile)
+	w.Uint(s.Train.Seed)
+	w.Bool(s.Train.KeepInField)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Validate rejects specs the trainer would reject, with client-facing
+// messages.
+func (s DetectorSpec) Validate() error {
+	if err := s.Deployment.Validate(); err != nil {
+		return err
+	}
+	if core.MetricByName(s.Metric) == nil {
+		return fmt.Errorf("serve: unknown metric %q", s.Metric)
+	}
+	if s.Train.Trials <= 0 {
+		return fmt.Errorf("serve: train.trials must be positive")
+	}
+	if s.Train.Percentile <= 0 || s.Train.Percentile >= 100 {
+		return fmt.Errorf("serve: train.percentile must be in (0, 100)")
+	}
+	return nil
+}
+
+// trainDetector is the production trainer: build the deployment model and
+// run threshold training.
+func trainDetector(spec DetectorSpec) (*core.Detector, error) {
+	model, err := deploy.New(spec.Deployment)
+	if err != nil {
+		return nil, err
+	}
+	metric := core.MetricByName(spec.Metric)
+	if metric == nil {
+		return nil, fmt.Errorf("serve: unknown metric %q", spec.Metric)
+	}
+	det, _, err := core.Train(model, metric, spec.Train.TrainConfig())
+	return det, err
+}
+
+// poolEntry is one cached (or in-flight) training run.
+type poolEntry struct {
+	once sync.Once
+	det  *core.Detector
+	err  error
+}
+
+// ErrPoolFull is returned by Get when caching a new spec would exceed
+// the pool's entry limit. Training is expensive and entries are never
+// evicted, so an unbounded pool would let clients sweeping seeds pin
+// arbitrary CPU and memory; callers should map this to 429.
+var ErrPoolFull = errors.New("serve: detector pool is full")
+
+// DetectorPool caches trained detectors by DetectorSpec.Key. Training is
+// single-flight: concurrent Gets for the same key block on one training
+// run; Gets for different keys train in parallel. Safe for concurrent
+// use.
+type DetectorPool struct {
+	mu      sync.Mutex
+	entries map[string]*poolEntry
+	limit   int
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	// trainer is swappable for tests; nil means trainDetector.
+	trainer func(DetectorSpec) (*core.Detector, error)
+}
+
+// NewDetectorPool returns an empty pool using the production trainer.
+// limit caps resident entries (0 = unbounded).
+func NewDetectorPool(limit int) *DetectorPool {
+	return &DetectorPool{entries: make(map[string]*poolEntry), limit: limit}
+}
+
+// newDetectorPoolWithTrainer is the test seam.
+func newDetectorPoolWithTrainer(trainer func(DetectorSpec) (*core.Detector, error)) *DetectorPool {
+	return &DetectorPool{entries: make(map[string]*poolEntry), trainer: trainer}
+}
+
+// Get returns the cached detector for spec, training (and caching) it on
+// first use. A failed training run is cached too — retrying a spec the
+// model rejects cannot succeed, so callers get the same error without
+// re-paying the attempt.
+func (p *DetectorPool) Get(spec DetectorSpec) (*core.Detector, error) {
+	key := spec.Key()
+	p.mu.Lock()
+	e := p.entries[key]
+	if e == nil {
+		if p.limit > 0 && len(p.entries) >= p.limit {
+			p.mu.Unlock()
+			return nil, ErrPoolFull
+		}
+		e = &poolEntry{}
+		p.entries[key] = e
+		p.misses.Add(1)
+	} else {
+		p.hits.Add(1)
+	}
+	p.mu.Unlock()
+
+	e.once.Do(func() {
+		train := p.trainer
+		if train == nil {
+			train = trainDetector
+		}
+		e.det, e.err = train(spec)
+	})
+	return e.det, e.err
+}
+
+// Stats reports cache behavior: resident entries and the hit/miss
+// counters since the pool was created.
+func (p *DetectorPool) Stats() (entries int, hits, misses uint64) {
+	p.mu.Lock()
+	entries = len(p.entries)
+	p.mu.Unlock()
+	return entries, p.hits.Load(), p.misses.Load()
+}

@@ -1,0 +1,429 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// tinySpec is a deployment small enough that real training takes
+// milliseconds: a 300 m field, 3x3 groups of 40 nodes.
+func tinySpec() DetectorSpec {
+	cfg := deploy.PaperConfig()
+	cfg.Field = geom.NewRect(geom.Pt(0, 0), geom.Pt(300, 300))
+	cfg.GroupsX, cfg.GroupsY = 3, 3
+	cfg.GroupSize = 40
+	return DetectorSpec{
+		Deployment: cfg,
+		Metric:     "diff",
+		Train:      TrainSpec{Trials: 80, Percentile: 99, Seed: 5, KeepInField: true},
+	}
+}
+
+func TestDetectorSpecKey(t *testing.T) {
+	a := tinySpec()
+	if a.Key() != tinySpec().Key() {
+		t.Fatal("key not deterministic")
+	}
+	b := tinySpec()
+	b.Metric = "add-all"
+	c := tinySpec()
+	c.Train.Seed++
+	d := tinySpec()
+	d.Deployment.GroupSize++
+	e := tinySpec()
+	e.Train.KeepInField = false
+	keys := map[string]string{a.Key(): "base"}
+	for name, s := range map[string]DetectorSpec{"metric": b, "seed": c, "deploy": d, "keep": e} {
+		k := s.Key()
+		if prev, dup := keys[k]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		keys[k] = name
+	}
+}
+
+func TestDetectorPoolHitMiss(t *testing.T) {
+	var trained atomic.Int32
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec) (*core.Detector, error) {
+		trained.Add(1)
+		return trainDetector(spec)
+	})
+	specA := tinySpec()
+	specB := tinySpec()
+	specB.Metric = "add-all"
+
+	d1, err := pool.Get(specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := pool.Get(specA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("same spec returned distinct detectors")
+	}
+	if _, err := pool.Get(specB); err != nil {
+		t.Fatal(err)
+	}
+	if got := trained.Load(); got != 2 {
+		t.Errorf("trainer ran %d times, want 2", got)
+	}
+	entries, hits, misses := pool.Stats()
+	if entries != 2 || hits != 1 || misses != 2 {
+		t.Errorf("stats = (%d entries, %d hits, %d misses), want (2, 1, 2)", entries, hits, misses)
+	}
+}
+
+func TestDetectorPoolSingleFlightUnderRace(t *testing.T) {
+	var trained atomic.Int32
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec) (*core.Detector, error) {
+		trained.Add(1)
+		return trainDetector(spec)
+	})
+	spec := tinySpec()
+	const goroutines = 32
+	dets := make([]*core.Detector, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d, err := pool.Get(spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			dets[i] = d
+		}(i)
+	}
+	wg.Wait()
+	if got := trained.Load(); got != 1 {
+		t.Errorf("trainer ran %d times under %d concurrent gets, want 1", got, goroutines)
+	}
+	for i := 1; i < goroutines; i++ {
+		if dets[i] != dets[0] {
+			t.Fatalf("goroutine %d got a different detector", i)
+		}
+	}
+}
+
+func TestDetectorPoolCachesFailure(t *testing.T) {
+	var trained atomic.Int32
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec) (*core.Detector, error) {
+		trained.Add(1)
+		return nil, fmt.Errorf("boom")
+	})
+	spec := tinySpec()
+	if _, err := pool.Get(spec); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := pool.Get(spec); err == nil {
+		t.Fatal("want cached error")
+	}
+	if got := trained.Load(); got != 1 {
+		t.Errorf("failed training retried: %d runs", got)
+	}
+}
+
+// newTestServer stands up a warmed server over the tiny spec.
+func newTestServer(t *testing.T) (*httptest.Server, *Server, *core.Detector) {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{Default: tinySpec(), MaxBatch: 128}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Warmup(); err != nil {
+		t.Fatal(err)
+	}
+	det, err := srv.Pool().Get(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv, det
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+// sampleItems draws n benign observation/location pairs from the
+// detector's own model.
+func sampleItems(det *core.Detector, n int, seed uint64) []BatchItemJSON {
+	model := det.Model()
+	r := rng.New(seed)
+	items := make([]BatchItemJSON, n)
+	for i := range items {
+		group, la := model.SampleLocation(r)
+		for !model.Field().Contains(la) {
+			group, la = model.SampleLocation(r)
+		}
+		items[i] = BatchItemJSON{
+			Observation: model.SampleObservation(la, group, r),
+			Location:    PointJSON{X: la.X, Y: la.Y},
+		}
+	}
+	return items
+}
+
+func TestCheckRoundTrip(t *testing.T) {
+	ts, _, det := newTestServer(t)
+	it := sampleItems(det, 1, 7)[0]
+	resp, body := postJSON(t, ts.URL+"/v1/check", CheckRequest{
+		Observation: it.Observation,
+		Location:    it.Location,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got CheckResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	want := det.Check(it.Observation, it.Location.Point())
+	if got.Score != want.Score || got.Threshold != want.Threshold || got.Alarm != want.Alarm {
+		t.Errorf("served verdict %+v != direct %+v", got, want)
+	}
+}
+
+func TestCheckBatchRoundTripMatchesSequential(t *testing.T) {
+	ts, _, det := newTestServer(t)
+	items := sampleItems(det, 40, 11)
+	resp, body := postJSON(t, ts.URL+"/v1/check/batch", BatchRequest{Items: items})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got BatchResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(items) {
+		t.Fatalf("%d results for %d items", len(got.Results), len(items))
+	}
+	for i, it := range items {
+		want := verdictJSON(det.Check(it.Observation, it.Location.Point()))
+		if got.Results[i] != want {
+			t.Errorf("item %d: batch %+v != sequential %+v", i, got.Results[i], want)
+		}
+	}
+}
+
+func TestCheckRejectsMalformedRequests(t *testing.T) {
+	ts, _, det := newTestServer(t)
+	it := sampleItems(det, 1, 13)[0]
+
+	cases := []struct {
+		name   string
+		url    string
+		body   any
+		status int
+	}{
+		{"wrong group count", "/v1/check",
+			CheckRequest{Observation: []int{1, 2}, Location: it.Location},
+			http.StatusBadRequest},
+		{"negative count", "/v1/check",
+			CheckRequest{Observation: append([]int{-1}, it.Observation[1:]...), Location: it.Location},
+			http.StatusBadRequest},
+		{"empty batch", "/v1/check/batch", BatchRequest{}, http.StatusBadRequest},
+		{"oversized batch", "/v1/check/batch",
+			BatchRequest{Items: make([]BatchItemJSON, 129)},
+			http.StatusBadRequest},
+		{"bad metric", "/v1/check", CheckRequest{
+			Detector: &DetectorSpec{
+				Deployment: tinySpec().Deployment,
+				Metric:     "nope",
+				Train:      tinySpec().Train,
+			},
+			Observation: it.Observation, Location: it.Location,
+		}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, ts.URL+c.url, c.body)
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, resp.StatusCode, c.status, body)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q not a JSON error", c.name, body)
+		}
+	}
+
+	// Unknown fields are rejected too (catches client schema drift).
+	resp, _ := postJSON(t, ts.URL+"/v1/check", map[string]any{"observe": []int{1}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestPerRequestDetectorSpecIsCached(t *testing.T) {
+	ts, srv, det := newTestServer(t)
+	it := sampleItems(det, 1, 17)[0]
+	spec := tinySpec()
+	spec.Metric = "add-all"
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/check", CheckRequest{
+			Detector:    &spec,
+			Observation: it.Observation,
+			Location:    it.Location,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+	}
+	entries, hits, misses := srv.Pool().Stats()
+	if entries != 2 {
+		t.Errorf("pool entries = %d, want 2 (default + add-all)", entries)
+	}
+	// Warmup + newTestServer's Get + 3 requests = 5 lookups over 2
+	// distinct specs: 2 misses (first sight of each), 3 hits.
+	if misses != 2 || hits != 3 {
+		t.Errorf("hits/misses = %d/%d, want 3/2", hits, misses)
+	}
+}
+
+func TestResourceCapsOnRequestSpecs(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Default:            tinySpec(),
+		MaxTrainTrials:     500,
+		MaxGroups:          16,
+		MaxGroupSize:       100,
+		MaxCachedDetectors: 2,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Warmup(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	det, _ := srv.Pool().Get(tinySpec())
+	it := sampleItems(det, 1, 23)[0]
+
+	post := func(spec DetectorSpec) int {
+		resp, _ := postJSON(t, ts.URL+"/v1/check", CheckRequest{
+			Detector: &spec, Observation: it.Observation, Location: it.Location,
+		})
+		return resp.StatusCode
+	}
+
+	huge := tinySpec()
+	huge.Train.Trials = 501
+	if got := post(huge); got != http.StatusBadRequest {
+		t.Errorf("over-trials spec: status %d, want 400", got)
+	}
+	wide := tinySpec()
+	wide.Deployment.GroupsX, wide.Deployment.GroupsY = 5, 4
+	if got := post(wide); got != http.StatusBadRequest {
+		t.Errorf("over-groups spec: status %d, want 400", got)
+	}
+	dense := tinySpec()
+	dense.Deployment.GroupSize = 101
+	if got := post(dense); got != http.StatusBadRequest {
+		t.Errorf("over-group-size spec: status %d, want 400", got)
+	}
+	// The default spec occupies 1 of 2 pool slots; a second distinct
+	// spec fits, a third is rejected with 429 instead of training.
+	second := tinySpec()
+	second.Train.Seed++
+	if got := post(second); got != http.StatusOK {
+		t.Errorf("second spec: status %d, want 200", got)
+	}
+	third := tinySpec()
+	third.Train.Seed += 2
+	if got := post(third); got != http.StatusTooManyRequests {
+		t.Errorf("pool-full spec: status %d, want 429", got)
+	}
+	// The default and already-cached specs keep working at capacity.
+	resp, _ := postJSON(t, ts.URL+"/v1/check", CheckRequest{Observation: it.Observation, Location: it.Location})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("default spec at capacity: status %d, want 200", resp.StatusCode)
+	}
+	if got := post(second); got != http.StatusOK {
+		t.Errorf("cached spec at capacity: status %d, want 200", got)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Default: tinySpec()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("pre-warmup healthz = %d, want 503", resp.StatusCode)
+	}
+	if err := srv.Warmup(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-warmup healthz = %d, want 200", resp.StatusCode)
+	}
+
+	// Drive one scored request, then scrape.
+	det, _ := srv.Pool().Get(tinySpec())
+	it := sampleItems(det, 1, 19)[0]
+	r2, body := postJSON(t, ts.URL+"/v1/check", CheckRequest{Observation: it.Observation, Location: it.Location})
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("check failed: %s", body)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	_, _ = out.ReadFrom(resp.Body)
+	resp.Body.Close()
+	text := out.String()
+	for _, want := range []string{
+		`ladd_requests_total{endpoint="check",code="2xx"} 1`,
+		"ladd_observations_scored_total 1",
+		"ladd_detector_cache_misses_total 1",
+		"ladd_request_duration_seconds_bucket",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,362 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// PointJSON is the wire form of a claimed location.
+type PointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Point converts to the geometry type.
+func (p PointJSON) Point() geom.Point { return geom.Pt(p.X, p.Y) }
+
+// CheckRequest is the /v1/check payload. Detector selects (and on first
+// use trains) a detector; omitted, the server's default spec is used.
+type CheckRequest struct {
+	Detector    *DetectorSpec `json:"detector,omitempty"`
+	Observation []int         `json:"observation"`
+	Location    PointJSON     `json:"location"`
+}
+
+// CheckResponse is one verdict on the wire.
+type CheckResponse struct {
+	Score     float64 `json:"score"`
+	Threshold float64 `json:"threshold"`
+	Alarm     bool    `json:"alarm"`
+}
+
+func verdictJSON(v core.Verdict) CheckResponse {
+	return CheckResponse{Score: v.Score, Threshold: v.Threshold, Alarm: v.Alarm}
+}
+
+// BatchItemJSON is one observation/location pair of a batch request.
+type BatchItemJSON struct {
+	Observation []int     `json:"observation"`
+	Location    PointJSON `json:"location"`
+}
+
+// BatchRequest is the /v1/check/batch payload: one detector spec (or the
+// default) applied to every item.
+type BatchRequest struct {
+	Detector *DetectorSpec   `json:"detector,omitempty"`
+	Items    []BatchItemJSON `json:"items"`
+}
+
+// BatchResponse carries per-item verdicts in request order.
+type BatchResponse struct {
+	Results []CheckResponse `json:"results"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ServerConfig tunes a Server.
+type ServerConfig struct {
+	// Default is the detector spec used when a request carries none. It
+	// is operator-chosen and exempt from the per-request caps below.
+	Default DetectorSpec
+	// MaxBatch bounds items per batch request; 0 means DefaultMaxBatch.
+	MaxBatch int
+	// MaxBodyBytes bounds request bodies; 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// MaxTrainTrials caps training trials a request-supplied spec may
+	// ask for; 0 means DefaultMaxTrainTrials.
+	MaxTrainTrials int
+	// MaxGroups caps GroupsX*GroupsY of a request-supplied deployment;
+	// 0 means DefaultMaxGroups.
+	MaxGroups int
+	// MaxGroupSize caps nodes per group of a request-supplied
+	// deployment; 0 means DefaultMaxGroupSize.
+	MaxGroupSize int
+	// MaxCachedDetectors caps pool entries (trained detectors are never
+	// evicted); 0 means DefaultMaxCachedDetectors. Only consulted when
+	// NewServer builds the pool itself.
+	MaxCachedDetectors int
+}
+
+// DefaultMaxBatch bounds batch size when ServerConfig leaves it zero.
+const DefaultMaxBatch = 4096
+
+// DefaultMaxBodyBytes bounds request bodies when ServerConfig leaves it
+// zero (a 4096-item batch over a 100-group deployment is ~1.6 MB).
+const DefaultMaxBodyBytes = 16 << 20
+
+// DefaultMaxTrainTrials bounds request-supplied training cost: training
+// time is linear in trials, and a client asking for billions would pin
+// every CPU for hours behind one cache entry.
+const DefaultMaxTrainTrials = 100_000
+
+// DefaultMaxGroups bounds request-supplied deployment size: the model
+// allocates per-group state and every observation carries one count per
+// group.
+const DefaultMaxGroups = 4096
+
+// DefaultMaxGroupSize bounds request-supplied nodes per group (binomial
+// sampling cost during training scales with it).
+const DefaultMaxGroupSize = 100_000
+
+// DefaultMaxCachedDetectors bounds resident trained detectors; a seed
+// sweep would otherwise mint unbounded never-evicted cache entries.
+const DefaultMaxCachedDetectors = 64
+
+// Server is the HTTP serving layer. Create with NewServer, mount
+// Handler() on an http.Server. Safe for concurrent use.
+type Server struct {
+	cfg     ServerConfig
+	pool    *DetectorPool
+	metrics *Metrics
+	ready   atomic.Bool
+}
+
+// NewServer validates the default spec and wires a server around the
+// pool. The default detector is NOT trained yet; call Warmup (cmd/ladd
+// does, before accepting traffic) or let the first request pay it.
+func NewServer(cfg ServerConfig, pool *DetectorPool) (*Server, error) {
+	if err := cfg.Default.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: invalid default detector spec: %w", err)
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.MaxTrainTrials <= 0 {
+		cfg.MaxTrainTrials = DefaultMaxTrainTrials
+	}
+	if cfg.MaxGroups <= 0 {
+		cfg.MaxGroups = DefaultMaxGroups
+	}
+	if cfg.MaxGroupSize <= 0 {
+		cfg.MaxGroupSize = DefaultMaxGroupSize
+	}
+	if cfg.MaxCachedDetectors <= 0 {
+		cfg.MaxCachedDetectors = DefaultMaxCachedDetectors
+	}
+	if pool == nil {
+		pool = NewDetectorPool(cfg.MaxCachedDetectors)
+	}
+	return &Server{cfg: cfg, pool: pool, metrics: NewMetrics()}, nil
+}
+
+// Metrics exposes the server's metrics registry (for tests and the
+// daemon's shutdown report).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Pool exposes the detector pool.
+func (s *Server) Pool() *DetectorPool { return s.pool }
+
+// Warmup trains the default detector and marks the server ready.
+// /healthz reports 503 until warmup completes, so load balancers do not
+// route traffic into a multi-second cold training run.
+func (s *Server) Warmup() error {
+	if _, err := s.pool.Get(s.cfg.Default); err != nil {
+		return err
+	}
+	s.ready.Store(true)
+	return nil
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/check", s.instrument("check", s.handleCheck))
+	mux.HandleFunc("POST /v1/check/batch", s.instrument("check_batch", s.handleCheckBatch))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// statusRecorder captures the status code for instrumentation.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		s.metrics.Observe(name, rec.status, time.Since(start))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		}
+		return false
+	}
+	return true
+}
+
+// capSpec enforces the server's resource ceilings on a request-supplied
+// spec: training cost and model size are attacker-controlled otherwise.
+func (s *Server) capSpec(spec DetectorSpec) error {
+	if spec.Train.Trials > s.cfg.MaxTrainTrials {
+		return fmt.Errorf("train.trials %d exceeds server limit %d", spec.Train.Trials, s.cfg.MaxTrainTrials)
+	}
+	// Cap each axis before the product: GroupsX*GroupsY can overflow int
+	// and wrap under the limit for absurd client-chosen values.
+	if spec.Deployment.GroupsX > s.cfg.MaxGroups || spec.Deployment.GroupsY > s.cfg.MaxGroups {
+		return fmt.Errorf("deployment axis of %d×%d groups exceeds server limit %d",
+			spec.Deployment.GroupsX, spec.Deployment.GroupsY, s.cfg.MaxGroups)
+	}
+	if groups := spec.Deployment.GroupsX * spec.Deployment.GroupsY; groups > s.cfg.MaxGroups {
+		return fmt.Errorf("deployment has %d groups, server limit is %d", groups, s.cfg.MaxGroups)
+	}
+	if spec.Deployment.GroupSize > s.cfg.MaxGroupSize {
+		return fmt.Errorf("deployment group size %d exceeds server limit %d", spec.Deployment.GroupSize, s.cfg.MaxGroupSize)
+	}
+	return nil
+}
+
+// detectorFor resolves the request's spec (or the default) through the
+// pool. On failure it writes the error response and returns ok=false;
+// the caller must only proceed (and must not write) when ok is true.
+func (s *Server) detectorFor(w http.ResponseWriter, spec *DetectorSpec) (*core.Detector, bool) {
+	chosen := s.cfg.Default
+	if spec != nil {
+		chosen = *spec
+		if err := chosen.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return nil, false
+		}
+		if err := s.capSpec(chosen); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return nil, false
+		}
+	}
+	det, err := s.pool.Get(chosen)
+	if err != nil {
+		if errors.Is(err, ErrPoolFull) {
+			writeError(w, http.StatusTooManyRequests, err)
+			return nil, false
+		}
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("training detector: %w", err))
+		return nil, false
+	}
+	return det, true
+}
+
+// checkObservation validates one observation against the detector's
+// deployment (wrong group count means the client disagrees about the
+// deployment and every score would be garbage). idx < 0 means a
+// single-check request, whose errors should not mention batch items.
+func checkObservation(det *core.Detector, o []int, idx int) error {
+	prefix := ""
+	if idx >= 0 {
+		prefix = fmt.Sprintf("item %d: ", idx)
+	}
+	n := det.Model().NumGroups()
+	if len(o) != n {
+		return fmt.Errorf("%sobservation has %d groups, deployment has %d", prefix, len(o), n)
+	}
+	for gi, c := range o {
+		if c < 0 {
+			return fmt.Errorf("%snegative neighbor count %d for group %d", prefix, c, gi)
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req CheckRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	det, ok := s.detectorFor(w, req.Detector)
+	if !ok {
+		return
+	}
+	if err := checkObservation(det, req.Observation, -1); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	v := det.CheckPooled(req.Observation, req.Location.Point())
+	s.metrics.AddScored(1)
+	writeJSON(w, http.StatusOK, verdictJSON(v))
+}
+
+func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("batch has no items"))
+		return
+	}
+	if len(req.Items) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch has %d items, max is %d", len(req.Items), s.cfg.MaxBatch))
+		return
+	}
+	det, ok := s.detectorFor(w, req.Detector)
+	if !ok {
+		return
+	}
+	items := make([]core.BatchItem, len(req.Items))
+	for i, it := range req.Items {
+		if err := checkObservation(det, it.Observation, i); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		items[i] = core.BatchItem{Observation: it.Observation, Location: it.Location.Point()}
+	}
+	verdicts := det.CheckBatch(items)
+	s.metrics.AddScored(len(items))
+	resp := BatchResponse{Results: make([]CheckResponse, len(verdicts))}
+	for i, v := range verdicts {
+		resp.Results[i] = verdictJSON(v)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "warming up"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(s.metrics.Render(s.pool)))
+}

@@ -86,6 +86,9 @@ type (
 	Detector = core.Detector
 	// Verdict is the outcome of one check.
 	Verdict = core.Verdict
+	// BatchItem is one observation/claimed-location pair for the batched
+	// scoring path, Detector.CheckBatch.
+	BatchItem = core.BatchItem
 	// TrainConfig controls threshold training.
 	TrainConfig = core.TrainConfig
 	// Corrector re-estimates locations after an alarm (the paper's
