@@ -1,0 +1,219 @@
+// Command ladbench measures the detector scoring hot path and emits the
+// results as JSON, so every PR can record a comparable perf snapshot
+// (BENCH_PR2.json is the first) and CI can upload one per push.
+//
+// For each metric it benchmarks three paths over the same items (batch
+// -batch, -locations distinct claimed locations, paper deployment):
+//
+//   - sequential: one fresh Check per item — the naive reference.
+//   - batch_pr1:  CheckBatchInto with the expectation cache disabled and
+//     one worker — algorithmically the PR 1 batch path (per-batch
+//     location dedup + pooled buffers), kept runnable so speedups are
+//     measured, not remembered.
+//   - batch:      CheckBatchInto as served today — cross-request
+//     expectation cache, lazily built log-PMF tables, sharded workers.
+//
+// Verdict equality across all three paths is asserted before timing;
+// a mismatch is a hard failure, because a fast wrong answer is not a
+// benchmark result.
+//
+// Usage:
+//
+//	go run ./cmd/ladbench -out BENCH_PR2.json
+//	go run ./cmd/ladbench -batch 256 -locations 8 -trials 300
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/deploy"
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// result is one timed configuration.
+type result struct {
+	Name        string  `json:"name"`
+	Metric      string  `json:"metric"`
+	Path        string  `json:"path"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerItem   float64 `json:"ns_per_item"`
+	ItemsPerSec float64 `json:"items_per_sec"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// report is the JSON document ladbench writes.
+type report struct {
+	Schema      int                `json:"schema"`
+	GoVersion   string             `json:"go_version"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Batch       int                `json:"batch"`
+	Locations   int                `json:"locations"`
+	TrainTrials int                `json:"train_trials"`
+	Results     []result           `json:"results"`
+	// SpeedupVsPR1 is, per metric, batch_pr1 ns/op over batch ns/op —
+	// the factor the table-driven cached path buys over the PR 1 batch
+	// path on identical items.
+	SpeedupVsPR1 map[string]float64 `json:"speedup_vs_pr1"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write the JSON report here (default stdout)")
+		batch     = flag.Int("batch", 256, "items per batch")
+		locations = flag.Int("locations", 8, "distinct claimed locations per batch")
+		trials    = flag.Int("trials", 300, "training trials per detector")
+	)
+	flag.Parse()
+
+	model, err := deploy.New(deploy.PaperConfig())
+	if err != nil {
+		log.Fatalf("ladbench: %v", err)
+	}
+
+	rep := report{
+		Schema:       1,
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Batch:        *batch,
+		Locations:    *locations,
+		TrainTrials:  *trials,
+		SpeedupVsPR1: map[string]float64{},
+	}
+
+	for _, metric := range core.AllMetrics() {
+		items := sampleItems(model, *batch, *locations)
+		fresh, _, err := core.Train(model, metric, core.TrainConfig{
+			Trials: *trials, Percentile: 99, Seed: 41, KeepInField: true,
+		})
+		if err != nil {
+			log.Fatalf("ladbench: training %s: %v", metric.Name(), err)
+		}
+		// The PR 1-equivalent path: same model and threshold, per-batch
+		// dedup only, single worker, no cache, no tables.
+		pr1 := core.NewDetector(model, metric, fresh.Threshold())
+		pr1.SetExpCacheCapacity(0)
+		pr1.SetBatchWorkers(1)
+
+		assertIdentical(metric.Name(), fresh, pr1, items)
+
+		dst := make([]core.Verdict, len(items))
+		seq := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, it := range items {
+					_ = fresh.Check(it.Observation, it.Location)
+				}
+			}
+		})
+		old := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pr1.CheckBatchInto(dst, items)
+			}
+		})
+		now := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fresh.CheckBatchInto(dst, items)
+			}
+		})
+
+		for _, r := range []struct {
+			path string
+			res  testing.BenchmarkResult
+		}{{"sequential", seq}, {"batch_pr1", old}, {"batch", now}} {
+			rep.Results = append(rep.Results, toResult(metric.Name(), r.path, *batch, r.res))
+		}
+		rep.SpeedupVsPR1[metric.Name()] = float64(old.NsPerOp()) / float64(now.NsPerOp())
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("ladbench: %v", err)
+		}
+		defer f.Close()
+		enc = json.NewEncoder(f)
+	}
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatalf("ladbench: %v", err)
+	}
+	for m, s := range rep.SpeedupVsPR1 {
+		fmt.Fprintf(os.Stderr, "ladbench: %-12s batch speedup vs PR1 path: %.2fx\n", m, s)
+	}
+}
+
+func toResult(metric, path string, batch int, r testing.BenchmarkResult) result {
+	perOp := float64(r.NsPerOp())
+	return result{
+		Name:        fmt.Sprintf("%s/%s", metric, path),
+		Metric:      metric,
+		Path:        path,
+		Iterations:  r.N,
+		NsPerOp:     perOp,
+		NsPerItem:   perOp / float64(batch),
+		ItemsPerSec: 1e9 / (perOp / float64(batch)),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// sampleItems mirrors the serving workload: batch items spread over a
+// handful of in-field claimed locations, with benign observations.
+func sampleItems(model *deploy.Model, nItems, nLocs int) []core.BatchItem {
+	r := rng.New(43)
+	locs := make([]geom.Point, nLocs)
+	groups := make([]int, nLocs)
+	for i := range locs {
+		for {
+			g, p := model.SampleLocation(r)
+			if model.Field().Contains(p) {
+				groups[i], locs[i] = g, p
+				break
+			}
+		}
+	}
+	items := make([]core.BatchItem, nItems)
+	for i := range items {
+		li := i % nLocs
+		items[i] = core.BatchItem{
+			Observation: model.SampleObservation(locs[li], groups[li], r),
+			Location:    locs[li],
+		}
+	}
+	return items
+}
+
+// assertIdentical refuses to time paths that disagree: every benchmarked
+// configuration must produce verdicts bit-identical to fresh Check.
+func assertIdentical(metric string, fresh, pr1 *core.Detector, items []core.BatchItem) {
+	want := make([]core.Verdict, len(items))
+	for i, it := range items {
+		want[i] = fresh.Check(it.Observation, it.Location)
+	}
+	for round := 0; round < 2; round++ { // round 2 hits armed PMF tables
+		for name, got := range map[string][]core.Verdict{
+			"batch":     fresh.CheckBatch(items),
+			"batch_pr1": pr1.CheckBatch(items),
+		} {
+			for i := range got {
+				if got[i] != want[i] {
+					log.Fatalf("ladbench: %s/%s round %d item %d: %+v != fresh Check %+v",
+						metric, name, round, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

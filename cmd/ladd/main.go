@@ -46,6 +46,8 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "default training seed")
 		keepInField = flag.Bool("keep-in-field", true, "train on in-field victims only")
 		maxBatch    = flag.Int("max-batch", serve.DefaultMaxBatch, "max items per batch request")
+		trainConc   = flag.Int("train-concurrency", serve.DefaultTrainConcurrency, "max detector trainings in flight (each gets GOMAXPROCS/n workers)")
+		expCache    = flag.Int("exp-cache", 0, "per-detector expectation-cache capacity in claimed locations (0 = core default, negative disables)")
 		warmupOnly  = flag.Bool("warmup-only", false, "train the default detector, print its threshold, and exit")
 	)
 	flag.Parse()
@@ -75,7 +77,12 @@ func main() {
 		f.Close()
 	}
 
-	srv, err := serve.NewServer(serve.ServerConfig{Default: spec, MaxBatch: *maxBatch}, nil)
+	srv, err := serve.NewServer(serve.ServerConfig{
+		Default:                spec,
+		MaxBatch:               *maxBatch,
+		MaxConcurrentTrainings: *trainConc,
+		ExpCacheCapacity:       *expCache,
+	}, nil)
 	if err != nil {
 		log.Fatalf("ladd: %v", err)
 	}
@@ -150,6 +157,8 @@ func main() {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("ladd: shutdown: %v", err)
 	}
-	entries, hits, misses := srv.Pool().Stats()
-	log.Printf("ladd: bye (detectors cached: %d, pool hits/misses: %d/%d)", entries, hits, misses)
+	entries, hits, misses, failures := srv.Pool().Stats()
+	expSize, expHits, expMisses := srv.Pool().ExpCacheStats()
+	log.Printf("ladd: bye (detectors cached: %d, pool hits/misses/failures: %d/%d/%d, expectation cache: %d locations, hits/misses: %d/%d)",
+		entries, hits, misses, failures, expSize, expHits, expMisses)
 }

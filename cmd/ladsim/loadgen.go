@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -169,9 +170,39 @@ func runLoadgen(o loadgenOptions) error {
 	fmt.Printf("loadgen: latency p50 %s  p95 %s  p99 %s  max %s\n",
 		pct(50).Round(time.Microsecond), pct(95).Round(time.Microsecond),
 		pct(99).Round(time.Microsecond), pct(100).Round(time.Microsecond))
+	reportCacheGauges(probe, o.url)
 	if failures.Load() > req/10 {
 		fmt.Fprintln(os.Stderr, "loadgen: >10% of requests failed")
 		os.Exit(1)
 	}
 	return nil
+}
+
+// reportCacheGauges scrapes the daemon's /metrics after the run and
+// echoes the detector- and expectation-cache lines, so a loadgen report
+// shows whether the hot path actually ran cached (an expectation-cache
+// hit rate near 1 is the table-driven fast path; near 0 means the
+// workload defeated the cache). Best-effort: a scrape failure only
+// drops the gauges from the report.
+func reportCacheGauges(client *http.Client, baseURL string) {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		fmt.Printf("loadgen: /metrics scrape failed: %v\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Printf("loadgen: /metrics scrape failed reading body: %v\n", err)
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Printf("loadgen: /metrics scrape failed (status %d)\n", resp.StatusCode)
+		return
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "ladd_detector_cache_") || strings.HasPrefix(line, "ladd_expectation_cache_") {
+			fmt.Printf("loadgen: %s\n", line)
+		}
+	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/deploy"
@@ -31,19 +32,67 @@ type Detector struct {
 	metric    Metric
 	threshold float64
 	// expPool recycles Expectation buffers across CheckBatch calls so
-	// batched scoring does not allocate per verdict.
+	// batched scoring does not allocate per verdict when the cache is
+	// disabled.
 	expPool sync.Pool
+	// expCache shares expectations — and their lazily built log-PMF
+	// tables — across requests, keyed by claimed location. nil disables
+	// it (SetExpCacheCapacity(0)); verdicts are bit-identical either way.
+	expCache *expCache
+	// batchWorkers caps the goroutines CheckBatchInto fans a large batch
+	// out over; 0 means GOMAXPROCS.
+	batchWorkers int
 }
 
 // NewDetector wires a detector with an explicit threshold (normally
-// produced by Train).
+// produced by Train). The cross-request expectation cache is enabled at
+// DefaultExpCacheCapacity, scaled down for very wide deployments so the
+// raw G/Mu slices stay tens of MiB even at the largest request-supplied
+// group counts; tune it with SetExpCacheCapacity.
 func NewDetector(model *deploy.Model, metric Metric, threshold float64) *Detector {
 	d := &Detector{model: model, metric: metric, threshold: threshold}
 	n := model.NumGroups()
 	d.expPool.New = func() any {
 		return &Expectation{G: make([]float64, n), Mu: make([]float64, n)}
 	}
+	capacity := DefaultExpCacheCapacity
+	if maxLocs := (1 << 21) / (2 * n); maxLocs < capacity { // ~16 MiB of G/Mu floats
+		capacity = max(1, maxLocs)
+	}
+	d.expCache = newExpCache(capacity)
 	return d
+}
+
+// SetExpCacheCapacity replaces the expectation cache with an empty one
+// bounded at capacity entries; capacity <= 0 disables caching (pooled
+// buffers only). Not safe to call concurrently with checks — configure
+// the detector before serving traffic.
+func (d *Detector) SetExpCacheCapacity(capacity int) {
+	if capacity <= 0 {
+		d.expCache = nil
+		return
+	}
+	d.expCache = newExpCache(capacity)
+}
+
+// SetBatchWorkers caps the worker goroutines a single CheckBatchInto may
+// fan out over; n <= 0 restores the default (GOMAXPROCS). Not safe to
+// call concurrently with checks.
+func (d *Detector) SetBatchWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	d.batchWorkers = n
+}
+
+// ExpCacheStats reports the expectation cache: resident locations and
+// hit/miss counters since the cache was (re)installed. All zeros when
+// the cache is disabled.
+func (d *Detector) ExpCacheStats() (size int, hits, misses uint64) {
+	if d.expCache == nil {
+		return 0, 0, 0
+	}
+	return d.expCache.stats()
 }
 
 // Metric returns the detector's metric.
@@ -61,11 +110,15 @@ func (d *Detector) Check(o []int, le geom.Point) Verdict {
 	return d.CheckWithExpectation(o, e)
 }
 
-// CheckPooled is Check scoring through a recycled Expectation buffer —
-// same verdict, no per-call slice allocations. The serving layer uses it
-// for single-observation requests; Check stays allocation-per-call so
-// callers that retain the expectation indirectly are unaffected.
+// CheckPooled is Check scoring through the expectation cache (when
+// enabled) or a recycled Expectation buffer — same verdict, no per-call
+// slice allocations. The serving layer uses it for single-observation
+// requests; Check stays allocation-per-call so callers that retain the
+// expectation indirectly are unaffected.
 func (d *Detector) CheckPooled(o []int, le geom.Point) Verdict {
+	if d.expCache != nil {
+		return d.CheckWithExpectation(o, d.expCache.get(d.model, le))
+	}
 	e := d.expPool.Get().(*Expectation)
 	e.Fill(d.model, le)
 	v := d.CheckWithExpectation(o, e)
@@ -88,19 +141,35 @@ type BatchItem struct {
 
 // CheckBatch scores many observations in one call. Results are identical
 // to calling Check on each item in order; the batch path is faster
-// because items that share a claimed location share one Expectation, and
-// the expectation buffers themselves are recycled through a sync.Pool, so
-// the g-table evaluation cost is paid once per distinct location instead
-// of once per item. This is the hot path of the ladd serving daemon,
-// where many sensors report against a handful of claimed positions.
+// because items that share a claimed location share one Expectation
+// (through the cross-request cache when enabled), and large batches fan
+// out over a worker pool. This is the hot path of the ladd serving
+// daemon, where many sensors report against a handful of claimed
+// positions.
 func (d *Detector) CheckBatch(items []BatchItem) []Verdict {
 	verdicts := make([]Verdict, len(items))
 	d.CheckBatchInto(verdicts, items)
 	return verdicts
 }
 
+// minParallelBatch is the batch size below which CheckBatchInto stays
+// sequential. Cached, table-driven scoring costs a few hundred ns per
+// item, so goroutine fan-out (spawn + WaitGroup + per-chunk dedup map)
+// only amortizes on batches of roughly a thousand items and up —
+// measured on the paper deployment, 256-item probability batches score
+// ~20% faster sequential than split two ways.
+const minParallelBatch = 1024
+
+// minBatchChunk keeps parallel chunks large enough that the per-chunk
+// location map and scheduling overhead stay amortized.
+const minBatchChunk = 256
+
 // CheckBatchInto is CheckBatch writing into dst (length len(items)),
-// avoiding the result allocation in serving loops.
+// avoiding the result allocation in serving loops. Batches of
+// minParallelBatch items or more are sharded into contiguous chunks
+// scored in parallel; each chunk writes a disjoint range of dst, so the
+// output order is deterministic and every verdict is bit-identical to
+// sequential Check.
 func (d *Detector) CheckBatchInto(dst []Verdict, items []BatchItem) {
 	if len(dst) != len(items) {
 		panic("core: CheckBatchInto length mismatch")
@@ -108,17 +177,57 @@ func (d *Detector) CheckBatchInto(dst []Verdict, items []BatchItem) {
 	if len(items) == 0 {
 		return
 	}
-	exps := make(map[geom.Point]*Expectation, 1+len(items)/8)
+	workers := d.batchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(items) < minParallelBatch || workers == 1 {
+		d.checkRange(dst, items)
+		return
+	}
+	chunk := (len(items) + workers - 1) / workers
+	if chunk < minBatchChunk {
+		chunk = minBatchChunk
+	}
+	// The caller scores the first chunk inline: with W workers that is
+	// one goroutine spawn fewer, and the caller does useful work instead
+	// of parking on the WaitGroup.
+	var wg sync.WaitGroup
+	for lo := chunk; lo < len(items); lo += chunk {
+		hi := min(lo+chunk, len(items))
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			d.checkRange(dst[lo:hi], items[lo:hi])
+		}(lo, hi)
+	}
+	d.checkRange(dst[:chunk], items[:chunk])
+	wg.Wait()
+}
+
+// checkRange scores one contiguous chunk. Locations are deduplicated
+// chunk-locally so the shared cache (or the buffer pool) is consulted
+// once per distinct location rather than once per item.
+func (d *Detector) checkRange(dst []Verdict, items []BatchItem) {
+	local := make(map[geom.Point]*Expectation, 1+len(items)/8)
+	var pooled []*Expectation
 	for i, it := range items {
-		e := exps[it.Location]
+		e := local[it.Location]
 		if e == nil {
-			e = d.expPool.Get().(*Expectation)
-			e.Fill(d.model, it.Location)
-			exps[it.Location] = e
+			if d.expCache != nil {
+				e = d.expCache.get(d.model, it.Location)
+			} else {
+				e = d.expPool.Get().(*Expectation)
+				e.Fill(d.model, it.Location)
+				pooled = append(pooled, e)
+			}
+			local[it.Location] = e
 		}
 		dst[i] = d.CheckWithExpectation(it.Observation, e)
 	}
-	for _, e := range exps {
+	// Only pool-owned buffers go back; cached expectations are shared
+	// with concurrent requests and must never be recycled.
+	for _, e := range pooled {
 		d.expPool.Put(e)
 	}
 }

@@ -7,12 +7,18 @@ import (
 	"repro/internal/rng"
 )
 
-// batchFixture trains a small detector and draws nItems benign items
-// spread over nLocs distinct claimed locations.
+// batchFixture trains a small detector on the diff metric and draws
+// nItems benign items spread over nLocs distinct claimed locations.
 func batchFixture(t testing.TB, nItems, nLocs int) (*Detector, []BatchItem) {
 	t.Helper()
+	return batchFixtureMetric(t, DiffMetric{}, nItems, nLocs)
+}
+
+// batchFixtureMetric is batchFixture for an arbitrary metric.
+func batchFixtureMetric(t testing.TB, metric Metric, nItems, nLocs int) (*Detector, []BatchItem) {
+	t.Helper()
 	model := paperModel()
-	det, _, err := Train(model, DiffMetric{}, TrainConfig{
+	det, _, err := Train(model, metric, TrainConfig{
 		Trials: 200, Percentile: 99, Seed: 41, KeepInField: true,
 	})
 	if err != nil {
@@ -107,6 +113,46 @@ func BenchmarkCheckSequential64(b *testing.B) {
 
 func BenchmarkCheckBatch64(b *testing.B) {
 	det, items := batchFixture(b, 64, 8)
+	dst := make([]Verdict, len(items))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.CheckBatchInto(dst, items)
+	}
+}
+
+// The acceptance target for the table-driven scoring tentpole (PR 2):
+// batched probability-metric scoring at batch 256 over 8 distinct
+// claimed locations must beat the PR 1 baseline by >= 3x, with verdicts
+// bit-identical to sequential Check. Run as
+//
+//	go test ./internal/core -bench 'CheckBatchProb256' -benchtime 2s
+func BenchmarkCheckSequentialProb256(b *testing.B) {
+	det, items := batchFixtureMetric(b, ProbMetric{}, 256, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, it := range items {
+			_ = det.Check(it.Observation, it.Location)
+		}
+	}
+}
+
+func BenchmarkCheckBatchProb256(b *testing.B) {
+	det, items := batchFixtureMetric(b, ProbMetric{}, 256, 8)
+	dst := make([]Verdict, len(items))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.CheckBatchInto(dst, items)
+	}
+}
+
+// Single-worker variant: isolates the table/cache win from the sharding
+// win (compare against BenchmarkCheckBatchProb256).
+func BenchmarkCheckBatchProb256Serial(b *testing.B) {
+	det, items := batchFixtureMetric(b, ProbMetric{}, 256, 8)
+	det.SetBatchWorkers(1)
 	dst := make([]Verdict, len(items))
 	b.ReportAllocs()
 	b.ResetTimer()

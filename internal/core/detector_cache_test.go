@@ -1,0 +1,310 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+// TestCachedAndTableScoringBitIdentical is the tentpole invariant: every
+// serving-path variant — pooled single checks, the cross-request
+// expectation cache, the lazily armed log-PMF table, and the sharded
+// parallel batch — must produce verdicts bit-identical to a fresh
+// sequential Check, for all three metrics. Repeated rounds matter: the
+// PMF table arms on the first cache hit, so round 1 exercises the direct
+// path and later rounds the table path.
+func TestCachedAndTableScoringBitIdentical(t *testing.T) {
+	for _, metric := range AllMetrics() {
+		metric := metric
+		t.Run(metric.Name(), func(t *testing.T) {
+			det, items := batchFixtureMetric(t, metric, minParallelBatch+128, 7)
+			want := make([]Verdict, len(items))
+			for i, it := range items {
+				want[i] = det.Check(it.Observation, it.Location)
+			}
+			for round := 0; round < 3; round++ {
+				got := det.CheckBatch(items) // over minParallelBatch: parallel path
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("round %d item %d: batch %+v != fresh Check %+v",
+							round, i, got[i], want[i])
+					}
+				}
+				for i, it := range items[:20] {
+					if v := det.CheckPooled(it.Observation, it.Location); v != want[i] {
+						t.Fatalf("round %d item %d: CheckPooled %+v != fresh Check %+v",
+							round, i, v, want[i])
+					}
+				}
+			}
+			if size, hits, misses := det.ExpCacheStats(); size == 0 || hits == 0 || misses == 0 {
+				t.Errorf("expectation cache unused: size %d, hits %d, misses %d", size, hits, misses)
+			}
+		})
+	}
+}
+
+// TestCacheDisabledScoringBitIdentical covers the pool-only fallback.
+func TestCacheDisabledScoringBitIdentical(t *testing.T) {
+	det, items := batchFixtureMetric(t, ProbMetric{}, 200, 5)
+	want := make([]Verdict, len(items))
+	for i, it := range items {
+		want[i] = det.Check(it.Observation, it.Location)
+	}
+	det.SetExpCacheCapacity(0)
+	for round := 0; round < 2; round++ {
+		got := det.CheckBatch(items)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("round %d item %d: uncached batch %+v != fresh Check %+v",
+					round, i, got[i], want[i])
+			}
+		}
+		if v := det.CheckPooled(items[0].Observation, items[0].Location); v != want[0] {
+			t.Fatalf("uncached CheckPooled %+v != fresh Check %+v", v, want[0])
+		}
+	}
+	if size, hits, misses := det.ExpCacheStats(); size != 0 || hits != 0 || misses != 0 {
+		t.Errorf("disabled cache reports stats: %d/%d/%d", size, hits, misses)
+	}
+}
+
+// TestCheckBatchDeterministicUnderSharding re-runs the parallel batch
+// path with different worker counts: dst ranges are disjoint per chunk,
+// so the output must not depend on scheduling or on the worker count.
+func TestCheckBatchDeterministicUnderSharding(t *testing.T) {
+	det, items := batchFixtureMetric(t, ProbMetric{}, 2*minParallelBatch, 8)
+	ref := make([]Verdict, len(items))
+	det.SetBatchWorkers(1)
+	det.CheckBatchInto(ref, items)
+	for _, workers := range []int{0, 2, 3, 8} {
+		det.SetBatchWorkers(workers)
+		for round := 0; round < 3; round++ {
+			got := make([]Verdict, len(items))
+			det.CheckBatchInto(got, items)
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("workers %d round %d item %d: %+v != sequential %+v",
+						workers, round, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentCachedScoring hammers one detector from many goroutines
+// mixing batch, pooled, and fresh checks. Run under -race (CI does) this
+// proves the cache, the lazy PMF arming, and the shared expectations are
+// data-race free; the verdict comparisons prove they are also
+// value-correct under contention.
+func TestConcurrentCachedScoring(t *testing.T) {
+	for _, metric := range AllMetrics() {
+		metric := metric
+		t.Run(metric.Name(), func(t *testing.T) {
+			det, items := batchFixtureMetric(t, metric, 256, 6)
+			want := make([]Verdict, len(items))
+			for i, it := range items {
+				want[i] = det.Check(it.Observation, it.Location)
+			}
+			const goroutines = 8
+			var wg sync.WaitGroup
+			errs := make(chan string, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for round := 0; round < 5; round++ {
+						switch (g + round) % 3 {
+						case 0:
+							got := det.CheckBatch(items)
+							for i := range got {
+								if got[i] != want[i] {
+									errs <- fmt.Sprintf("g%d r%d batch item %d: %+v != %+v", g, round, i, got[i], want[i])
+									return
+								}
+							}
+						case 1:
+							for i, it := range items[:32] {
+								if v := det.CheckPooled(it.Observation, it.Location); v != want[i] {
+									errs <- fmt.Sprintf("g%d r%d pooled item %d: %+v != %+v", g, round, i, v, want[i])
+									return
+								}
+							}
+						default:
+							for i, it := range items[:16] {
+								if v := det.Check(it.Observation, it.Location); v != want[i] {
+									errs <- fmt.Sprintf("g%d r%d fresh item %d: %+v != %+v", g, round, i, v, want[i])
+									return
+								}
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for e := range errs {
+				t.Error(e)
+			}
+		})
+	}
+}
+
+// TestExpCacheEviction bounds the cache: feeding far more distinct
+// locations than the capacity must keep residency at or under the
+// (shard-rounded) bound, and evicted-then-revisited locations must still
+// score identically.
+func TestExpCacheEviction(t *testing.T) {
+	det, _ := batchFixture(t, 1, 1)
+	const capacity = 16
+	det.SetExpCacheCapacity(capacity)
+	r := rng.New(99)
+	model := det.Model()
+	o := make([]int, model.NumGroups())
+	locs := make([]geom.Point, 200)
+	for i := range locs {
+		_, locs[i] = model.SampleLocation(r)
+		det.CheckPooled(o, locs[i])
+	}
+	size, _, misses := det.ExpCacheStats()
+	// Per-shard bounds round the capacity up to a multiple of the shard
+	// count; residency must never exceed that.
+	maxResident := ((capacity + expCacheShards - 1) / expCacheShards) * expCacheShards
+	if size > maxResident {
+		t.Errorf("cache holds %d entries, bound is %d", size, maxResident)
+	}
+	if misses != 200 {
+		t.Errorf("misses = %d, want 200 distinct-location misses", misses)
+	}
+	// A revisited (likely evicted) location still scores correctly.
+	for _, le := range locs[:10] {
+		if got, want := det.CheckPooled(o, le), det.Check(o, le); got != want {
+			t.Fatalf("revisited location %v: %+v != %+v", le, got, want)
+		}
+	}
+}
+
+// TestPMFTableArmsOnReuse pins the laziness contract: a location seen
+// once keeps the direct evaluation path (no table memory), the first
+// reuse arms the table, and table reads equal mathx.BinomLogPMF exactly.
+func TestPMFTableArmsOnReuse(t *testing.T) {
+	det, items := batchFixtureMetric(t, ProbMetric{}, 1, 1)
+	le := items[0].Location
+	det.CheckPooled(items[0].Observation, le)
+	e := det.expCache.get(det.Model(), le) // first hit: arms the table
+	if e.pmf.Load() == nil {
+		t.Fatal("PMF table not armed after first reuse")
+	}
+	for i := 0; i < len(e.G); i += 13 {
+		for k := 0; k <= e.M; k += 37 {
+			if got, want := e.LogPMF(i, k), mathx.BinomLogPMF(k, e.M, e.G[i]); got != want {
+				t.Fatalf("LogPMF(%d, %d) = %v, direct = %v", i, k, got, want)
+			}
+		}
+	}
+	// Out-of-support k bypasses the table and keeps the -Inf convention.
+	if got := e.LogPMF(0, e.M+1); !math.IsInf(got, -1) {
+		t.Errorf("LogPMF(0, m+1) = %v, want -Inf", got)
+	}
+	// A fresh expectation never arms a table on its own.
+	fresh := NewExpectation(det.Model(), le)
+	_ = (ProbMetric{}).Score(items[0].Observation, fresh)
+	if fresh.pmf.Load() != nil {
+		t.Error("fresh expectation grew a PMF table without EnablePMFTable")
+	}
+}
+
+// TestPMFTableSkipsOversizedDeployments: arming is a no-op past the
+// memory bound, and scoring falls back to the direct path.
+func TestPMFTableSkipsOversizedDeployments(t *testing.T) {
+	n := 64
+	m := maxPMFTableEntries // n*(m+1) far over the bound
+	e := &Expectation{G: make([]float64, n), Mu: make([]float64, n), M: m}
+	for i := range e.G {
+		e.G[i] = 0.5
+	}
+	e.EnablePMFTable()
+	if e.pmf.Load() != nil {
+		t.Fatal("oversized deployment armed a PMF table")
+	}
+	if got, want := e.LogPMF(0, 3), mathx.BinomLogPMF(3, m, 0.5); got != want {
+		t.Errorf("fallback LogPMF = %v, want %v", got, want)
+	}
+}
+
+// TestPMFBudgetBounded drives more recurring locations than the
+// cache-wide PMF budget can arm: aggregate armed table entries must
+// stay within maxPMFEntriesPerCache (each refused location just keeps
+// the direct evaluation path), and evicting armed entries must credit
+// their budget back so the counter tracks residency, not history.
+func TestPMFBudgetBounded(t *testing.T) {
+	det, _ := batchFixture(t, 1, 1)
+	model := det.Model()
+	o := make([]int, model.NumGroups())
+	r := rng.New(7)
+	locs := make([]geom.Point, 1000)
+	for i := range locs {
+		_, locs[i] = model.SampleLocation(r)
+	}
+	for round := 0; round < 2; round++ { // round 2: first reuse arms
+		for _, le := range locs {
+			det.CheckPooled(o, le)
+		}
+	}
+	c := det.expCache
+	charged := c.pmfEntries.Load()
+	if charged > maxPMFEntriesPerCache {
+		t.Errorf("armed PMF entries %d exceed cache budget %d", charged, maxPMFEntriesPerCache)
+	}
+	armed, resident := 0, 0
+	var armedCost int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			resident++
+			if e := el.Value.(*Expectation); e.pmf.Load() != nil {
+				armed++
+				armedCost += pmfCost(e)
+			}
+		}
+		s.mu.Unlock()
+	}
+	if armed == 0 || armed == resident {
+		t.Errorf("armed %d of %d resident entries; budget should arm some but not all", armed, resident)
+	}
+	if armedCost != charged {
+		t.Errorf("budget counter %d != cost of armed resident entries %d", charged, armedCost)
+	}
+
+	// Shrinking the cache and cycling locations through it must keep the
+	// counter pinned to what is actually resident (eviction credits).
+	det.SetExpCacheCapacity(16)
+	c = det.expCache
+	for round := 0; round < 2; round++ {
+		for _, le := range locs[:100] {
+			det.CheckPooled(o, le)
+			det.CheckPooled(o, le) // immediate reuse: arms before eviction
+		}
+	}
+	perEntry := pmfCost(NewExpectation(model, locs[0]))
+	maxResident := int64(((16+expCacheShards-1)/expCacheShards)*expCacheShards) * perEntry
+	if got := c.pmfEntries.Load(); got < 0 || got > maxResident {
+		t.Errorf("budget counter %d after churn, want within [0, %d]", got, maxResident)
+	}
+}
+
+func TestProbMetricPanicsOnEmptyObservation(t *testing.T) {
+	e := NewExpectation(paperModel(), geom.Pt(500, 500))
+	defer func() {
+		if recover() == nil {
+			t.Error("ProbMetric.Score of empty observation should panic, not return -Inf")
+		}
+	}()
+	_ = (ProbMetric{}).Score(nil, e)
+}

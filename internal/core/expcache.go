@@ -1,0 +1,154 @@
+package core
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/deploy"
+	"repro/internal/geom"
+)
+
+// DefaultExpCacheCapacity is the expectation-cache bound NewDetector
+// installs: at the paper deployment an armed entry (expectation + full
+// log-PMF table) is ~80 KiB, so the default caps cache memory at tens of
+// MiB while covering far more distinct claimed locations than the
+// serving workload ("many sensors report against a handful of claimed
+// positions") ever shows at once.
+const DefaultExpCacheCapacity = 1024
+
+// expCacheShards spreads the cache over independently locked shards so
+// concurrent batch chunks do not serialize on one mutex. Power of two;
+// modest because each shard holds capacity/shards entries.
+const expCacheShards = 8
+
+// maxPMFEntriesPerCache bounds the aggregate log-PMF table memory one
+// cache may arm: 1<<23 float64 entries = 64 MiB. The per-expectation
+// cap (maxPMFTableEntries) alone is not enough — a client-supplied
+// deployment just under that cap times a full cache of recurring
+// locations would otherwise pin GiBs. Locations whose arming would
+// exceed the budget simply stay on the direct evaluation path until
+// armed entries are evicted and their budget returns.
+const maxPMFEntriesPerCache = 1 << 23
+
+// expCache is a bounded, sharded LRU of *Expectation keyed by claimed
+// location. It is the cross-request complement of the per-batch
+// deduplication in CheckBatchInto: the g-table evaluation (and, for
+// recurring locations, the log-PMF table) is paid once per location per
+// residency, not once per request. Entries are immutable after insert
+// apart from their internally synchronized PMF tables, so readers share
+// them freely; evicted entries are left to the GC — they may still be
+// in use by in-flight checks and must never return to a sync.Pool.
+type expCache struct {
+	hits, misses atomic.Uint64
+	// pmfEntries tracks armed log-PMF table entries across the cache,
+	// charged at arming time and credited back on eviction.
+	pmfEntries  atomic.Int64
+	capPerShard int
+	shards      [expCacheShards]expShard
+}
+
+type expShard struct {
+	mu  sync.Mutex
+	ent map[geom.Point]*list.Element
+	lru list.List // front = most recently used; element values are *Expectation
+}
+
+func newExpCache(capacity int) *expCache {
+	c := &expCache{capPerShard: (capacity + expCacheShards - 1) / expCacheShards}
+	for i := range c.shards {
+		c.shards[i].ent = make(map[geom.Point]*list.Element)
+	}
+	return c
+}
+
+func (c *expCache) shard(p geom.Point) *expShard {
+	// SplitMix64-style mix of the coordinate bits; claimed locations are
+	// arbitrary floats, so spread them rather than trusting their bits.
+	h := math.Float64bits(p.X)*0x9e3779b97f4a7c15 ^ math.Float64bits(p.Y)*0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return &c.shards[h&(expCacheShards-1)]
+}
+
+// get returns the cached expectation for le, computing and inserting it
+// on a miss. On the first hit (= first reuse) it arms the log-PMF table:
+// a location seen once costs exactly what the uncached path costs, a
+// recurring one graduates to table-driven scoring.
+func (c *expCache) get(model *deploy.Model, le geom.Point) *Expectation {
+	s := c.shard(le)
+	s.mu.Lock()
+	if el, ok := s.ent[le]; ok {
+		s.lru.MoveToFront(el)
+		e := el.Value.(*Expectation)
+		if e.uses.Add(1) == 1 {
+			// Arm under the shard lock: eviction (which credits the
+			// budget back) holds the same lock, so an entry can never be
+			// armed and evicted concurrently. The table build itself
+			// stays lazy — arming only installs the empty table.
+			c.tryArmPMF(e)
+		}
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return e
+	}
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	// Build outside the lock: the g-table evaluation is the expensive
+	// part, and other locations on this shard must not queue behind it.
+	e := NewExpectation(model, le)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.ent[le]; ok {
+		// Lost a build race; adopt the canonical entry so every caller
+		// shares one expectation (and one PMF table).
+		s.lru.MoveToFront(el)
+		return el.Value.(*Expectation)
+	}
+	s.ent[le] = s.lru.PushFront(e)
+	for s.lru.Len() > c.capPerShard {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		ev := oldest.Value.(*Expectation)
+		if ev.pmf.Load() != nil {
+			c.pmfEntries.Add(-pmfCost(ev))
+		}
+		delete(s.ent, ev.Loc)
+	}
+	return e
+}
+
+// pmfCost is the entry count an armed table costs against the budget.
+func pmfCost(e *Expectation) int64 {
+	return int64(len(e.G)) * int64(e.M+1)
+}
+
+// tryArmPMF arms e's log-PMF table if both the per-expectation size cap
+// and the cache-wide budget allow it. Arming is attempted once per
+// residency (on the first reuse); an entry refused for budget stays on
+// the direct path until it is evicted and re-admitted, which keeps the
+// accounting race-free without per-hit CAS traffic.
+func (c *expCache) tryArmPMF(e *Expectation) {
+	cost := pmfCost(e)
+	if cost > maxPMFTableEntries {
+		return
+	}
+	if c.pmfEntries.Add(cost) > maxPMFEntriesPerCache {
+		c.pmfEntries.Add(-cost)
+		return
+	}
+	e.EnablePMFTable()
+}
+
+// stats reports resident entries and the hit/miss counters.
+func (c *expCache) stats() (size int, hits, misses uint64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		size += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return size, c.hits.Load(), c.misses.Load()
+}

@@ -21,6 +21,7 @@ package core
 
 import (
 	"math"
+	"sync/atomic"
 
 	"repro/internal/deploy"
 	"repro/internal/geom"
@@ -31,11 +32,24 @@ import (
 // per-group neighbor probabilities g_i(L_e) and the expected counts
 // µ_i = m·g_i(L_e). Computing it once per verdict amortizes the g-table
 // lookups across metrics.
+//
+// An expectation that is reused across requests (the detector's
+// expectation cache arms this on the first reuse) additionally carries a
+// lazily built per-group binomial log-PMF table, turning Probability-
+// metric scoring into an index lookup; see EnablePMFTable.
 type Expectation struct {
 	Loc geom.Point
 	G   []float64 // g_i(L_e)
 	Mu  []float64 // m·g_i(L_e)
 	M   int       // group size m
+
+	// pmf is the optional log-PMF table; nil means the Probability
+	// metric evaluates mathx.BinomLogPMF directly. Atomic because the
+	// cache arms it on a shared expectation while other goroutines score.
+	pmf atomic.Pointer[pmfTable]
+	// uses counts cache hits on this expectation; the table is armed on
+	// the first reuse so one-shot locations never pay the table build.
+	uses atomic.Uint64
 }
 
 // NewExpectation evaluates the deployment knowledge at le.
@@ -60,6 +74,8 @@ func (e *Expectation) Fill(model *deploy.Model, le geom.Point) {
 	}
 	e.Loc = le
 	e.M = model.GroupSize()
+	e.pmf.Store(nil) // the table belongs to the previous location
+	e.uses.Store(0)
 	gt := model.GTable()
 	mm := float64(e.M)
 	for i := 0; i < n; i++ {
@@ -68,6 +84,34 @@ func (e *Expectation) Fill(model *deploy.Model, le geom.Point) {
 		e.G[i] = g
 		e.Mu[i] = mm * g
 	}
+}
+
+// EnablePMFTable arms table-driven Probability scoring on e. The table
+// itself is still built lazily (the first probability score after
+// arming pays the n × (m+1) evaluations); oversized deployments
+// (numGroups × (m+1) > maxPMFTableEntries) are left on the direct path,
+// where the table would cost more memory than it saves. Safe to call
+// concurrently with scoring.
+func (e *Expectation) EnablePMFTable() {
+	n := len(e.G)
+	if n*(e.M+1) > maxPMFTableEntries {
+		return
+	}
+	if e.pmf.Load() == nil {
+		e.pmf.CompareAndSwap(nil, &pmfTable{})
+	}
+}
+
+// LogPMF returns ln P(X_i = k) for group i at the claimed location,
+// X_i ~ Binomial(m, g_i(L_e)): a table read when the log-PMF table is
+// armed and k is in range, the direct mathx.BinomLogPMF call otherwise.
+// Table entries are computed by mathx.BinomLogPMF itself, so both paths
+// are bit-identical.
+func (e *Expectation) LogPMF(i, k int) float64 {
+	if t := e.pmf.Load(); t != nil && k >= 0 && k <= e.M {
+		return t.get(e.M, e.G)[i][k]
+	}
+	return mathx.BinomLogPMF(k, e.M, e.G[i])
 }
 
 // Metric converts an observation and an expectation into an anomaly
@@ -117,8 +161,32 @@ func (ProbMetric) Name() string { return "probability" }
 
 // Score implements Metric: −ln min_i Binom(m, g_i(L_e))(o_i). Clamped
 // probabilities keep the score finite for impossible observations.
+// It panics on a zero-group observation: the min over nothing would be
+// −Inf (never alarms), silently disabling detection for a caller bug.
 func (ProbMetric) Score(o []int, e *Expectation) float64 {
+	if len(o) == 0 {
+		panic("core: ProbMetric.Score of an empty observation")
+	}
 	worst := math.Inf(-1)
+	if t := e.pmf.Load(); t != nil {
+		// Table-driven fast path: one bounds check and two slice reads
+		// per group. Out-of-support counts (k > m: the client disagrees
+		// with the deployment about group size) fall back to the direct
+		// call, which is where the −Inf-before-clamp convention lives.
+		rows := t.get(e.M, e.G)
+		for i, c := range o {
+			var lp float64
+			if uint(c) <= uint(e.M) {
+				lp = rows[i][c]
+			} else {
+				lp = mathx.BinomLogPMF(c, e.M, e.G[i])
+			}
+			if nl := -lp; nl > worst {
+				worst = nl
+			}
+		}
+		return worst
+	}
 	for i, c := range o {
 		lp := mathx.BinomLogPMF(c, e.M, e.G[i])
 		if nl := -lp; nl > worst {

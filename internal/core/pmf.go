@@ -1,0 +1,50 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/mathx"
+)
+
+// maxPMFTableEntries bounds the per-expectation log-PMF table to
+// numGroups × (m+1) entries (2 MiB of float64s). Beyond that —
+// request-supplied deployments can reach 4096 groups × 100k nodes — the
+// table would cost more memory per cached location than it saves in
+// log-gamma calls, so table-driven scoring silently stays off and the
+// Probability metric falls back to direct evaluation.
+const maxPMFTableEntries = 1 << 18
+
+// pmfTable caches, per deployment group, the full binomial log-PMF row
+//
+//	rows[i][k] = ln P(X = k),  X ~ Binomial(m, g_i(L_e)),  k = 0..m
+//
+// so Probability-metric scoring against a recurring claimed location is
+// a plain slice read instead of log-gamma arithmetic. The table is built
+// lazily, on the first probability score after arming (a score touches
+// every group, so building all n rows at once costs no more than
+// building them row by row and keeps the read path free of atomics).
+// Entries are computed by mathx.BinomLogPMF itself, so a table read is
+// bit-identical to the direct call. Safe for concurrent use via the
+// sync.Once.
+type pmfTable struct {
+	once sync.Once
+	rows [][]float64
+}
+
+// get returns the per-group rows for Binomial(m, g_i), building the
+// table on first access.
+func (t *pmfTable) get(m int, g []float64) [][]float64 {
+	t.once.Do(func() {
+		rows := make([][]float64, len(g))
+		flat := make([]float64, len(g)*(m+1))
+		for i := range rows {
+			row := flat[i*(m+1) : (i+1)*(m+1) : (i+1)*(m+1)]
+			for k := range row {
+				row[k] = mathx.BinomLogPMF(k, m, g[i])
+			}
+			rows[i] = row
+		}
+		t.rows = rows
+	})
+	return t.rows
+}

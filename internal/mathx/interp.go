@@ -111,7 +111,9 @@ func (t *LinearTable) String() string {
 // Percentile returns the q-th percentile (q in [0, 100]) of xs using
 // linear interpolation between order statistics (the "linear" definition,
 // type 7 in the Hyndman–Fan taxonomy). It copies and sorts its input.
-// It panics on an empty slice.
+// It panics on an empty slice and on q outside [0, 100] (including NaN):
+// an out-of-range τ is a caller bug — silently clamping it would turn a
+// misconfigured false-positive target into a plausible-looking threshold.
 func Percentile(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		panic("mathx: Percentile of empty slice")
@@ -128,7 +130,9 @@ func PercentileSorted(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		panic("mathx: PercentileSorted of empty slice")
 	}
-	q = Clamp(q, 0, 100)
+	if !(q >= 0 && q <= 100) { // also catches NaN
+		panic(fmt.Sprintf("mathx: percentile q = %v outside [0, 100]", q))
+	}
 	pos := q / 100 * float64(len(sorted)-1)
 	i := int(pos)
 	if i >= len(sorted)-1 {

@@ -142,9 +142,18 @@ func TestPercentile(t *testing.T) {
 	if got := Percentile([]float64{7}, 63); got != 7 {
 		t.Errorf("singleton percentile = %v", got)
 	}
-	// Out-of-range q clamps.
-	if got := Percentile(xs, 150); got != 4 {
-		t.Errorf("q>100 = %v", got)
+	// Out-of-range and NaN q are caller bugs and must fail loudly
+	// instead of clamping to a plausible-looking threshold.
+	for _, q := range []float64{-1, 100.5, math.NaN()} {
+		q := q
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(xs, %v) should panic", q)
+				}
+			}()
+			Percentile(xs, q)
+		}()
 	}
 	defer func() {
 		if recover() == nil {

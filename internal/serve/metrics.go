@@ -130,7 +130,7 @@ func (m *Metrics) Render(pool *DetectorPool) string {
 	fmt.Fprintf(&b, "ladd_observations_scored_total %d\n", m.scored.Load())
 
 	if pool != nil {
-		entries, hits, misses := pool.Stats()
+		entries, hits, misses, failures := pool.Stats()
 		b.WriteString("# HELP ladd_detector_cache_entries Trained detectors resident in the pool.\n")
 		b.WriteString("# TYPE ladd_detector_cache_entries gauge\n")
 		fmt.Fprintf(&b, "ladd_detector_cache_entries %d\n", entries)
@@ -140,13 +140,34 @@ func (m *Metrics) Render(pool *DetectorPool) string {
 		b.WriteString("# HELP ladd_detector_cache_misses_total Pool lookups that trained a new detector.\n")
 		b.WriteString("# TYPE ladd_detector_cache_misses_total counter\n")
 		fmt.Fprintf(&b, "ladd_detector_cache_misses_total %d\n", misses)
-		b.WriteString("# HELP ladd_detector_cache_hit_rate Share of pool lookups served from cache.\n")
+		b.WriteString("# HELP ladd_detector_cache_failures_total Pool lookups that returned a training error (never cached, not hits).\n")
+		b.WriteString("# TYPE ladd_detector_cache_failures_total counter\n")
+		fmt.Fprintf(&b, "ladd_detector_cache_failures_total %d\n", failures)
+		b.WriteString("# HELP ladd_detector_cache_hit_rate Share of successful pool lookups served from cache.\n")
 		b.WriteString("# TYPE ladd_detector_cache_hit_rate gauge\n")
 		rate := 0.0
 		if total := hits + misses; total > 0 {
 			rate = float64(hits) / float64(total)
 		}
 		fmt.Fprintf(&b, "ladd_detector_cache_hit_rate %g\n", rate)
+
+		expSize, expHits, expMisses := pool.ExpCacheStats()
+		b.WriteString("# HELP ladd_expectation_cache_entries Claimed locations resident in the expectation caches (all detectors).\n")
+		b.WriteString("# TYPE ladd_expectation_cache_entries gauge\n")
+		fmt.Fprintf(&b, "ladd_expectation_cache_entries %d\n", expSize)
+		b.WriteString("# HELP ladd_expectation_cache_hits_total Expectation lookups served from cache.\n")
+		b.WriteString("# TYPE ladd_expectation_cache_hits_total counter\n")
+		fmt.Fprintf(&b, "ladd_expectation_cache_hits_total %d\n", expHits)
+		b.WriteString("# HELP ladd_expectation_cache_misses_total Expectation lookups that evaluated the g-table.\n")
+		b.WriteString("# TYPE ladd_expectation_cache_misses_total counter\n")
+		fmt.Fprintf(&b, "ladd_expectation_cache_misses_total %d\n", expMisses)
+		b.WriteString("# HELP ladd_expectation_cache_hit_rate Share of expectation lookups served from cache.\n")
+		b.WriteString("# TYPE ladd_expectation_cache_hit_rate gauge\n")
+		expRate := 0.0
+		if total := expHits + expMisses; total > 0 {
+			expRate = float64(expHits) / float64(total)
+		}
+		fmt.Fprintf(&b, "ladd_expectation_cache_hit_rate %g\n", expRate)
 	}
 	return b.String()
 }

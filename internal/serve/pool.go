@@ -19,6 +19,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -87,8 +88,10 @@ func (s DetectorSpec) Validate() error {
 }
 
 // trainDetector is the production trainer: build the deployment model and
-// run threshold training.
-func trainDetector(spec DetectorSpec) (*core.Detector, error) {
+// run threshold training. workers caps the training worker pool; it is
+// assigned by the pool so concurrent cold starts share the machine
+// instead of each claiming GOMAXPROCS.
+func trainDetector(spec DetectorSpec, workers int) (*core.Detector, error) {
 	model, err := deploy.New(spec.Deployment)
 	if err != nil {
 		return nil, err
@@ -97,7 +100,9 @@ func trainDetector(spec DetectorSpec) (*core.Detector, error) {
 	if metric == nil {
 		return nil, fmt.Errorf("serve: unknown metric %q", spec.Metric)
 	}
-	det, _, err := core.Train(model, metric, spec.Train.TrainConfig())
+	cfg := spec.Train.TrainConfig()
+	cfg.Workers = workers
+	det, _, err := core.Train(model, metric, cfg)
 	return det, err
 }
 
@@ -106,47 +111,95 @@ type poolEntry struct {
 	once sync.Once
 	det  *core.Detector
 	err  error
+	// ready flips after once completes; it lets stats readers observe
+	// det without synchronizing on the (possibly in-flight) once.
+	ready atomic.Bool
 }
 
 // ErrPoolFull is returned by Get when caching a new spec would exceed
-// the pool's entry limit. Training is expensive and entries are never
-// evicted, so an unbounded pool would let clients sweeping seeds pin
-// arbitrary CPU and memory; callers should map this to 429.
+// the pool's entry limit. Training is expensive and successful entries
+// are never evicted, so an unbounded pool would let clients sweeping
+// seeds pin arbitrary CPU and memory; callers should map this to 429.
 var ErrPoolFull = errors.New("serve: detector pool is full")
+
+// DefaultTrainConcurrency is the number of training runs a pool lets
+// proceed at once. Each run's worker pool is sized GOMAXPROCS/conc, so
+// N concurrent cold starts share the machine instead of oversubscribing
+// it N-fold; 2 overlaps one run's tail with the next's ramp-up without
+// meaningfully splitting the CPU.
+const DefaultTrainConcurrency = 2
 
 // DetectorPool caches trained detectors by DetectorSpec.Key. Training is
 // single-flight: concurrent Gets for the same key block on one training
-// run; Gets for different keys train in parallel. Safe for concurrent
-// use.
+// run; Gets for different keys train in parallel, but never more than
+// the pool's training-concurrency cap at a time. Failed training runs
+// are evicted immediately — they hold their map slot only while
+// in-flight (for single-flight error sharing), so a burst of bad specs
+// cannot fill the pool into a permanent ErrPoolFull. Safe for
+// concurrent use.
 type DetectorPool struct {
-	mu      sync.Mutex
-	entries map[string]*poolEntry
-	limit   int
-	hits    atomic.Uint64
-	misses  atomic.Uint64
+	mu       sync.Mutex
+	entries  map[string]*poolEntry
+	limit    int
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	failures atomic.Uint64
+	// trainSem caps concurrent training runs; trainWorkers is the
+	// per-run worker budget (GOMAXPROCS / cap(trainSem)).
+	trainSem     chan struct{}
+	trainWorkers int
+	// expCacheCap overrides the expectation-cache capacity installed on
+	// newly trained detectors: 0 keeps core's default, negative disables.
+	expCacheCap int
 	// trainer is swappable for tests; nil means trainDetector.
-	trainer func(DetectorSpec) (*core.Detector, error)
+	trainer func(DetectorSpec, int) (*core.Detector, error)
 }
 
 // NewDetectorPool returns an empty pool using the production trainer.
 // limit caps resident entries (0 = unbounded).
 func NewDetectorPool(limit int) *DetectorPool {
-	return &DetectorPool{entries: make(map[string]*poolEntry), limit: limit}
+	p := &DetectorPool{entries: make(map[string]*poolEntry), limit: limit}
+	p.SetTrainConcurrency(DefaultTrainConcurrency)
+	return p
 }
 
 // newDetectorPoolWithTrainer is the test seam.
-func newDetectorPoolWithTrainer(trainer func(DetectorSpec) (*core.Detector, error)) *DetectorPool {
-	return &DetectorPool{entries: make(map[string]*poolEntry), trainer: trainer}
+func newDetectorPoolWithTrainer(trainer func(DetectorSpec, int) (*core.Detector, error)) *DetectorPool {
+	p := &DetectorPool{entries: make(map[string]*poolEntry), trainer: trainer}
+	p.SetTrainConcurrency(DefaultTrainConcurrency)
+	return p
+}
+
+// SetTrainConcurrency caps how many training runs may execute at once
+// (n <= 0 restores the default) and splits GOMAXPROCS across them. Not
+// safe to call while trainings are in flight — configure the pool before
+// serving.
+func (p *DetectorPool) SetTrainConcurrency(n int) {
+	if n <= 0 {
+		n = DefaultTrainConcurrency
+	}
+	p.trainSem = make(chan struct{}, n)
+	p.trainWorkers = max(1, runtime.GOMAXPROCS(0)/n)
+}
+
+// SetExpCacheCapacity sets the expectation-cache capacity applied to
+// detectors the pool trains from now on: 0 keeps core's default,
+// negative disables the cache. Configure before serving.
+func (p *DetectorPool) SetExpCacheCapacity(capacity int) {
+	p.expCacheCap = capacity
 }
 
 // Get returns the cached detector for spec, training (and caching) it on
-// first use. A failed training run is cached too — retrying a spec the
-// model rejects cannot succeed, so callers get the same error without
-// re-paying the attempt.
+// first use. Concurrent Gets for a spec that is mid-training share the
+// single flight (and its error, if it fails); once a training has failed
+// the entry is gone, so a later Get retries — transient failures
+// (resource limits) should not be remembered forever, and permanent ones
+// re-fail fast inside spec validation anyway.
 func (p *DetectorPool) Get(spec DetectorSpec) (*core.Detector, error) {
 	key := spec.Key()
 	p.mu.Lock()
 	e := p.entries[key]
+	joined := e != nil
 	if e == nil {
 		if p.limit > 0 && len(p.entries) >= p.limit {
 			p.mu.Unlock()
@@ -154,27 +207,79 @@ func (p *DetectorPool) Get(spec DetectorSpec) (*core.Detector, error) {
 		}
 		e = &poolEntry{}
 		p.entries[key] = e
-		p.misses.Add(1)
-	} else {
-		p.hits.Add(1)
 	}
 	p.mu.Unlock()
 
 	e.once.Do(func() {
+		// Shared training-parallelism cap: each run gets an equal share
+		// of the CPU budget instead of Workers = GOMAXPROCS apiece.
+		p.trainSem <- struct{}{}
+		defer func() { <-p.trainSem }()
 		train := p.trainer
 		if train == nil {
 			train = trainDetector
 		}
-		e.det, e.err = train(spec)
+		e.det, e.err = train(spec, p.trainWorkers)
+		if e.err == nil && p.expCacheCap != 0 {
+			// Applied pre-publish: the entry is not visible as ready yet,
+			// so the resize cannot race in-flight checks.
+			e.det.SetExpCacheCapacity(max(0, p.expCacheCap))
+		}
+		if e.err != nil {
+			// Evict: failed entries must not occupy limit slots, and a
+			// retry deserves a fresh flight. Guard against the slot
+			// having been recycled by an earlier eviction+retrain.
+			p.mu.Lock()
+			if p.entries[key] == e {
+				delete(p.entries, key)
+			}
+			p.mu.Unlock()
+		}
+		e.ready.Store(true)
 	})
+
+	// Error lookups are failures, not cache traffic: counting a shared
+	// failed flight as "hits" made /metrics advertise a healthy cache
+	// while every response was a 5xx.
+	switch {
+	case e.err != nil:
+		p.failures.Add(1)
+	case joined:
+		p.hits.Add(1)
+	default:
+		p.misses.Add(1)
+	}
 	return e.det, e.err
 }
 
-// Stats reports cache behavior: resident entries and the hit/miss
-// counters since the pool was created.
-func (p *DetectorPool) Stats() (entries int, hits, misses uint64) {
+// Stats reports cache behavior: resident entries and the cumulative
+// hit/miss/failure counters since the pool was created. Failures count
+// lookups that returned a training error (which never cache).
+func (p *DetectorPool) Stats() (entries int, hits, misses, failures uint64) {
 	p.mu.Lock()
 	entries = len(p.entries)
 	p.mu.Unlock()
-	return entries, p.hits.Load(), p.misses.Load()
+	return entries, p.hits.Load(), p.misses.Load(), p.failures.Load()
+}
+
+// ExpCacheStats aggregates the per-detector expectation caches across
+// every trained detector resident in the pool: total cached locations
+// and cumulative hit/miss counters. In-flight and failed entries
+// contribute nothing.
+func (p *DetectorPool) ExpCacheStats() (size int, hits, misses uint64) {
+	p.mu.Lock()
+	dets := make([]*core.Detector, 0, len(p.entries))
+	for _, e := range p.entries {
+		if e.ready.Load() && e.det != nil {
+			dets = append(dets, e.det)
+		}
+	}
+	p.mu.Unlock()
+	for _, d := range dets {
+		s, h, m := d.ExpCacheStats()
+		size += s
+		hits += h
+		misses += m
+	}
+	return size, hits, misses
 }

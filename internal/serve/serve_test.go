@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/deploy"
@@ -56,9 +58,9 @@ func TestDetectorSpecKey(t *testing.T) {
 
 func TestDetectorPoolHitMiss(t *testing.T) {
 	var trained atomic.Int32
-	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec) (*core.Detector, error) {
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, error) {
 		trained.Add(1)
-		return trainDetector(spec)
+		return trainDetector(spec, workers)
 	})
 	specA := tinySpec()
 	specB := tinySpec()
@@ -81,17 +83,18 @@ func TestDetectorPoolHitMiss(t *testing.T) {
 	if got := trained.Load(); got != 2 {
 		t.Errorf("trainer ran %d times, want 2", got)
 	}
-	entries, hits, misses := pool.Stats()
-	if entries != 2 || hits != 1 || misses != 2 {
-		t.Errorf("stats = (%d entries, %d hits, %d misses), want (2, 1, 2)", entries, hits, misses)
+	entries, hits, misses, failures := pool.Stats()
+	if entries != 2 || hits != 1 || misses != 2 || failures != 0 {
+		t.Errorf("stats = (%d entries, %d hits, %d misses, %d failures), want (2, 1, 2, 0)",
+			entries, hits, misses, failures)
 	}
 }
 
 func TestDetectorPoolSingleFlightUnderRace(t *testing.T) {
 	var trained atomic.Int32
-	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec) (*core.Detector, error) {
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, error) {
 		trained.Add(1)
-		return trainDetector(spec)
+		return trainDetector(spec, workers)
 	})
 	spec := tinySpec()
 	const goroutines = 32
@@ -120,21 +123,110 @@ func TestDetectorPoolSingleFlightUnderRace(t *testing.T) {
 	}
 }
 
-func TestDetectorPoolCachesFailure(t *testing.T) {
+func TestDetectorPoolEvictsFailedTraining(t *testing.T) {
 	var trained atomic.Int32
-	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec) (*core.Detector, error) {
+	fail := atomic.Bool{}
+	fail.Store(true)
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, error) {
 		trained.Add(1)
-		return nil, fmt.Errorf("boom")
+		if fail.Load() {
+			return nil, fmt.Errorf("boom")
+		}
+		return trainDetector(spec, workers)
 	})
 	spec := tinySpec()
 	if _, err := pool.Get(spec); err == nil {
 		t.Fatal("want error")
 	}
-	if _, err := pool.Get(spec); err == nil {
-		t.Fatal("want cached error")
+	// The failed entry must not linger: no residency, no hit accounting.
+	entries, hits, misses, failures := pool.Stats()
+	if entries != 0 {
+		t.Errorf("failed training left %d resident entries", entries)
 	}
-	if got := trained.Load(); got != 1 {
-		t.Errorf("failed training retried: %d runs", got)
+	if hits != 0 || misses != 0 || failures != 1 {
+		t.Errorf("stats after failure = (%d hits, %d misses, %d failures), want (0, 0, 1)",
+			hits, misses, failures)
+	}
+	// A retry gets a fresh flight — and can succeed once the cause clears.
+	fail.Store(false)
+	if _, err := pool.Get(spec); err != nil {
+		t.Fatalf("retry after failure: %v", err)
+	}
+	if got := trained.Load(); got != 2 {
+		t.Errorf("trainer ran %d times, want 2 (fail + retry)", got)
+	}
+}
+
+// TestFailedTrainingDoesNotBrickPool is the PR 2 serving-pool bugfix: a
+// burst of distinct bad specs used to occupy limit slots forever and
+// turn every later lookup into ErrPoolFull.
+func TestFailedTrainingDoesNotBrickPool(t *testing.T) {
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, error) {
+		if spec.Train.Seed >= 100 {
+			return nil, fmt.Errorf("bad spec %d", spec.Train.Seed)
+		}
+		return trainDetector(spec, workers)
+	})
+	pool.limit = 2
+	bad := tinySpec()
+	for i := 0; i < 10; i++ {
+		bad.Train.Seed = 100 + uint64(i)
+		if _, err := pool.Get(bad); err == nil {
+			t.Fatal("bad spec should fail")
+		}
+	}
+	good := tinySpec()
+	if _, err := pool.Get(good); err != nil {
+		t.Fatalf("good spec after bad burst: %v", err)
+	}
+	if _, _, _, failures := pool.Stats(); failures != 10 {
+		t.Errorf("failures = %d, want 10", failures)
+	}
+}
+
+// TestTrainingConcurrencyCap proves parallel cold starts share the
+// machine: at most cap trainings run at once, each with a split worker
+// budget, instead of N runs each claiming GOMAXPROCS.
+func TestTrainingConcurrencyCap(t *testing.T) {
+	var active, peak atomic.Int32
+	var badWorkers atomic.Int32
+	release := make(chan struct{})
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, error) {
+		if workers < 1 || workers > max(1, runtime.GOMAXPROCS(0)/2) {
+			badWorkers.Store(int32(workers))
+		}
+		n := active.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		<-release
+		active.Add(-1)
+		return nil, fmt.Errorf("synthetic")
+	})
+	pool.SetTrainConcurrency(2)
+	const lookups = 8
+	var wg sync.WaitGroup
+	for i := 0; i < lookups; i++ {
+		spec := tinySpec()
+		spec.Train.Seed = 1000 + uint64(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool.Get(spec) //nolint:errcheck // synthetic failure expected
+		}()
+	}
+	// Let the trainings queue up against the semaphore, then drain.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := peak.Load(); got > 2 {
+		t.Errorf("peak concurrent trainings = %d, cap is 2", got)
+	}
+	if w := badWorkers.Load(); w != 0 {
+		t.Errorf("training worker budget %d outside [1, GOMAXPROCS/2]", w)
 	}
 }
 
@@ -298,7 +390,7 @@ func TestPerRequestDetectorSpecIsCached(t *testing.T) {
 			t.Fatalf("status %d: %s", resp.StatusCode, body)
 		}
 	}
-	entries, hits, misses := srv.Pool().Stats()
+	entries, hits, misses, _ := srv.Pool().Stats()
 	if entries != 2 {
 		t.Errorf("pool entries = %d, want 2 (default + add-all)", entries)
 	}
@@ -420,10 +512,31 @@ func TestHealthzAndMetrics(t *testing.T) {
 		`ladd_requests_total{endpoint="check",code="2xx"} 1`,
 		"ladd_observations_scored_total 1",
 		"ladd_detector_cache_misses_total 1",
+		"ladd_detector_cache_failures_total 0",
 		"ladd_request_duration_seconds_bucket",
+		"ladd_expectation_cache_entries 1",
+		"ladd_expectation_cache_misses_total 1",
+		"ladd_expectation_cache_hit_rate",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q in:\n%s", want, text)
 		}
+	}
+
+	// A second check at the same claimed location is an expectation-cache
+	// hit and must show up in the gauges.
+	r3, body := postJSON(t, ts.URL+"/v1/check", CheckRequest{Observation: it.Observation, Location: it.Location})
+	if r3.StatusCode != http.StatusOK {
+		t.Fatalf("second check failed: %s", body)
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	_, _ = out.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(out.String(), "ladd_expectation_cache_hits_total 1") {
+		t.Errorf("expectation cache hit not recorded:\n%s", out.String())
 	}
 }

@@ -85,6 +85,16 @@ type ServerConfig struct {
 	// evicted); 0 means DefaultMaxCachedDetectors. Only consulted when
 	// NewServer builds the pool itself.
 	MaxCachedDetectors int
+	// MaxConcurrentTrainings caps detector training runs in flight at
+	// once (each run's worker pool is sized GOMAXPROCS/cap, so parallel
+	// cold starts share the machine); 0 means DefaultTrainConcurrency.
+	// Only consulted when NewServer builds the pool itself.
+	MaxConcurrentTrainings int
+	// ExpCacheCapacity bounds each detector's cross-request expectation
+	// cache (distinct claimed locations); 0 means the core default,
+	// negative disables the cache. Only consulted when NewServer builds
+	// the pool itself.
+	ExpCacheCapacity int
 }
 
 // DefaultMaxBatch bounds batch size when ServerConfig leaves it zero.
@@ -148,6 +158,8 @@ func NewServer(cfg ServerConfig, pool *DetectorPool) (*Server, error) {
 	}
 	if pool == nil {
 		pool = NewDetectorPool(cfg.MaxCachedDetectors)
+		pool.SetTrainConcurrency(cfg.MaxConcurrentTrainings)
+		pool.SetExpCacheCapacity(cfg.ExpCacheCapacity)
 	}
 	return &Server{cfg: cfg, pool: pool, metrics: NewMetrics()}, nil
 }
