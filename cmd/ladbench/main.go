@@ -1,9 +1,11 @@
-// Command ladbench measures the detector scoring hot path and emits the
-// results as JSON, so every PR can record a comparable perf snapshot
-// (BENCH_PR2.json is the first) and CI can upload one per push.
+// Command ladbench measures the LAD hot paths and emits the results as
+// JSON, so every PR can record a comparable perf snapshot (BENCH_PR2.json
+// covers scoring, BENCH_PR3.json adds training/localization) and CI can
+// upload one per push.
 //
-// For each metric it benchmarks three paths over the same items (batch
-// -batch, -locations distinct claimed locations, paper deployment):
+// Scoring section — for each metric, three paths over the same items
+// (batch -batch, -locations distinct claimed locations, paper
+// deployment):
 //
 //   - sequential: one fresh Check per item — the naive reference.
 //   - batch_pr1:  CheckBatchInto with the expectation cache disabled and
@@ -13,14 +15,29 @@
 //   - batch:      CheckBatchInto as served today — cross-request
 //     expectation cache, lazily built log-PMF tables, sharded workers.
 //
-// Verdict equality across all three paths is asserted before timing;
-// a mismatch is a hard failure, because a fast wrong answer is not a
+// Training/localization section — for the paper deployment (100 groups)
+// and a 4× larger one (400 groups), two paths each:
+//
+//   - engine:  the spatially indexed, log-space, allocation-free path —
+//     deploy.Model's group index prunes sampling and expectations,
+//     the likelihood reads ln g / ln(1−g) from GTable's log companion
+//     (zero math.Log per probe), and per-worker localize.Sessions reuse
+//     all scratch.
+//   - pre_pr3: full-scan model (SetSpatialIndex(false)) plus the
+//     reference likelihood (TrainConfig.ReferenceLocalizer) — the PR 2
+//     arithmetic, kept runnable for the same reason as batch_pr1.
+//
+// Equality is asserted before timing: scoring paths must produce
+// verdicts bit-identical to fresh Check, the indexed training path must
+// produce thresholds bit-identical to the full-scan path, and the
+// steady-state localization benchmark must report zero allocs/op. A
+// violation is a hard failure, because a fast wrong answer is not a
 // benchmark result.
 //
 // Usage:
 //
-//	go run ./cmd/ladbench -out BENCH_PR2.json
-//	go run ./cmd/ladbench -batch 256 -locations 8 -trials 300
+//	go run ./cmd/ladbench -out BENCH_PR3.json
+//	go run ./cmd/ladbench -baseline BENCH_PR3.json   # print speedup vs a snapshot
 package main
 
 import (
@@ -35,10 +52,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/deploy"
 	"repro/internal/geom"
+	"repro/internal/localize"
 	"repro/internal/rng"
 )
 
-// result is one timed configuration.
+// result is one timed scoring configuration.
 type result struct {
 	Name        string  `json:"name"`
 	Metric      string  `json:"metric"`
@@ -51,19 +69,41 @@ type result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// trainResult is one timed training or localization configuration.
+type trainResult struct {
+	Name         string  `json:"name"`
+	Deployment   string  `json:"deployment"`
+	Groups       int     `json:"groups"`
+	Kind         string  `json:"kind"` // "train" or "localize"
+	Path         string  `json:"path"` // "engine" or "pre_pr3"
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	TrialsPerSec float64 `json:"trials_per_sec,omitempty"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+}
+
 // report is the JSON document ladbench writes.
 type report struct {
-	Schema      int                `json:"schema"`
-	GoVersion   string             `json:"go_version"`
-	GOMAXPROCS  int                `json:"gomaxprocs"`
-	Batch       int                `json:"batch"`
-	Locations   int                `json:"locations"`
-	TrainTrials int                `json:"train_trials"`
-	Results     []result           `json:"results"`
+	Schema      int      `json:"schema"`
+	GoVersion   string   `json:"go_version"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Batch       int      `json:"batch"`
+	Locations   int      `json:"locations"`
+	TrainTrials int      `json:"train_trials"`
+	Results     []result `json:"results"`
 	// SpeedupVsPR1 is, per metric, batch_pr1 ns/op over batch ns/op —
 	// the factor the table-driven cached path buys over the PR 1 batch
 	// path on identical items.
 	SpeedupVsPR1 map[string]float64 `json:"speedup_vs_pr1"`
+	// Training holds the training/localization section.
+	Training []trainResult `json:"training"`
+	// SpeedupTraining is, per deployment, pre_pr3 training ns/op over
+	// engine ns/op (trials/sec gain of the indexed log-space engine).
+	SpeedupTraining map[string]float64 `json:"speedup_training"`
+	// SpeedupLocalize is the same ratio for single steady-state
+	// localizations.
+	SpeedupLocalize map[string]float64 `json:"speedup_localize"`
 }
 
 func main() {
@@ -72,6 +112,7 @@ func main() {
 		batch     = flag.Int("batch", 256, "items per batch")
 		locations = flag.Int("locations", 8, "distinct claimed locations per batch")
 		trials    = flag.Int("trials", 300, "training trials per detector")
+		baseline  = flag.String("baseline", "", "previous ladbench JSON snapshot to print speedups against")
 	)
 	flag.Parse()
 
@@ -81,19 +122,52 @@ func main() {
 	}
 
 	rep := report{
-		Schema:       1,
-		GoVersion:    runtime.Version(),
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
-		Batch:        *batch,
-		Locations:    *locations,
-		TrainTrials:  *trials,
-		SpeedupVsPR1: map[string]float64{},
+		Schema:          2,
+		GoVersion:       runtime.Version(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Batch:           *batch,
+		Locations:       *locations,
+		TrainTrials:     *trials,
+		SpeedupVsPR1:    map[string]float64{},
+		SpeedupTraining: map[string]float64{},
+		SpeedupLocalize: map[string]float64{},
 	}
 
+	scoringSection(&rep, model, *batch, *locations, *trials)
+	trainingSection(&rep, *trials)
+
+	enc := json.NewEncoder(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("ladbench: %v", err)
+		}
+		defer f.Close()
+		enc = json.NewEncoder(f)
+	}
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatalf("ladbench: %v", err)
+	}
+	for m, s := range rep.SpeedupVsPR1 {
+		fmt.Fprintf(os.Stderr, "ladbench: %-12s batch speedup vs PR1 path: %.2fx\n", m, s)
+	}
+	for d, s := range rep.SpeedupTraining {
+		fmt.Fprintf(os.Stderr, "ladbench: %-12s training speedup vs pre-PR3 path: %.2fx\n", d, s)
+	}
+	for d, s := range rep.SpeedupLocalize {
+		fmt.Fprintf(os.Stderr, "ladbench: %-12s localize speedup vs pre-PR3 path: %.2fx\n", d, s)
+	}
+	if *baseline != "" {
+		compareBaseline(*baseline, rep)
+	}
+}
+
+func scoringSection(rep *report, model *deploy.Model, batch, locations, trials int) {
 	for _, metric := range core.AllMetrics() {
-		items := sampleItems(model, *batch, *locations)
+		items := sampleItems(model, batch, locations)
 		fresh, _, err := core.Train(model, metric, core.TrainConfig{
-			Trials: *trials, Percentile: 99, Seed: 41, KeepInField: true,
+			Trials: trials, Percentile: 99, Seed: 41, KeepInField: true,
 		})
 		if err != nil {
 			log.Fatalf("ladbench: training %s: %v", metric.Name(), err)
@@ -132,26 +206,186 @@ func main() {
 			path string
 			res  testing.BenchmarkResult
 		}{{"sequential", seq}, {"batch_pr1", old}, {"batch", now}} {
-			rep.Results = append(rep.Results, toResult(metric.Name(), r.path, *batch, r.res))
+			rep.Results = append(rep.Results, toResult(metric.Name(), r.path, batch, r.res))
 		}
 		rep.SpeedupVsPR1[metric.Name()] = float64(old.NsPerOp()) / float64(now.NsPerOp())
 	}
+}
 
-	enc := json.NewEncoder(os.Stdout)
-	if *out != "" {
-		f, err := os.Create(*out)
+// benchDeployments are the training-section configurations: the paper
+// setup and a 4× wider field at the same group density, where spatial
+// pruning pays even more.
+func benchDeployments() []struct {
+	name string
+	cfg  deploy.Config
+} {
+	big := deploy.Config{
+		Field:     geom.NewRect(geom.Pt(0, 0), geom.Pt(2000, 2000)),
+		GroupsX:   20,
+		GroupsY:   20,
+		GroupSize: 300,
+		Sigma:     50,
+		Range:     50,
+		Layout:    deploy.LayoutGrid,
+	}
+	return []struct {
+		name string
+		cfg  deploy.Config
+	}{
+		{"paper100", deploy.PaperConfig()},
+		{"grid400", big},
+	}
+}
+
+func trainingSection(rep *report, trials int) {
+	for _, d := range benchDeployments() {
+		engine, err := deploy.New(d.cfg)
 		if err != nil {
 			log.Fatalf("ladbench: %v", err)
 		}
-		defer f.Close()
-		enc = json.NewEncoder(f)
+		scan, err := deploy.New(d.cfg)
+		if err != nil {
+			log.Fatalf("ladbench: %v", err)
+		}
+		scan.SetSpatialIndex(false)
+		cfg := core.TrainConfig{Trials: trials, Percentile: 99, Seed: 41, KeepInField: true}
+		refCfg := cfg
+		refCfg.ReferenceLocalizer = true
+
+		// Equivalence gate: the indexed engine must train bit-identical
+		// thresholds to the full-scan path before either is timed.
+		dEng, _, err := core.Train(engine, core.DiffMetric{}, cfg)
+		if err != nil {
+			log.Fatalf("ladbench: %s train: %v", d.name, err)
+		}
+		dScan, _, err := core.Train(scan, core.DiffMetric{}, cfg)
+		if err != nil {
+			log.Fatalf("ladbench: %s train: %v", d.name, err)
+		}
+		if dEng.Threshold() != dScan.Threshold() {
+			log.Fatalf("ladbench: %s: indexed threshold %v != full-scan threshold %v — refusing to time a wrong answer",
+				d.name, dEng.Threshold(), dScan.Threshold())
+		}
+
+		groups := engine.NumGroups()
+		trainEng := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Train(engine, core.DiffMetric{}, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		trainPre := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Train(scan, core.DiffMetric{}, refCfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		// Steady-state single localization, engine vs pre-PR3, on a
+		// per-worker Session (the training loop's shape).
+		r := rng.New(43)
+		group, la := engine.SampleLocation(r)
+		for !engine.Field().Contains(la) {
+			group, la = engine.SampleLocation(r)
+		}
+		obs := engine.SampleObservation(la, group, r)
+		mleEng := localize.NewBeaconlessModel(engine)
+		mleRef := localize.NewBeaconlessModel(scan)
+		mleRef.Reference = true
+		sessEng, sessRef := mleEng.NewSession(), mleRef.NewSession()
+		if _, err := sessEng.BindLocalize(obs); err != nil {
+			log.Fatalf("ladbench: %s localize: %v", d.name, err)
+		}
+		if _, err := sessRef.BindLocalize(obs); err != nil {
+			log.Fatalf("ladbench: %s localize: %v", d.name, err)
+		}
+		locEng := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sessEng.BindLocalize(obs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		locPre := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sessRef.BindLocalize(obs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if a := locEng.AllocsPerOp(); a != 0 {
+			log.Fatalf("ladbench: %s: steady-state localization allocates %d/op, want 0", d.name, a)
+		}
+
+		for _, tr := range []struct {
+			kind, path string
+			res        testing.BenchmarkResult
+		}{
+			{"train", "engine", trainEng},
+			{"train", "pre_pr3", trainPre},
+			{"localize", "engine", locEng},
+			{"localize", "pre_pr3", locPre},
+		} {
+			out := trainResult{
+				Name:        fmt.Sprintf("%s/%s/%s", d.name, tr.kind, tr.path),
+				Deployment:  d.name,
+				Groups:      groups,
+				Kind:        tr.kind,
+				Path:        tr.path,
+				Iterations:  tr.res.N,
+				NsPerOp:     float64(tr.res.NsPerOp()),
+				BytesPerOp:  tr.res.AllocedBytesPerOp(),
+				AllocsPerOp: tr.res.AllocsPerOp(),
+			}
+			if tr.kind == "train" {
+				out.TrialsPerSec = float64(trials) / (float64(tr.res.NsPerOp()) / 1e9)
+			}
+			rep.Training = append(rep.Training, out)
+		}
+		rep.SpeedupTraining[d.name] = float64(trainPre.NsPerOp()) / float64(trainEng.NsPerOp())
+		rep.SpeedupLocalize[d.name] = float64(locPre.NsPerOp()) / float64(locEng.NsPerOp())
 	}
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		log.Fatalf("ladbench: %v", err)
+}
+
+// compareBaseline prints, for every result name present in both the
+// baseline snapshot and this run, the old/new ns_per_op ratio — the CI
+// job runs it against the committed BENCH_PR*.json so the log shows
+// drift against the last recorded state.
+func compareBaseline(path string, rep report) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ladbench: baseline %s unreadable: %v\n", path, err)
+		return
 	}
-	for m, s := range rep.SpeedupVsPR1 {
-		fmt.Fprintf(os.Stderr, "ladbench: %-12s batch speedup vs PR1 path: %.2fx\n", m, s)
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "ladbench: baseline %s unparsable: %v\n", path, err)
+		return
+	}
+	old := map[string]float64{}
+	for _, r := range base.Results {
+		old[r.Name] = r.NsPerOp
+	}
+	for _, r := range base.Training {
+		old[r.Name] = r.NsPerOp
+	}
+	report := func(name string, ns float64) {
+		if prev, ok := old[name]; ok && ns > 0 {
+			fmt.Fprintf(os.Stderr, "ladbench: vs %s: %-28s %8.0f -> %8.0f ns/op (%.2fx)\n",
+				path, name, prev, ns, prev/ns)
+		}
+	}
+	for _, r := range rep.Results {
+		report(r.Name, r.NsPerOp)
+	}
+	for _, r := range rep.Training {
+		report(r.Name, r.NsPerOp)
 	}
 }
 

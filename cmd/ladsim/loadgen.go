@@ -204,5 +204,13 @@ func reportCacheGauges(client *http.Client, baseURL string) {
 		if strings.HasPrefix(line, "ladd_detector_cache_") || strings.HasPrefix(line, "ladd_expectation_cache_") {
 			fmt.Printf("loadgen: %s\n", line)
 		}
+		// Cold-start cost: how long the daemon spent training detectors
+		// (the histogram buckets are noise at loadgen granularity; sum,
+		// count, and the most recent run tell the story).
+		if strings.HasPrefix(line, "ladd_train_seconds_sum") ||
+			strings.HasPrefix(line, "ladd_train_seconds_count") ||
+			strings.HasPrefix(line, "ladd_train_last_seconds") {
+			fmt.Printf("loadgen: %s\n", line)
+		}
 	}
 }

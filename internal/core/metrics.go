@@ -64,9 +64,10 @@ func NewExpectation(model *deploy.Model, le geom.Point) *Expectation {
 }
 
 // Fill re-evaluates the expectation at le in place, reusing the G/Mu
-// buffers (which must have length model.NumGroups()). The arithmetic is
-// identical to NewExpectation, so pooled and freshly allocated
-// expectations produce bit-identical scores.
+// buffers (which must have length model.NumGroups()). The evaluation
+// goes through the model's spatially indexed deploy.Model.GMuInto, which
+// is bit-identical to scanning every group, so pooled, freshly
+// allocated, and pre-index expectations all produce identical scores.
 func (e *Expectation) Fill(model *deploy.Model, le geom.Point) {
 	n := model.NumGroups()
 	if len(e.G) != n || len(e.Mu) != n {
@@ -76,14 +77,7 @@ func (e *Expectation) Fill(model *deploy.Model, le geom.Point) {
 	e.M = model.GroupSize()
 	e.pmf.Store(nil) // the table belongs to the previous location
 	e.uses.Store(0)
-	gt := model.GTable()
-	mm := float64(e.M)
-	for i := 0; i < n; i++ {
-		z := le.Dist(model.DeploymentPoint(i))
-		g := gt.Eval(z)
-		e.G[i] = g
-		e.Mu[i] = mm * g
-	}
+	model.GMuInto(e.G, e.Mu, le)
 }
 
 // EnablePMFTable arms table-driven Probability scoring on e. The table

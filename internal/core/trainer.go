@@ -28,6 +28,14 @@ type TrainConfig struct {
 	// the deployment field (edge sensors behave differently; the paper's
 	// setup keeps the field large enough that this barely matters).
 	KeepInField bool
+	// ReferenceLocalizer routes every benign trial's localization through
+	// the pre-PR3 likelihood arithmetic (full-scan g-table Eval plus a
+	// math.Log/math.Log1p per group per probe) instead of the log-space
+	// table engine. Benchmarks use it so the training-throughput speedup
+	// is measured against a runnable baseline, not remembered; thresholds
+	// under the two paths differ only by the log table's interpolation
+	// error.
+	ReferenceLocalizer bool
 }
 
 func (c *TrainConfig) normalize() error {
@@ -78,6 +86,7 @@ func BenignScores(model *deploy.Model, metrics []Metric, cfg TrainConfig) ([][]f
 	}
 
 	loc := localize.NewBeaconlessModel(model)
+	loc.Reference = cfg.ReferenceLocalizer
 	scores := make([][]float64, len(metrics))
 	for i := range scores {
 		scores[i] = make([]float64, cfg.Trials)
@@ -97,9 +106,20 @@ func BenignScores(model *deploy.Model, metrics []Metric, cfg TrainConfig) ([][]f
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			o := make([]int, model.NumGroups())
+			// Everything a trial touches is per-worker and reused: the
+			// observation buffer, the localization Session (active-set and
+			// search scratch), the scoring Expectation, and the RNG
+			// (reseeded per trial, bit-identical to a fresh generator).
+			// Steady state the loop body performs no heap allocations, and
+			// since trial t's stream depends only on seeds[t], results are
+			// identical for any worker count and trial interleaving.
+			n := model.NumGroups()
+			o := make([]int, n)
+			sess := loc.NewSession()
+			e := &Expectation{G: make([]float64, n), Mu: make([]float64, n)}
+			r := rng.New(0)
 			for t := range next {
-				r := rng.New(seeds[t])
+				r.Reseed(seeds[t])
 				group, la := model.SampleLocation(r)
 				if cfg.KeepInField {
 					for !model.Field().Contains(la) {
@@ -107,7 +127,7 @@ func BenignScores(model *deploy.Model, metrics []Metric, cfg TrainConfig) ([][]f
 					}
 				}
 				model.SampleObservationInto(o, la, group, r)
-				le, err := loc.LocalizeObservation(o)
+				le, err := sess.BindLocalize(o)
 				if err != nil {
 					// Isolated sensor: localization is impossible and LAD
 					// has nothing to verify. Score 0 (never alarms); the
@@ -120,7 +140,7 @@ func BenignScores(model *deploy.Model, metrics []Metric, cfg TrainConfig) ([][]f
 					continue
 				}
 				locErrs[t] = le.Dist(la)
-				e := NewExpectation(model, le)
+				e.Fill(model, le)
 				for mi, m := range metrics {
 					scores[mi][t] = m.Score(o, e)
 				}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/deploy"
+)
+
+// TestTrainIndexedBitIdenticalToScan is the PR's training-equivalence
+// acceptance check: with the deployment model's spatial index on or off,
+// BenignScores must produce bit-identical scores and localization errors
+// — the sampling consumes the RNG stream identically, the MLE returns
+// identical estimates, and the expectations fill identically — and Train
+// must therefore produce bit-identical thresholds. Checked for all three
+// layouts and all three metrics.
+func TestTrainIndexedBitIdenticalToScan(t *testing.T) {
+	for name, layout := range map[string]deploy.Layout{
+		"grid": deploy.LayoutGrid, "hex": deploy.LayoutHex, "random": deploy.LayoutRandom,
+	} {
+		cfgD := deploy.PaperConfig()
+		cfgD.Layout = layout
+		cfgD.RandomSeed = 7
+		indexed := deploy.MustNew(cfgD)
+		scan := deploy.MustNew(cfgD)
+		scan.SetSpatialIndex(false)
+
+		cfg := TrainConfig{Trials: 120, Percentile: 99, Seed: 23, KeepInField: true}
+		s1, e1, err := BenignScores(indexed, AllMetrics(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, e2, err := BenignScores(scan, AllMetrics(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mi := range s1 {
+			for ti := range s1[mi] {
+				if s1[mi][ti] != s2[mi][ti] {
+					t.Fatalf("%s: score[%d][%d]: indexed %v != scan %v",
+						name, mi, ti, s1[mi][ti], s2[mi][ti])
+				}
+			}
+		}
+		for ti := range e1 {
+			// NaN marks a failed trial; both paths must fail identically.
+			if e1[ti] != e2[ti] && !(e1[ti] != e1[ti] && e2[ti] != e2[ti]) {
+				t.Fatalf("%s: locErr[%d]: indexed %v != scan %v", name, ti, e1[ti], e2[ti])
+			}
+		}
+
+		for _, metric := range AllMetrics() {
+			d1, _, err := Train(indexed, metric, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d2, _, err := Train(scan, metric, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d1.Threshold() != d2.Threshold() {
+				t.Fatalf("%s/%s: threshold indexed %v != scan %v",
+					name, metric.Name(), d1.Threshold(), d2.Threshold())
+			}
+		}
+	}
+}
+
+// TestTrainThresholdIdenticalForAnyWorkerCount extends the existing
+// determinism coverage through Train itself: per-worker sessions,
+// reseeded RNGs, and reused expectations must not leak any state between
+// trials, so every worker count produces the same threshold.
+func TestTrainThresholdIdenticalForAnyWorkerCount(t *testing.T) {
+	model := paperModel()
+	var want float64
+	for i, workers := range []int{1, 2, 3, 7} {
+		cfg := TrainConfig{Trials: 90, Percentile: 95, Seed: 31, KeepInField: true, Workers: workers}
+		det, _, err := Train(model, ProbMetric{}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = det.Threshold()
+			continue
+		}
+		if det.Threshold() != want {
+			t.Fatalf("workers=%d: threshold %v != workers=1 threshold %v",
+				workers, det.Threshold(), want)
+		}
+	}
+}
+
+// TestReferenceLocalizerRuns keeps the benchmark baseline honest: the
+// pre-PR3 likelihood path must stay runnable through TrainConfig and
+// produce a threshold in the same ballpark as the engine (the two differ
+// only by log-table interpolation error).
+func TestReferenceLocalizerRuns(t *testing.T) {
+	model := paperModel()
+	cfg := TrainConfig{Trials: 100, Percentile: 99, Seed: 17, KeepInField: true}
+	refCfg := cfg
+	refCfg.ReferenceLocalizer = true
+	dEng, _, err := Train(model, DiffMetric{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dRef, _, err := Train(model, DiffMetric{}, refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := dEng.Threshold(), dRef.Threshold()
+	if diff := a - b; diff < -0.05*b || diff > 0.05*b {
+		t.Errorf("engine threshold %v vs reference %v: more than 5%% apart", a, b)
+	}
+}

@@ -83,16 +83,46 @@ func clamp01(x float64) float64 {
 	return x
 }
 
+// LogClampEps is the probability floor/ceiling applied before taking
+// logarithms of g: likelihoods clamp g into [LogClampEps, 1−LogClampEps]
+// so impossible observations stay finite (strongly penalized, still
+// climbable). The log-space companion table bakes the same clamp into
+// its samples, so table-driven and direct log evaluation agree on the
+// convention.
+const LogClampEps = 1e-9
+
 // GTable is the precomputed lookup table for g(z) prescribed by Section
 // 3.3: ω equal sub-ranges over [0, R+6σ] with linear interpolation, so a
 // sensor evaluates g in constant time. Beyond the table domain g is 0.
+//
+// Alongside the linear g(z) table it carries a log-space companion:
+// samples of ln g and ln(1−g) on a grid uniform in the *squared* distance
+// z². LogEval2 interpolates both in one lookup keyed by z², which lets
+// the localization likelihood evaluate a candidate point with zero
+// math.Sqrt, math.Log, or math.Log1p calls per group — the training/MLE
+// hot path of the paper's Section 5.5.
 type GTable struct {
 	r, sigma float64
 	table    *mathx.LinearTable
+
+	// Log-space companion, uniform in s = z² over [0, MaxZ²]. Samples are
+	// interleaved pairs {ln clamp(g), ln(1 − clamp(g))} so one lookup
+	// touches one cache line and two bounds checks instead of two arrays.
+	maxZ2   float64
+	invStep float64      // logOmega / maxZ2
+	logs    [][2]float64 // {ln g, ln(1−g)} at k·maxZ2/logOmega
+	lnEps   float64      // ln LogClampEps, the far-group penalty constant
 }
 
+// logOmegaFactor scales the log-companion resolution relative to ω. The
+// companion is parameterized by z², which spends resolution on large z
+// (where ln g plunges toward the clamp) and little near z = 0 (where ln g
+// is flat); 4ω samples keep its interpolation error in ln g comparable
+// to the linear table's error in g. See TestGTableLogEvalAccuracy.
+const logOmegaFactor = 4
+
 // NewGTable precomputes g(z) at omega+1 points for the given transmission
-// range and deployment spread.
+// range and deployment spread, plus the log-space companion table.
 func NewGTable(r, sigma float64, omega int) *GTable {
 	if omega < 1 {
 		omega = 1
@@ -105,7 +135,27 @@ func NewGTable(r, sigma float64, omega int) *GTable {
 		// Unreachable for validated inputs: omega >= 1 and maxZ > 0.
 		panic(err)
 	}
-	return &GTable{r: r, sigma: sigma, table: t}
+	g := &GTable{r: r, sigma: sigma, table: t}
+	g.buildLogTable(logOmegaFactor * omega)
+	return g
+}
+
+// buildLogTable samples the clamped log-probabilities off the linear
+// table (so the companion is the log of the g the likelihood would
+// otherwise clamp and log directly — cheap to build, consistent by
+// construction).
+func (g *GTable) buildLogTable(logOmega int) {
+	maxZ := g.MaxZ()
+	g.maxZ2 = maxZ * maxZ
+	g.invStep = float64(logOmega) / g.maxZ2
+	g.logs = make([][2]float64, logOmega+1)
+	g.lnEps = math.Log(LogClampEps)
+	step := g.maxZ2 / float64(logOmega)
+	for k := range g.logs {
+		z := math.Sqrt(float64(k) * step)
+		gv := mathx.Clamp(g.Eval(z), LogClampEps, 1-LogClampEps)
+		g.logs[k] = [2]float64{math.Log(gv), math.Log1p(-gv)}
+	}
 }
 
 // Eval returns the interpolated g(z); 0 beyond MaxZ.
@@ -121,6 +171,56 @@ func (g *GTable) Eval(z float64) float64 {
 
 // MaxZ returns the distance beyond which g is treated as zero.
 func (g *GTable) MaxZ() float64 { return g.r + tailSigmas*g.sigma }
+
+// MaxZ2 returns MaxZ squared — the threshold LogEval2 callers compare
+// squared distances against.
+func (g *GTable) MaxZ2() float64 { return g.maxZ2 }
+
+// LnEps returns ln(LogClampEps): the log-probability assigned to an
+// observation from a group beyond MaxZ. Precomputed so likelihood inner
+// loops never call math.Log.
+func (g *GTable) LnEps() float64 { return g.lnEps }
+
+// LogEval2 returns the clamped log-probabilities (ln g, ln(1−g)) at
+// squared distance z2, interpolated from the log-space companion table.
+// Beyond MaxZ² it returns (LnEps, 0): g is zero there, so observing a
+// neighbor is penalized at the clamp floor and observing none costs
+// nothing — exactly the convention the beaconless likelihood uses, which
+// makes the far-group contribution o·lnG + (m−o)·ln1G correct without
+// any branch in the caller.
+func (g *GTable) LogEval2(z2 float64) (lnG, ln1G float64) {
+	if z2 >= g.maxZ2 {
+		return g.lnEps, 0
+	}
+	u := z2 * g.invStep
+	i := int(u)
+	if i >= len(g.logs)-1 { // float rounding at the right edge
+		i = len(g.logs) - 2
+	}
+	f := u - float64(i)
+	lo, hi := g.logs[i], g.logs[i+1]
+	return lo[0] + (hi[0]-lo[0])*f, lo[1] + (hi[1]-lo[1])*f
+}
+
+// LogTableView is the raw log-companion table: the interleaved
+// {ln g, ln(1−g)} samples plus the constants LogEval2 combines them
+// with. LogEval2 is above the compiler's inlining budget, so likelihood
+// inner loops that evaluate it per group per probe fetch the view once
+// and inline the two-line interpolation themselves; an evaluation
+// through the view MUST use exactly LogEval2's arithmetic (same
+// operation order) to stay bit-identical with it. The slice is shared,
+// not a copy — callers must not write to it.
+type LogTableView struct {
+	Logs    [][2]float64
+	InvStep float64
+	MaxZ2   float64
+	LnEps   float64
+}
+
+// LogTable returns the raw view of the log-space companion table.
+func (g *GTable) LogTable() LogTableView {
+	return LogTableView{Logs: g.logs, InvStep: g.invStep, MaxZ2: g.maxZ2, LnEps: g.lnEps}
+}
 
 // Omega returns the number of sub-ranges in the table.
 func (g *GTable) Omega() int { return g.table.Omega() }

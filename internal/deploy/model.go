@@ -97,12 +97,20 @@ func (c Config) Validate() error {
 }
 
 // Model is an immutable deployment-knowledge instance: the deployment
-// points plus the spread/range parameters and the precomputed g(z)
-// table. It is safe for concurrent use.
+// points plus the spread/range parameters, the precomputed g(z) table,
+// and a spatial index over the deployment points. It is safe for
+// concurrent use.
 type Model struct {
 	cfg    Config
 	points []geom.Point // deployment point of group i
 	gTable *GTable
+	// index buckets the deployment points so the hot paths visit only
+	// groups within GTable.MaxZ() of a location instead of all n. nil
+	// (SetSpatialIndex(false)) selects the full-scan reference path; both
+	// paths are bit-identical, the scan one exists so benchmarks and
+	// equivalence tests can run against it.
+	index   *groupIndex
+	scratch scratchPool
 }
 
 // New constructs a Model from the configuration, laying out deployment
@@ -124,6 +132,7 @@ func New(cfg Config) (*Model, error) {
 		return nil, fmt.Errorf("deploy: unknown layout %v", cfg.Layout)
 	}
 	m.gTable = NewGTable(cfg.Range, cfg.Sigma, DefaultOmega)
+	m.index = newGroupIndex(m.points)
 	return m, nil
 }
 
@@ -216,6 +225,43 @@ func (m *Model) DeploymentPoints() []geom.Point {
 // GTable returns the model's precomputed g(z) lookup table.
 func (m *Model) GTable() *GTable { return m.gTable }
 
+// SetSpatialIndex enables (the default) or disables the spatial index
+// over deployment points. With the index off every location-dependent
+// method falls back to the full scan over all n groups — the pre-index
+// reference path, kept runnable so benchmarks measure the speedup
+// against it and equivalence tests can assert bit-identical results.
+// Not safe to call concurrently with queries; configure before use.
+func (m *Model) SetSpatialIndex(enabled bool) {
+	if enabled {
+		if m.index == nil {
+			m.index = newGroupIndex(m.points)
+		}
+		return
+	}
+	m.index = nil
+}
+
+// SpatialIndexEnabled reports whether the group index is active.
+func (m *Model) SpatialIndexEnabled() bool { return m.index != nil }
+
+// NearGroupsInto appends to dst (usually dst[:0] of a reusable buffer)
+// the ids of every group whose deployment point lies within radius of
+// loc, sorted ascending, and returns the extended slice. The result may
+// additionally include a few groups slightly beyond radius (pruning is
+// done at spatial-grid-cell granularity): callers that need an exact
+// boundary must re-test each candidate, which keeps indexed code paths
+// bit-identical to full scans regardless of floating-point rounding at
+// the boundary. With the index disabled it appends every group id.
+func (m *Model) NearGroupsInto(dst []int32, loc geom.Point, radius float64) []int32 {
+	if m.index == nil {
+		for i := range m.points {
+			dst = append(dst, int32(i))
+		}
+		return dst
+	}
+	return m.index.appendNear(dst, loc, radius)
+}
+
 // PDF returns the resident-point density f_k^i(x, y | k ∈ G_i) for a node
 // of group i at location p (Section 3.2).
 func (m *Model) PDF(group int, p geom.Point) float64 {
@@ -258,21 +304,39 @@ func (m *Model) ExpectedObservation(loc geom.Point) []float64 {
 }
 
 // ExpectedObservationInto fills dst (length NumGroups) with µ at loc,
-// avoiding allocation in Monte-Carlo loops.
+// avoiding allocation in Monte-Carlo loops. Only groups within
+// GTable.MaxZ() of loc are evaluated (g is exactly zero beyond); the
+// spatial index finds them without scanning all n, and the per-group
+// arithmetic is identical to the full scan, so results are bit-identical
+// either way.
 func (m *Model) ExpectedObservationInto(dst []float64, loc geom.Point) {
 	if len(dst) != m.NumGroups() {
 		panic("deploy: ExpectedObservationInto length mismatch")
 	}
 	mm := float64(m.cfg.GroupSize)
 	maxZ := m.gTable.MaxZ()
-	for i, dp := range m.points {
-		z := loc.Dist(dp)
+	if m.index == nil {
+		for i, dp := range m.points {
+			z := loc.Dist(dp)
+			if z >= maxZ {
+				dst[i] = 0
+				continue
+			}
+			dst[i] = mm * m.gTable.Eval(z)
+		}
+		return
+	}
+	clear(dst)
+	near := m.scratch.get()
+	*near = m.index.appendNear((*near)[:0], loc, maxZ)
+	for _, i := range *near {
+		z := loc.Dist(m.points[i])
 		if z >= maxZ {
-			dst[i] = 0
 			continue
 		}
 		dst[i] = mm * m.gTable.Eval(z)
 	}
+	m.scratch.put(near)
 }
 
 // SampleObservation draws an observation o = (o_1 … o_n) for a sensor at
@@ -285,33 +349,98 @@ func (m *Model) SampleObservation(loc geom.Point, self int, r *rng.Rand) []int {
 	return o
 }
 
-// SampleObservationInto is SampleObservation writing into dst.
+// SampleObservationInto is SampleObservation writing into dst. The
+// spatial index prunes the scan to groups near loc; candidates are
+// visited in ascending group order and re-tested with the same z >= MaxZ
+// predicate as the full scan, so the binomial draws consume the RNG
+// stream identically and the outputs are bit-identical with the index on
+// or off.
 func (m *Model) SampleObservationInto(dst []int, loc geom.Point, self int, r *rng.Rand) {
 	if len(dst) != m.NumGroups() {
 		panic("deploy: SampleObservationInto length mismatch")
 	}
 	maxZ := m.gTable.MaxZ()
-	for i, dp := range m.points {
-		z := loc.Dist(dp)
+	if m.index == nil {
+		for i, dp := range m.points {
+			z := loc.Dist(dp)
+			if z >= maxZ {
+				dst[i] = 0
+				continue
+			}
+			trials := m.cfg.GroupSize
+			if i == self {
+				trials-- // a sensor does not observe itself
+			}
+			dst[i] = r.Binomial(trials, m.gTable.Eval(z))
+		}
+		return
+	}
+	clear(dst)
+	near := m.scratch.get()
+	*near = m.index.appendNear((*near)[:0], loc, maxZ)
+	for _, i := range *near {
+		z := loc.Dist(m.points[i])
 		if z >= maxZ {
-			dst[i] = 0
 			continue
 		}
 		trials := m.cfg.GroupSize
-		if i == self {
+		if int(i) == self {
 			trials-- // a sensor does not observe itself
 		}
 		dst[i] = r.Binomial(trials, m.gTable.Eval(z))
 	}
+	m.scratch.put(near)
+}
+
+// GMuInto fills g (g_i(loc)) and mu (m·g_i(loc)) in one indexed pass —
+// the detector's Expectation.Fill hot path. Both slices must have length
+// NumGroups; far groups are set to exactly 0, matching what GTable.Eval
+// returns beyond MaxZ, so the results are bit-identical to evaluating
+// every group.
+func (m *Model) GMuInto(g, mu []float64, loc geom.Point) {
+	if len(g) != m.NumGroups() || len(mu) != m.NumGroups() {
+		panic("deploy: GMuInto length mismatch")
+	}
+	mm := float64(m.cfg.GroupSize)
+	maxZ := m.gTable.MaxZ()
+	if m.index == nil {
+		for i, dp := range m.points {
+			gi := m.gTable.Eval(loc.Dist(dp))
+			g[i] = gi
+			mu[i] = mm * gi
+		}
+		return
+	}
+	clear(g)
+	clear(mu)
+	near := m.scratch.get()
+	*near = m.index.appendNear((*near)[:0], loc, maxZ)
+	for _, i := range *near {
+		gi := m.gTable.Eval(loc.Dist(m.points[i]))
+		g[i] = gi
+		mu[i] = mm * gi
+	}
+	m.scratch.put(near)
 }
 
 // ExpectedDegree returns the expected total number of neighbors of a
-// sensor at loc: Σ_i m·g_i(loc).
+// sensor at loc: Σ_i m·g_i(loc). Far groups contribute exactly zero, so
+// summing only the indexed candidates (in ascending group order) is
+// bit-identical to the full scan.
 func (m *Model) ExpectedDegree(loc geom.Point) float64 {
 	var sum float64
 	mm := float64(m.cfg.GroupSize)
-	for i := range m.points {
-		sum += mm * m.G(i, loc)
+	if m.index == nil {
+		for i := range m.points {
+			sum += mm * m.G(i, loc)
+		}
+		return sum
 	}
+	near := m.scratch.get()
+	*near = m.index.appendNear((*near)[:0], loc, m.gTable.MaxZ())
+	for _, i := range *near {
+		sum += mm * m.G(int(i), loc)
+	}
+	m.scratch.put(near)
 	return sum
 }

@@ -2,6 +2,7 @@ package localize
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/deploy"
 	"repro/internal/geom"
@@ -18,9 +19,20 @@ import (
 //
 // The search seeds at the observation-weighted centroid of the deployment
 // points and refines with an adaptive compass (pattern) search: at each
-// scale it probes the four axis directions and halves the step when no
-// probe improves the likelihood. The likelihood surface is smooth and
-// unimodal within a cell, so this converges in a few dozen evaluations.
+// scale it probes the axis and diagonal directions and halves the step
+// when no probe improves the likelihood. The likelihood surface is smooth
+// and unimodal within a cell, so this converges in a few dozen
+// evaluations.
+//
+// The likelihood engine is built for the Section 5.5 training loop, which
+// runs one localization per Monte-Carlo trial: candidate evaluation is
+// table-driven in log space (deploy.GTable.LogEval2 — no math.Sqrt,
+// math.Log, or math.Log1p per group), the active group set is found
+// through the deployment model's spatial index, and all working state
+// lives in reusable Sessions, so steady-state localization performs zero
+// heap allocations. The convenience methods on Beaconless run on pooled
+// Sessions and are safe for concurrent use; workers that localize in a
+// loop should hold their own Session via NewSession.
 type Beaconless struct {
 	model *deploy.Model
 	net   *wsn.Network // nil when used observation-only
@@ -29,6 +41,17 @@ type Beaconless struct {
 	// Zero values select defaults tied to the deployment cell size.
 	MaxStep float64
 	MinStep float64
+
+	// Reference routes candidate evaluation through the pre-PR3
+	// arithmetic — full g-table Eval plus a math.Log and math.Log1p per
+	// active group per probe. It exists so benchmarks measure the
+	// log-space engine against a runnable baseline and tests can bound
+	// the (table-interpolation-sized) deviation between the two. Set it
+	// before handing the scheme out; it is not synchronized.
+	Reference bool
+
+	// sessions recycles Sessions for the convenience wrappers.
+	sessions sync.Pool
 }
 
 // NewBeaconless builds the scheme for a deployed network.
@@ -53,135 +76,322 @@ func (b *Beaconless) Localize(id wsn.NodeID) (geom.Point, error) {
 	return b.LocalizeObservation(b.net.ObservationOf(id))
 }
 
+// session returns a pooled Session.
+func (b *Beaconless) session() *Session {
+	if s, ok := b.sessions.Get().(*Session); ok {
+		return s
+	}
+	return b.NewSession()
+}
+
 // LocalizeObservation estimates a location from an observation vector
-// o (length NumGroups).
+// o (length NumGroups). It runs on a pooled Session: steady state, zero
+// heap allocations.
 func (b *Beaconless) LocalizeObservation(o []int) (geom.Point, error) {
-	return b.LocalizeMasked(o, nil)
+	s := b.session()
+	p, err := s.BindLocalize(o)
+	b.sessions.Put(s)
+	return p, err
 }
 
 // LocalizeMasked is LocalizeObservation with groups flagged in exclude
 // removed from the likelihood — the LAD corrector uses this to trim
 // groups whose counts look tainted. A nil exclude means no exclusions.
 func (b *Beaconless) LocalizeMasked(o []int, exclude []bool) (geom.Point, error) {
-	ll := newLikelihood(b.model, o)
-	if ll == nil {
-		return geom.Point{}, ErrNoObservation
+	s := b.session()
+	var p geom.Point
+	err := s.Bind(o)
+	if err == nil {
+		p, err = s.LocalizeMasked(exclude)
 	}
-	if exclude != nil {
-		kept := ll.active[:0]
-		for _, i := range ll.active {
-			if i < len(exclude) && exclude[i] {
-				continue
-			}
-			kept = append(kept, i)
-		}
-		ll.active = kept
-		if len(ll.active) == 0 {
-			return geom.Point{}, ErrNoObservation
-		}
-	}
-	start := b.initialGuess(o)
-	maxStep := b.MaxStep
-	if maxStep <= 0 {
-		// Half a deployment cell: the weighted centroid is never farther
-		// off than that in practice.
-		cfg := b.model.Config()
-		maxStep = cfg.Field.Width() / float64(cfg.GroupsX) / 2
-	}
-	minStep := b.MinStep
-	if minStep <= 0 {
-		minStep = 0.25
-	}
-	best := patternSearch(ll.at, start, maxStep, minStep)
-	return best, nil
+	b.sessions.Put(s)
+	return p, err
 }
 
 // LogLikelihoodAt exposes the observation log-likelihood at an arbitrary
 // location; the LAD corrector re-uses it to re-estimate locations after
 // an alarm.
 func (b *Beaconless) LogLikelihoodAt(o []int, loc geom.Point) float64 {
-	ll := newLikelihood(b.model, o)
-	if ll == nil {
-		return math.Inf(-1)
+	s := b.session()
+	v := math.Inf(-1)
+	if s.Bind(o) == nil {
+		v = s.LogLikelihoodAt(loc)
 	}
-	return ll.at(loc)
+	b.sessions.Put(s)
+	return v
 }
 
-// initialGuess returns the observation-weighted centroid of the
-// deployment points.
-func (b *Beaconless) initialGuess(o []int) geom.Point {
-	var sx, sy, sw float64
-	for i, c := range o {
-		if c <= 0 {
-			continue
+// Session is a reusable localization context: the likelihood's active
+// set, scratch buffers, and search closure, allocated once and recycled
+// across observations. A Session is NOT safe for concurrent use; give
+// each worker its own (the training loop in core.BenignScores does).
+type Session struct {
+	b  *Beaconless
+	ll likelihood
+	// eval is ll.at bound once at construction, so pattern search does
+	// not materialize a new closure per localization.
+	eval func(geom.Point) float64
+}
+
+// NewSession returns a fresh Session for this scheme. The constructor is
+// the only allocation site; every subsequent Bind/Localize on the
+// Session reuses its buffers.
+func (b *Beaconless) NewSession() *Session {
+	s := &Session{b: b}
+	s.eval = s.ll.at
+	return s
+}
+
+// Bind points the Session at an observation (length NumGroups), building
+// the likelihood's active group set and the observation-weighted
+// centroid in one pass. It returns ErrNoObservation for an empty or
+// wrong-length observation. The Session keeps a reference to o until the
+// next Bind; callers reusing the slice must finish localizing first.
+func (s *Session) Bind(o []int) error {
+	if !s.ll.bind(s.b.model, o, s.b.Reference) {
+		return ErrNoObservation
+	}
+	return nil
+}
+
+// BindLocalize is Bind followed by Localize — the per-trial call of the
+// training loop.
+func (s *Session) BindLocalize(o []int) (geom.Point, error) {
+	if err := s.Bind(o); err != nil {
+		return geom.Point{}, err
+	}
+	return s.Localize()
+}
+
+// Localize estimates the bound observation's location.
+func (s *Session) Localize() (geom.Point, error) {
+	return s.LocalizeMasked(nil)
+}
+
+// LocalizeMasked estimates the bound observation's location with groups
+// flagged in exclude removed from the likelihood. A nil exclude means no
+// exclusions.
+func (s *Session) LocalizeMasked(exclude []bool) (geom.Point, error) {
+	return s.LocalizeFrom(s.ll.centroid, 0, exclude)
+}
+
+// LocalizeFrom is LocalizeMasked with an explicit pattern-search start
+// and maximum step — the warm-start entry point. Iterative refits of the
+// same observation (the corrector's trim rounds) pass the previous
+// round's estimate, which is already near the refit optimum, so the
+// search converges in fewer probes than restarting from the centroid.
+// A non-finite start or maxStep <= 0 select the defaults (the bound
+// centroid, the scheme's MaxStep).
+func (s *Session) LocalizeFrom(start geom.Point, maxStep float64, exclude []bool) (geom.Point, error) {
+	if !s.ll.bound() {
+		return geom.Point{}, ErrNoObservation
+	}
+	if !s.ll.mask(exclude) {
+		return geom.Point{}, ErrNoObservation
+	}
+	if !start.IsFinite() {
+		start = s.ll.centroid
+	}
+	if maxStep <= 0 {
+		maxStep = s.b.MaxStep
+		if maxStep <= 0 {
+			// Half a deployment cell: the weighted centroid is never
+			// farther off than that in practice.
+			cfg := s.b.model.Config()
+			maxStep = cfg.Field.Width() / float64(cfg.GroupsX) / 2
 		}
-		dp := b.model.DeploymentPoint(i)
-		w := float64(c)
-		sx += dp.X * w
-		sy += dp.Y * w
-		sw += w
 	}
-	if sw == 0 {
-		return b.model.Field().Center()
+	// The active set built at Bind covers candidates near the centroid
+	// (MaxZ plus one cell of margin — the envelope a search seeded at the
+	// centroid stays inside). A warm start preserves that envelope only
+	// if it begins within the search's own step budget of the centroid;
+	// one that begins farther out (a caller-supplied distant point, or
+	// drift accumulated over many trim rounds) would let the search
+	// reach candidates whose nearby zero-count groups were pruned,
+	// silently truncating the likelihood. Fall back to the centroid
+	// there: the warm start is an optimization, coverage is correctness.
+	if start.Dist(s.ll.centroid) > maxStep {
+		start = s.ll.centroid
 	}
-	return geom.Pt(sx/sw, sy/sw)
+	minStep := s.b.MinStep
+	if minStep <= 0 {
+		minStep = 0.25
+	}
+	return patternSearch(s.eval, start, maxStep, minStep), nil
+}
+
+// LogLikelihoodAt evaluates the bound observation's log-likelihood at an
+// arbitrary location (over the full active set, no mask). It returns
+// -Inf when no observation is bound.
+func (s *Session) LogLikelihoodAt(p geom.Point) float64 {
+	if !s.ll.bound() {
+		return math.Inf(-1)
+	}
+	s.ll.act = s.ll.base
+	return s.ll.at(p)
 }
 
 // likelihood evaluates the binomial log-likelihood of a fixed observation
 // at candidate locations. Group-independent terms (log C(m, o_i)) are
 // dropped — they do not affect the argmax — and only an active set of
-// groups near the search region or with nonzero counts is scanned.
+// groups near the search region or with nonzero counts is scanned. The
+// active set is found through the deployment model's spatial index; every
+// buffer is reused across bind calls.
 type likelihood struct {
 	model  *deploy.Model
+	gt     *deploy.GTable
 	counts []int
-	active []int // group indices that can influence the likelihood
 	m      int
+
+	// centroid is the observation-weighted centroid of the deployment
+	// points: both the pattern-search seed and the center of the active-
+	// set margin disk (one computation, used for both).
+	centroid geom.Point
+
+	base   []int32 // active set of the bound observation, ascending
+	act    []int32 // base, or actBuf after a mask
+	actBuf []int32
+	near   []int32 // spatial-index candidate scratch
+	mark   []bool  // per-group "within margin" flags, reused
+
+	// logs is the raw log-companion table view; at inlines the lookup
+	// (deploy.GTable.LogEval2 is over the compiler's inlining budget)
+	// using exactly LogEval2's arithmetic.
+	logs      deploy.LogTableView
+	reference bool
 }
 
-func newLikelihood(model *deploy.Model, o []int) *likelihood {
+// bind rebuilds the likelihood for an observation; false means the
+// observation is unusable (wrong length or no neighbors at all).
+func (ll *likelihood) bind(model *deploy.Model, o []int, reference bool) bool {
+	ll.counts = nil
 	if len(o) != model.NumGroups() {
-		return nil
+		return false
 	}
 	total := 0
-	for _, c := range o {
-		total += c
-	}
-	if total == 0 {
-		return nil
-	}
-	ll := &likelihood{model: model, counts: o, m: model.GroupSize()}
-
-	// Active set: groups with a nonzero count always matter (their o_i·ln p
-	// term varies); zero-count groups matter only where g_i > 0, i.e.
-	// within MaxZ of the candidate. The pattern search stays within
-	// maxStep of the weighted centroid, so a margin of MaxZ + one cell
-	// around that centroid covers every reachable candidate.
 	var cx, cy, cw float64
 	for i, c := range o {
+		total += c
 		if c > 0 {
 			dp := model.DeploymentPoint(i)
-			cx += dp.X * float64(c)
-			cy += dp.Y * float64(c)
-			cw += float64(c)
+			w := float64(c)
+			cx += dp.X * w
+			cy += dp.Y * w
+			cw += w
 		}
 	}
-	center := geom.Pt(cx/cw, cy/cw)
+	if total == 0 {
+		return false
+	}
+	ll.model = model
+	ll.gt = model.GTable()
+	ll.counts = o
+	ll.m = model.GroupSize()
+	ll.logs = ll.gt.LogTable()
+	ll.reference = reference
+	ll.centroid = geom.Pt(cx/cw, cy/cw)
+
+	// Active set: groups with a nonzero count always matter (their
+	// o_i·ln g term varies); zero-count groups matter only where g_i > 0,
+	// i.e. within MaxZ of the candidate. The pattern search stays within
+	// maxStep of the weighted centroid, so a margin of MaxZ + one cell
+	// around that centroid covers every reachable candidate. The spatial
+	// index yields the margin disk's candidates; each is re-tested with
+	// the same predicate a full scan would use, so the resulting set is
+	// identical with the index on or off.
 	cfg := model.Config()
-	margin := model.GTable().MaxZ() + cfg.Field.Width()/float64(cfg.GroupsX)
-	for i := 0; i < model.NumGroups(); i++ {
-		if o[i] > 0 || model.DeploymentPoint(i).Dist(center) <= margin {
-			ll.active = append(ll.active, i)
+	margin := ll.gt.MaxZ() + cfg.Field.Width()/float64(cfg.GroupsX)
+	n := model.NumGroups()
+	if cap(ll.mark) < n {
+		ll.mark = make([]bool, n)
+	} else {
+		ll.mark = ll.mark[:n]
+		clear(ll.mark)
+	}
+	ll.near = model.NearGroupsInto(ll.near[:0], ll.centroid, margin)
+	for _, i := range ll.near {
+		if model.DeploymentPoint(int(i)).Dist(ll.centroid) <= margin {
+			ll.mark[i] = true
 		}
 	}
-	return ll
+	ll.base = ll.base[:0]
+	for i := 0; i < n; i++ {
+		if o[i] > 0 || ll.mark[i] {
+			ll.base = append(ll.base, int32(i))
+		}
+	}
+	ll.act = ll.base
+	return true
 }
 
+// bound reports whether a usable observation is bound.
+func (ll *likelihood) bound() bool { return ll.counts != nil }
+
+// mask selects the working active set: base minus the excluded groups.
+// false means nothing is left to fit.
+func (ll *likelihood) mask(exclude []bool) bool {
+	if exclude == nil {
+		ll.act = ll.base
+		return len(ll.act) > 0
+	}
+	ll.actBuf = ll.actBuf[:0]
+	for _, i := range ll.base {
+		if int(i) < len(exclude) && exclude[i] {
+			continue
+		}
+		ll.actBuf = append(ll.actBuf, i)
+	}
+	ll.act = ll.actBuf
+	return len(ll.act) > 0
+}
+
+// at is the pattern search's objective: the log-likelihood at p over the
+// active set. The hot path is branch-light and transcendental-free — per
+// group one squared distance, one log-table lookup (ln g and ln(1−g)
+// together), and two multiply-adds. Groups beyond MaxZ contribute
+// o·ln(eps) through the table's clamped tail, matching the reference
+// path's explicit penalty.
 func (ll *likelihood) at(p geom.Point) float64 {
-	const eps = 1e-9
+	if ll.reference {
+		return ll.referenceAt(p)
+	}
+	var sum float64
+	mm := float64(ll.m)
+	logs, invStep, maxZ2, lnEps := ll.logs.Logs, ll.logs.InvStep, ll.logs.MaxZ2, ll.logs.LnEps
+	for _, i := range ll.act {
+		dp := ll.model.DeploymentPoint(int(i))
+		dx, dy := p.X-dp.X, p.Y-dp.Y
+		z2 := dx*dx + dy*dy
+		// Inlined GTable.LogEval2 (same arithmetic, bit-identical).
+		var lg, l1g float64
+		if z2 >= maxZ2 {
+			lg, l1g = lnEps, 0
+		} else {
+			u := z2 * invStep
+			k := int(u)
+			if k >= len(logs)-1 { // float rounding at the right edge
+				k = len(logs) - 2
+			}
+			f := u - float64(k)
+			lo, hi := logs[k], logs[k+1]
+			lg = lo[0] + (hi[0]-lo[0])*f
+			l1g = lo[1] + (hi[1]-lo[1])*f
+		}
+		o := float64(ll.counts[i])
+		sum += o*lg + (mm-o)*l1g
+	}
+	return sum
+}
+
+// referenceAt is the pre-PR3 objective, kept runnable for benchmarks and
+// deviation tests: g-table lookup in linear space, then clamp and
+// math.Log/math.Log1p per group per probe.
+func (ll *likelihood) referenceAt(p geom.Point) float64 {
+	const eps = deploy.LogClampEps
 	var sum float64
 	gt := ll.model.GTable()
-	for _, i := range ll.active {
-		z := p.Dist(ll.model.DeploymentPoint(i))
+	for _, i := range ll.act {
+		z := p.Dist(ll.model.DeploymentPoint(int(i)))
 		g := gt.Eval(z)
 		o := ll.counts[i]
 		if g <= 0 {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package localize
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package localize
+
+// raceEnabled reports that this test binary runs under the race
+// detector, where sync.Pool deliberately drops Puts at random and the
+// pooled wrappers therefore cannot promise zero allocations.
+const raceEnabled = true

@@ -31,7 +31,17 @@ func splitmix64(x *uint64) uint64 {
 
 // New returns a generator seeded from the given 64-bit seed.
 func New(seed uint64) *Rand {
-	var r Rand
+	r := new(Rand)
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets r to exactly the state New(seed) returns, reusing the
+// allocation. Loops that derive one substream per iteration (the
+// training loop's per-trial seeds) reseed a per-worker generator instead
+// of allocating a fresh one each time; the produced stream is
+// bit-identical either way.
+func (r *Rand) Reseed(seed uint64) {
 	s := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&s)
@@ -40,7 +50,8 @@ func New(seed uint64) *Rand {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &r
+	r.spare = 0
+	r.hasSpare = false
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

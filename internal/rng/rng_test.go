@@ -246,3 +246,25 @@ func TestShuffleUniformity(t *testing.T) {
 		}
 	}
 }
+
+func TestReseedMatchesNew(t *testing.T) {
+	// Reseed must reproduce New's stream exactly, including clearing the
+	// polar method's cached spare variate: without that, a reseeded
+	// generator would leak one Gaussian from the previous substream.
+	r := New(123)
+	r.Norm() // leave a spare cached
+	r.Reseed(456)
+	fresh := New(456)
+	for i := 0; i < 100; i++ {
+		if a, b := r.Uint64(), fresh.Uint64(); a != b {
+			t.Fatalf("draw %d: reseeded %x != fresh %x", i, a, b)
+		}
+	}
+	r.Reseed(789)
+	fresh2 := New(789)
+	for i := 0; i < 100; i++ {
+		if a, b := r.Norm(), fresh2.Norm(); a != b {
+			t.Fatalf("Norm %d: reseeded %v != fresh %v", i, a, b)
+		}
+	}
+}

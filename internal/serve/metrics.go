@@ -151,6 +151,20 @@ func (m *Metrics) Render(pool *DetectorPool) string {
 		}
 		fmt.Fprintf(&b, "ladd_detector_cache_hit_rate %g\n", rate)
 
+		trainCount, trainTotal, trainLast, trainBkts := pool.TrainStats()
+		bounds := pool.TrainBuckets()
+		b.WriteString("# HELP ladd_train_seconds Wall time of successful detector training runs (cold-start cost).\n")
+		b.WriteString("# TYPE ladd_train_seconds histogram\n")
+		for i, ub := range bounds {
+			fmt.Fprintf(&b, "ladd_train_seconds_bucket{le=%q} %d\n", formatBound(ub), trainBkts[i])
+		}
+		fmt.Fprintf(&b, "ladd_train_seconds_bucket{le=\"+Inf\"} %d\n", trainCount)
+		fmt.Fprintf(&b, "ladd_train_seconds_sum %g\n", trainTotal)
+		fmt.Fprintf(&b, "ladd_train_seconds_count %d\n", trainCount)
+		b.WriteString("# HELP ladd_train_last_seconds Wall time of the most recent successful training run.\n")
+		b.WriteString("# TYPE ladd_train_last_seconds gauge\n")
+		fmt.Fprintf(&b, "ladd_train_last_seconds %g\n", trainLast)
+
 		expSize, expHits, expMisses := pool.ExpCacheStats()
 		b.WriteString("# HELP ladd_expectation_cache_entries Claimed locations resident in the expectation caches (all detectors).\n")
 		b.WriteString("# TYPE ladd_expectation_cache_entries gauge\n")

@@ -19,9 +19,11 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/deploy"
@@ -153,6 +155,66 @@ type DetectorPool struct {
 	expCacheCap int
 	// trainer is swappable for tests; nil means trainDetector.
 	trainer func(DetectorSpec, int) (*core.Detector, error)
+
+	// Training-duration accounting: cold starts are the pool's dominant
+	// latency (seconds of Monte-Carlo per new spec vs microseconds per
+	// check), so their cost is first-class observable — /metrics exports
+	// it as the ladd_train_seconds histogram. Successful runs only;
+	// failures are visible through the failures counter.
+	trainCount atomic.Uint64
+	trainNanos atomic.Int64
+	trainLast  atomic.Int64
+	trainHist  [numTrainBuckets]atomic.Uint64
+}
+
+// trainBuckets are the ladd_train_seconds histogram upper bounds,
+// spanning trivial test-sized trainings through multi-minute cold starts
+// of request-supplied maximum-size specs.
+var trainBuckets = [numTrainBuckets]float64{0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
+
+const numTrainBuckets = 12
+
+// observeTraining records one successful training run's duration.
+func (p *DetectorPool) observeTraining(d time.Duration) {
+	p.trainCount.Add(1)
+	p.trainNanos.Add(d.Nanoseconds())
+	p.trainLast.Store(d.Nanoseconds())
+	sec := d.Seconds()
+	for i, ub := range trainBuckets {
+		if sec <= ub {
+			p.trainHist[i].Add(1)
+		}
+	}
+}
+
+// TrainStats reports the pool's training-duration accounting: runs
+// completed, cumulative and most-recent wall time, and the cumulative
+// histogram counts matching TrainBuckets. Failed runs are not included.
+func (p *DetectorPool) TrainStats() (count uint64, totalSeconds, lastSeconds float64, buckets []uint64) {
+	buckets = make([]uint64, len(trainBuckets))
+	for i := range buckets {
+		buckets[i] = p.trainHist[i].Load()
+	}
+	return p.trainCount.Load(),
+		float64(p.trainNanos.Load()) / 1e9,
+		float64(p.trainLast.Load()) / 1e9,
+		buckets
+}
+
+// TrainBuckets returns the histogram upper bounds (seconds) TrainStats
+// buckets correspond to.
+func (p *DetectorPool) TrainBuckets() []float64 {
+	return append([]float64(nil), trainBuckets[:]...)
+}
+
+// MeanTrainSeconds is the average successful training duration, NaN
+// before the first completed run.
+func (p *DetectorPool) MeanTrainSeconds() float64 {
+	n := p.trainCount.Load()
+	if n == 0 {
+		return math.NaN()
+	}
+	return float64(p.trainNanos.Load()) / 1e9 / float64(n)
 }
 
 // NewDetectorPool returns an empty pool using the production trainer.
@@ -219,7 +281,11 @@ func (p *DetectorPool) Get(spec DetectorSpec) (*core.Detector, error) {
 		if train == nil {
 			train = trainDetector
 		}
+		start := time.Now()
 		e.det, e.err = train(spec, p.trainWorkers)
+		if e.err == nil {
+			p.observeTraining(time.Since(start))
+		}
 		if e.err == nil && p.expCacheCap != 0 {
 			// Applied pre-publish: the entry is not visible as ready yet,
 			// so the resize cannot race in-flight checks.

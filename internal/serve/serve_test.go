@@ -540,3 +540,59 @@ func TestHealthzAndMetrics(t *testing.T) {
 		t.Errorf("expectation cache hit not recorded:\n%s", out.String())
 	}
 }
+
+func TestTrainDurationMetrics(t *testing.T) {
+	// Training duration is the pool's dominant cold-start cost; it must
+	// be recorded per successful run and exported as ladd_train_seconds.
+	trained := 0
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, error) {
+		trained++
+		if spec.Train.Seed == 666 {
+			return nil, fmt.Errorf("synthetic failure")
+		}
+		time.Sleep(5 * time.Millisecond)
+		return trainDetector(spec, workers)
+	})
+
+	spec := tinySpec()
+	if _, err := pool.Get(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Get(spec); err != nil { // cache hit: no new training
+		t.Fatal(err)
+	}
+	bad := tinySpec()
+	bad.Train.Seed = 666
+	if _, err := pool.Get(bad); err == nil {
+		t.Fatal("synthetic failure should surface")
+	}
+
+	count, total, last, buckets := pool.TrainStats()
+	if count != 1 {
+		t.Errorf("train count = %d, want 1 (hits and failures must not count)", count)
+	}
+	if total <= 0 || last <= 0 {
+		t.Errorf("train seconds total=%v last=%v, want > 0", total, last)
+	}
+	if len(buckets) != len(pool.TrainBuckets()) {
+		t.Fatalf("bucket count %d != bound count %d", len(buckets), len(pool.TrainBuckets()))
+	}
+	if top := buckets[len(buckets)-1]; top != 1 {
+		t.Errorf("widest bucket holds %d runs, want 1", top)
+	}
+	if mean := pool.MeanTrainSeconds(); mean <= 0 {
+		t.Errorf("mean train seconds = %v, want > 0", mean)
+	}
+
+	text := NewMetrics().Render(pool)
+	for _, want := range []string{
+		"ladd_train_seconds_count 1",
+		"ladd_train_seconds_sum ",
+		"ladd_train_seconds_bucket{le=\"+Inf\"} 1",
+		"ladd_train_last_seconds ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -136,6 +136,9 @@ type (
 	// Beaconless is the deployment-knowledge MLE localization scheme the
 	// paper evaluates LAD with (its ref [8]).
 	Beaconless = localize.Beaconless
+	// LocalizeSession is a reusable, allocation-free localization
+	// context for callers that localize in a loop (one per worker).
+	LocalizeSession = localize.Session
 	// Scheme is any localization algorithm bound to a network.
 	Scheme = localize.Scheme
 )
