@@ -27,17 +27,24 @@
 //     reference likelihood (TrainConfig.ReferenceLocalizer) — the PR 2
 //     arithmetic, kept runnable for the same reason as batch_pr1.
 //
+// Probe-batch section — for the same two deployments, the SoA probe
+// engine (batched compass-probe evaluation, the default) against the
+// scalar probe path (SetProbeBatch(false) / TrainConfig.ScalarProbes),
+// for steady-state single localization and full training runs.
+//
 // Equality is asserted before timing: scoring paths must produce
 // verdicts bit-identical to fresh Check, the indexed training path must
-// produce thresholds bit-identical to the full-scan path, and the
-// steady-state localization benchmark must report zero allocs/op. A
-// violation is a hard failure, because a fast wrong answer is not a
-// benchmark result.
+// produce thresholds bit-identical to the full-scan path, the probe
+// engine must produce estimates and trained thresholds bit-identical to
+// the scalar probe path, and the steady-state localization benchmarks
+// must report zero allocs/op. A violation is a hard failure, because a
+// fast wrong answer is not a benchmark result.
 //
 // Usage:
 //
-//	go run ./cmd/ladbench -out BENCH_PR3.json
-//	go run ./cmd/ladbench -baseline BENCH_PR3.json   # print speedup vs a snapshot
+//	go run ./cmd/ladbench -out BENCH_PR4.json
+//	go run ./cmd/ladbench -baseline BENCH_PR4.json                 # print drift vs a snapshot
+//	go run ./cmd/ladbench -baseline BENCH_PR4.json -max-regress 40 # hard-fail on >40% regressions
 package main
 
 import (
@@ -104,15 +111,25 @@ type report struct {
 	// SpeedupLocalize is the same ratio for single steady-state
 	// localizations.
 	SpeedupLocalize map[string]float64 `json:"speedup_localize"`
+	// ProbeBatch holds the probe-batch section: the SoA probe engine
+	// against the scalar probe path it is bit-identical to.
+	ProbeBatch []trainResult `json:"probe_batch"`
+	// SpeedupProbeLocalize is, per deployment, probe_scalar localize
+	// ns/op over probe_batch ns/op — the within-run factor the SoA
+	// engine buys per steady-state localization.
+	SpeedupProbeLocalize map[string]float64 `json:"speedup_probe_localize"`
+	// SpeedupProbeTrain is the same ratio for full training runs.
+	SpeedupProbeTrain map[string]float64 `json:"speedup_probe_train"`
 }
 
 func main() {
 	var (
-		out       = flag.String("out", "", "write the JSON report here (default stdout)")
-		batch     = flag.Int("batch", 256, "items per batch")
-		locations = flag.Int("locations", 8, "distinct claimed locations per batch")
-		trials    = flag.Int("trials", 300, "training trials per detector")
-		baseline  = flag.String("baseline", "", "previous ladbench JSON snapshot to print speedups against")
+		out        = flag.String("out", "", "write the JSON report here (default stdout)")
+		batch      = flag.Int("batch", 256, "items per batch")
+		locations  = flag.Int("locations", 8, "distinct claimed locations per batch")
+		trials     = flag.Int("trials", 300, "training trials per detector")
+		baseline   = flag.String("baseline", "", "previous ladbench JSON snapshot to print speedups against")
+		maxRegress = flag.Float64("max-regress", 0, "hard-fail when any benchmark shared with -baseline regresses more than this percentage (0 disables)")
 	)
 	flag.Parse()
 
@@ -122,19 +139,22 @@ func main() {
 	}
 
 	rep := report{
-		Schema:          2,
-		GoVersion:       runtime.Version(),
-		GOMAXPROCS:      runtime.GOMAXPROCS(0),
-		Batch:           *batch,
-		Locations:       *locations,
-		TrainTrials:     *trials,
-		SpeedupVsPR1:    map[string]float64{},
-		SpeedupTraining: map[string]float64{},
-		SpeedupLocalize: map[string]float64{},
+		Schema:               3,
+		GoVersion:            runtime.Version(),
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		Batch:                *batch,
+		Locations:            *locations,
+		TrainTrials:          *trials,
+		SpeedupVsPR1:         map[string]float64{},
+		SpeedupTraining:      map[string]float64{},
+		SpeedupLocalize:      map[string]float64{},
+		SpeedupProbeLocalize: map[string]float64{},
+		SpeedupProbeTrain:    map[string]float64{},
 	}
 
 	scoringSection(&rep, model, *batch, *locations, *trials)
 	trainingSection(&rep, *trials)
+	probeBatchSection(&rep, *trials)
 
 	enc := json.NewEncoder(os.Stdout)
 	if *out != "" {
@@ -158,8 +178,14 @@ func main() {
 	for d, s := range rep.SpeedupLocalize {
 		fmt.Fprintf(os.Stderr, "ladbench: %-12s localize speedup vs pre-PR3 path: %.2fx\n", d, s)
 	}
+	for d, s := range rep.SpeedupProbeLocalize {
+		fmt.Fprintf(os.Stderr, "ladbench: %-12s localize speedup, probe engine vs scalar probes: %.2fx\n", d, s)
+	}
+	for d, s := range rep.SpeedupProbeTrain {
+		fmt.Fprintf(os.Stderr, "ladbench: %-12s training speedup, probe engine vs scalar probes: %.2fx\n", d, s)
+	}
 	if *baseline != "" {
-		compareBaseline(*baseline, rep)
+		compareBaseline(*baseline, rep, *maxRegress)
 	}
 }
 
@@ -238,6 +264,10 @@ func benchDeployments() []struct {
 }
 
 func trainingSection(rep *report, trials int) {
+	// The scoring section leaves tens of MiB of detector caches behind;
+	// reclaim them so GC background work from one section cannot skew
+	// the next section's timings.
+	runtime.GC()
 	for _, d := range benchDeployments() {
 		engine, err := deploy.New(d.cfg)
 		if err != nil {
@@ -353,11 +383,185 @@ func trainingSection(rep *report, trials int) {
 	}
 }
 
+// probeBatchSection measures the SoA probe engine against the scalar
+// probe path it replaces in the hot loop. Gates come first, timing
+// second:
+//
+//   - localization estimates must be bit-identical with probe batching
+//     on and off, across interior and edge victims, masked and unmasked;
+//   - thresholds trained through the engine must be bit-identical to
+//     thresholds trained with TrainConfig.ScalarProbes;
+//   - steady-state localization through the engine must report zero
+//     allocs/op.
+//
+// Any violation is a hard failure: a fast wrong answer is not a
+// benchmark result.
+func probeBatchSection(rep *report, trials int) {
+	runtime.GC()
+	for _, d := range benchDeployments() {
+		model, err := deploy.New(d.cfg)
+		if err != nil {
+			log.Fatalf("ladbench: %v", err)
+		}
+		batchMLE := localize.NewBeaconlessModel(model)
+		scalarMLE := localize.NewBeaconlessModel(model)
+		scalarMLE.SetProbeBatch(false)
+
+		// Equivalence gate 1: estimates bit-identical, plain and masked.
+		r := rng.New(47)
+		sb, ss := batchMLE.NewSession(), scalarMLE.NewSession()
+		field := model.Field()
+		for t := 0; t < 32; t++ {
+			var loc geom.Point
+			switch t % 4 {
+			case 0, 1: // interior victim
+				for {
+					_, p := model.SampleLocation(r)
+					if field.Contains(p) {
+						loc = p
+						break
+					}
+				}
+			case 2: // field-edge victim
+				loc = geom.Pt(field.Min.X, r.Uniform(field.Min.Y, field.Max.Y))
+			default: // corner victim
+				loc = geom.Pt(field.Max.X-1, field.Max.Y-1)
+			}
+			o := model.SampleObservation(loc, t%model.NumGroups(), r)
+			pb, errB := sb.BindLocalize(o)
+			ps, errS := ss.BindLocalize(o)
+			if (errB == nil) != (errS == nil) || pb != ps {
+				log.Fatalf("ladbench: %s probe equivalence: trial %d batch (%v,%v) != scalar (%v,%v)",
+					d.name, t, pb, errB, ps, errS)
+			}
+			if t%3 == 0 {
+				exclude := make([]bool, model.NumGroups())
+				for j := range exclude {
+					exclude[j] = j%7 == t%7
+				}
+				pb, errB = sb.LocalizeMasked(exclude)
+				ps, errS = ss.LocalizeMasked(exclude)
+				if (errB == nil) != (errS == nil) || pb != ps {
+					log.Fatalf("ladbench: %s probe equivalence (masked): trial %d batch (%v,%v) != scalar (%v,%v)",
+						d.name, t, pb, errB, ps, errS)
+				}
+			}
+		}
+
+		// Equivalence gate 2: trained thresholds bit-identical. The
+		// training benches below run single-worker: thresholds are
+		// worker-count-invariant by construction, and on the 2-core CI
+		// class a 2-worker run measures scheduler contention as much as
+		// the engine — pinning one worker isolates the per-trial cost
+		// the probe engine actually changes.
+		cfg := core.TrainConfig{Trials: trials, Percentile: 99, Seed: 41, KeepInField: true, Workers: 1}
+		scCfg := cfg
+		scCfg.ScalarProbes = true
+		dB, _, err := core.Train(model, core.DiffMetric{}, cfg)
+		if err != nil {
+			log.Fatalf("ladbench: %s probe train: %v", d.name, err)
+		}
+		dS, _, err := core.Train(model, core.DiffMetric{}, scCfg)
+		if err != nil {
+			log.Fatalf("ladbench: %s probe train: %v", d.name, err)
+		}
+		if dB.Threshold() != dS.Threshold() {
+			log.Fatalf("ladbench: %s: probe-engine threshold %v != scalar-probe threshold %v — refusing to time a wrong answer",
+				d.name, dB.Threshold(), dS.Threshold())
+		}
+
+		// Timing: steady-state single localization and full training,
+		// engine vs scalar probes.
+		rr := rng.New(43)
+		group, la := model.SampleLocation(rr)
+		for !field.Contains(la) {
+			group, la = model.SampleLocation(rr)
+		}
+		obs := model.SampleObservation(la, group, rr)
+		sessB, sessS := batchMLE.NewSession(), scalarMLE.NewSession()
+		if _, err := sessB.BindLocalize(obs); err != nil {
+			log.Fatalf("ladbench: %s probe localize: %v", d.name, err)
+		}
+		if _, err := sessS.BindLocalize(obs); err != nil {
+			log.Fatalf("ladbench: %s probe localize: %v", d.name, err)
+		}
+		locB := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sessB.BindLocalize(obs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		locS := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sessS.BindLocalize(obs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// Allocation gate: the engine path must stay allocation-free.
+		if a := locB.AllocsPerOp(); a != 0 {
+			log.Fatalf("ladbench: %s: probe-engine localization allocates %d/op, want 0", d.name, a)
+		}
+		trainB := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Train(model, core.DiffMetric{}, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		trainS := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Train(model, core.DiffMetric{}, scCfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		groups := model.NumGroups()
+		for _, tr := range []struct {
+			kind, path string
+			res        testing.BenchmarkResult
+		}{
+			{"localize", "probe_batch", locB},
+			{"localize", "probe_scalar", locS},
+			{"train", "probe_batch", trainB},
+			{"train", "probe_scalar", trainS},
+		} {
+			out := trainResult{
+				Name:        fmt.Sprintf("%s/probe/%s/%s", d.name, tr.kind, tr.path),
+				Deployment:  d.name,
+				Groups:      groups,
+				Kind:        tr.kind,
+				Path:        tr.path,
+				Iterations:  tr.res.N,
+				NsPerOp:     float64(tr.res.NsPerOp()),
+				BytesPerOp:  tr.res.AllocedBytesPerOp(),
+				AllocsPerOp: tr.res.AllocsPerOp(),
+			}
+			if tr.kind == "train" {
+				out.TrialsPerSec = float64(trials) / (float64(tr.res.NsPerOp()) / 1e9)
+			}
+			rep.ProbeBatch = append(rep.ProbeBatch, out)
+		}
+		rep.SpeedupProbeLocalize[d.name] = float64(locS.NsPerOp()) / float64(locB.NsPerOp())
+		rep.SpeedupProbeTrain[d.name] = float64(trainS.NsPerOp()) / float64(trainB.NsPerOp())
+	}
+}
+
 // compareBaseline prints, for every result name present in both the
 // baseline snapshot and this run, the old/new ns_per_op ratio — the CI
 // job runs it against the committed BENCH_PR*.json so the log shows
-// drift against the last recorded state.
-func compareBaseline(path string, rep report) {
+// drift against the last recorded state. With maxRegressPct > 0 it
+// turns into a gate: any shared benchmark whose ns/op exceeds the
+// baseline by more than that percentage fails the run. The bound should
+// leave headroom for runner noise (CI uses tens of percent); it exists
+// to catch step-change regressions, not jitter.
+func compareBaseline(path string, rep report, maxRegressPct float64) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ladbench: baseline %s unreadable: %v\n", path, err)
@@ -375,10 +579,21 @@ func compareBaseline(path string, rep report) {
 	for _, r := range base.Training {
 		old[r.Name] = r.NsPerOp
 	}
+	for _, r := range base.ProbeBatch {
+		old[r.Name] = r.NsPerOp
+	}
+	var regressions []string
 	report := func(name string, ns float64) {
-		if prev, ok := old[name]; ok && ns > 0 {
-			fmt.Fprintf(os.Stderr, "ladbench: vs %s: %-28s %8.0f -> %8.0f ns/op (%.2fx)\n",
-				path, name, prev, ns, prev/ns)
+		prev, ok := old[name]
+		if !ok || ns <= 0 {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "ladbench: vs %s: %-28s %8.0f -> %8.0f ns/op (%.2fx)\n",
+			path, name, prev, ns, prev/ns)
+		if maxRegressPct > 0 && ns > prev*(1+maxRegressPct/100) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %0.f -> %0.f ns/op (+%.1f%%, bound %.0f%%)",
+					name, prev, ns, (ns/prev-1)*100, maxRegressPct))
 		}
 	}
 	for _, r := range rep.Results {
@@ -386,6 +601,16 @@ func compareBaseline(path string, rep report) {
 	}
 	for _, r := range rep.Training {
 		report(r.Name, r.NsPerOp)
+	}
+	for _, r := range rep.ProbeBatch {
+		report(r.Name, r.NsPerOp)
+	}
+	if len(regressions) > 0 {
+		for _, s := range regressions {
+			fmt.Fprintf(os.Stderr, "ladbench: REGRESSION %s\n", s)
+		}
+		log.Fatalf("ladbench: %d benchmark(s) regressed past -max-regress %.0f%% vs %s",
+			len(regressions), maxRegressPct, path)
 	}
 }
 

@@ -48,6 +48,7 @@ func main() {
 		maxBatch    = flag.Int("max-batch", serve.DefaultMaxBatch, "max items per batch request")
 		trainConc   = flag.Int("train-concurrency", serve.DefaultTrainConcurrency, "max detector trainings in flight (each gets GOMAXPROCS/n workers)")
 		expCache    = flag.Int("exp-cache", 0, "per-detector expectation-cache capacity in claimed locations (0 = core default, negative disables)")
+		expBudget   = flag.Int64("exp-cache-budget", 0, "pool-wide expectation-cache admission budget in bytes, shared across all detectors (0 = unlimited)")
 		warmupOnly  = flag.Bool("warmup-only", false, "train the default detector, print its threshold, and exit")
 	)
 	flag.Parse()
@@ -82,6 +83,7 @@ func main() {
 		MaxBatch:               *maxBatch,
 		MaxConcurrentTrainings: *trainConc,
 		ExpCacheCapacity:       *expCache,
+		ExpCacheBudgetBytes:    *expBudget,
 	}, nil)
 	if err != nil {
 		log.Fatalf("ladd: %v", err)

@@ -11,9 +11,13 @@
 // central trade-off — the more damage, the more certain the detection.
 //
 // Run: go run ./examples/battlefield
+//
+// -quick shrinks training and the per-damage sweep to smoke-test size
+// (the CI examples job runs every example this way).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -24,12 +28,18 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny parameters for smoke tests")
+	flag.Parse()
+	trainTrials, trialsPerD := 3000, 400
+	if *quick {
+		trainTrials, trialsPerD = 300, 60
+	}
 	model, err := lad.NewModel(lad.PaperDeployment())
 	if err != nil {
 		log.Fatal(err)
 	}
 	detector, benign, err := lad.Train(model, lad.Diff(), lad.TrainConfig{
-		Trials: 3000, Percentile: 99, Seed: 1, KeepInField: true,
+		Trials: trainTrials, Percentile: 99, Seed: 1, KeepInField: true,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -43,9 +53,9 @@ func main() {
 	// tries increasingly ambitious displacement of the sector's sensors.
 	r := rng.New(99)
 	const compromised = 0.20
-	const trialsPerD = 400
 	fmt.Println("damage D (m)  attacks detected  sector risk")
 	fmt.Println("------------  ----------------  -----------")
+	var lastDR float64
 	for _, d := range []float64{40, 80, 120, 160, 200} {
 		detected := 0
 		for t := 0; t < trialsPerD; t++ {
@@ -66,7 +76,7 @@ func main() {
 				detected++
 			}
 		}
-		dr := float64(detected) / trialsPerD
+		dr := float64(detected) / float64(trialsPerD)
 		risk := "HIGH — displacements slip through"
 		switch {
 		case dr > 0.99:
@@ -77,6 +87,12 @@ func main() {
 			risk = "moderate"
 		}
 		fmt.Printf("%12.0f  %15.1f%%  %s\n", d, dr*100, risk)
+		lastDR = dr
+	}
+	// The scenario's headline claim, asserted so the demo cannot rot
+	// silently: large displacements are detected almost surely.
+	if lastDR < 0.9 {
+		log.Fatalf("expected >=90%% detection at D=200, got %.1f%%", lastDR*100)
 	}
 	fmt.Println("\nreading: an adversary who wants sensors to believe they are")
 	fmt.Println(">120 m away from their true posts is detected almost surely;")

@@ -9,9 +9,13 @@
 // whose DV-Hop results were corrupted.
 //
 // Run: go run ./examples/dvhop_attack
+//
+// -quick shrinks the network and the node sample to smoke-test size
+// (the CI examples job runs every example this way).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -24,9 +28,15 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny parameters for smoke tests")
+	flag.Parse()
+	groupSize, sampleTrials := 60, 600
+	if *quick {
+		groupSize, sampleTrials = 30, 200
+	}
 	// A moderate network keeps the DV-Hop floods fast.
 	cfg := lad.PaperDeployment()
-	cfg.GroupSize = 60
+	cfg.GroupSize = groupSize
 	model, err := lad.NewModel(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -46,7 +56,7 @@ func main() {
 	metric := lad.Diff()
 	collect := func() (errs, scores []float64) {
 		r := rng.New(5)
-		for t := 0; t < 600; t++ {
+		for t := 0; t < sampleTrials; t++ {
 			id, _ := net.SampleNode(r)
 			node := net.Node(id)
 			if node.IsBeacon || !model.Field().Contains(node.Pos) {

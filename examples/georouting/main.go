@@ -10,9 +10,13 @@
 // (nodes whose locations fail verification advertise nothing).
 //
 // Run: go run ./examples/georouting
+//
+// -quick shrinks the network, training, and routed pairs to smoke-test
+// size (the CI examples job runs every example this way).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -27,8 +31,14 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny parameters for smoke tests")
+	flag.Parse()
+	groupSize, trainTrials, nPairs := 60, 1500, 300
+	if *quick {
+		groupSize, trainTrials, nPairs = 30, 300, 80
+	}
 	cfg := lad.PaperDeployment()
-	cfg.GroupSize = 60 // 6000 nodes keeps the demo snappy
+	cfg.GroupSize = groupSize // 6000 nodes keeps the full demo snappy
 	model, err := lad.NewModel(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -66,7 +76,7 @@ func main() {
 
 	// LAD verdict per node.
 	det, _, err := lad.Train(model, lad.Diff(), lad.TrainConfig{
-		Trials: 1500, Percentile: 99, Seed: 5, KeepInField: true,
+		Trials: trainTrials, Percentile: 99, Seed: 5, KeepInField: true,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -93,7 +103,7 @@ func main() {
 		100*float64(falseAlarm)/float64(net.Len()-forgedCount))
 
 	// Routing with three location services.
-	pairs := samplePairs(net, 300, master.Split())
+	pairs := samplePairs(net, nPairs, master.Split())
 	honest := routing.NewRouter(net, func(id wsn.NodeID) (geom.Point, bool) {
 		return net.Node(id).Pos, true
 	}).Evaluate(pairs)

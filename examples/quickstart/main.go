@@ -6,9 +6,13 @@
 //  4. Check the same sensor with a forged location — alarm.
 //
 // Run: go run ./examples/quickstart
+//
+// -quick shrinks the training run to smoke-test size (the CI examples
+// job runs every example this way so the demos cannot silently rot).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,6 +20,12 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "tiny parameters for smoke tests")
+	flag.Parse()
+	trials := 3000
+	if *quick {
+		trials = 300
+	}
 	// 1. Deployment knowledge: every sensor carries this before launch.
 	model, err := lad.NewModel(lad.PaperDeployment())
 	if err != nil {
@@ -26,7 +36,7 @@ func main() {
 
 	// 2. Train the Diff metric at a 1% false-positive budget (τ = 99).
 	detector, _, err := lad.Train(model, lad.Diff(), lad.TrainConfig{
-		Trials:      3000,
+		Trials:      trials,
 		Percentile:  99,
 		Seed:        7,
 		KeepInField: true,

@@ -7,9 +7,13 @@
 // for a mid-damage attack (D = 100, x = 10%, Dec-Bounded).
 //
 // Run: go run ./examples/training
+//
+// -quick shrinks the benign and attack samples to smoke-test size (the
+// CI examples job runs every example this way).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -26,7 +30,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	quick := flag.Bool("quick", false, "tiny parameters for smoke tests")
+	flag.Parse()
 	opts := experiment.Options{BenignTrials: 2500, AttackTrials: 1200, Seed: 11}
+	if *quick {
+		opts.BenignTrials, opts.AttackTrials = 400, 200
+	}
 
 	// One benign sample serves all metrics.
 	benign, err := experiment.Benign(model, lad.Metrics(), opts)
@@ -44,6 +53,7 @@ func main() {
 	fmt.Println("\noperating points at D=100, x=10%, Dec-Bounded:")
 	fmt.Println("metric        tau      threshold  trainFP    DR")
 	fmt.Println("------------  -------  ---------  -------  ------")
+	diffDR99 := -1.0
 	for mi, m := range lad.Metrics() {
 		attacked, err := experiment.AttackScores(model, m,
 			experiment.AttackPoint{D: 100, XFrac: 0.10, Class: attack.DecBounded}, opts)
@@ -56,7 +66,16 @@ func main() {
 			dr := experiment.DetectionRate(attacked, th)
 			fmt.Printf("%-12s  %6.1f%%  %9.2f  %6.2f%%  %5.1f%%\n",
 				m.Name(), tau, th, fp*100, dr*100)
+			if m.Name() == "diff" && tau == 99 {
+				diffDR99 = dr
+			}
 		}
+	}
+	// The example's headline claim, asserted so the demo cannot rot
+	// silently: at a 1% false-positive budget the Diff metric still
+	// catches the bulk of mid-damage attacks.
+	if diffDR99 < 0.5 {
+		log.Fatalf("expected >=50%% Diff detection at tau=99, got %.1f%%", diffDR99*100)
 	}
 
 	fmt.Println("\nreading: for the Diff metric the detection rate barely moves")

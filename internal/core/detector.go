@@ -39,6 +39,12 @@ type Detector struct {
 	// tables — across requests, keyed by claimed location. nil disables
 	// it (SetExpCacheCapacity(0)); verdicts are bit-identical either way.
 	expCache *expCache
+	// expCacheCapacity remembers the configured entry bound so budget
+	// installation can rebuild the cache at the same size.
+	expCacheCapacity int
+	// expBudget is the (possibly pool-shared) byte budget installed on
+	// the cache; nil leaves admissions ungated.
+	expBudget *ExpCacheBudget
 	// batchWorkers caps the goroutines CheckBatchInto fans a large batch
 	// out over; 0 means GOMAXPROCS.
 	batchWorkers int
@@ -59,20 +65,50 @@ func NewDetector(model *deploy.Model, metric Metric, threshold float64) *Detecto
 	if maxLocs := (1 << 21) / (2 * n); maxLocs < capacity { // ~16 MiB of G/Mu floats
 		capacity = max(1, maxLocs)
 	}
+	d.expCacheCapacity = capacity
 	d.expCache = newExpCache(capacity)
 	return d
 }
 
 // SetExpCacheCapacity replaces the expectation cache with an empty one
 // bounded at capacity entries; capacity <= 0 disables caching (pooled
-// buffers only). Not safe to call concurrently with checks — configure
-// the detector before serving traffic.
+// buffers only). An installed byte budget carries over to the new
+// cache, and the old cache's reservations are credited back. Not safe
+// to call concurrently with checks — configure the detector before
+// serving traffic.
 func (d *Detector) SetExpCacheCapacity(capacity int) {
-	if capacity <= 0 {
+	if capacity < 0 {
+		capacity = 0
+	}
+	d.expCacheCapacity = capacity
+	d.installExpCache()
+}
+
+// SetExpCacheBudget installs a byte budget on the detector's
+// expectation cache — pass the same *ExpCacheBudget to many detectors
+// to share one pool-wide bound (ladd does). nil removes budgeting. The
+// cache is rebuilt empty at its configured capacity and the previous
+// cache's reservations are credited back. Not safe to call concurrently
+// with checks — configure before serving traffic.
+func (d *Detector) SetExpCacheBudget(b *ExpCacheBudget) {
+	d.expBudget = b
+	d.installExpCache()
+}
+
+// ExpCacheBudget returns the installed byte budget (nil when none).
+func (d *Detector) ExpCacheBudget() *ExpCacheBudget { return d.expBudget }
+
+func (d *Detector) installExpCache() {
+	if d.expCache != nil {
+		d.expCache.releaseAll()
+	}
+	if d.expCacheCapacity <= 0 {
 		d.expCache = nil
 		return
 	}
-	d.expCache = newExpCache(capacity)
+	c := newExpCache(d.expCacheCapacity)
+	c.budget = d.expBudget
+	d.expCache = c
 }
 
 // SetBatchWorkers caps the worker goroutines a single CheckBatchInto may

@@ -6,10 +6,21 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/deploy"
 	"repro/internal/geom"
 	"repro/internal/mathx"
 	"repro/internal/rng"
 )
+
+// smallConfig is a compact deployment for cache-accounting tests: big
+// enough for meaningful expectations, small enough to train nothing.
+func smallConfig() deploy.Config {
+	cfg := deploy.PaperConfig()
+	cfg.GroupsX, cfg.GroupsY = 5, 5
+	cfg.GroupSize = 40
+	cfg.Field = geom.NewRect(geom.Pt(0, 0), geom.Pt(500, 500))
+	return cfg
+}
 
 // TestCachedAndTableScoringBitIdentical is the tentpole invariant: every
 // serving-path variant — pooled single checks, the cross-request
@@ -307,4 +318,121 @@ func TestProbMetricPanicsOnEmptyObservation(t *testing.T) {
 		}
 	}()
 	_ = (ProbMetric{}).Score(nil, e)
+}
+
+// TestExpCacheByteBudgetAdmission pins the shared byte budget: with a
+// budget too small for every location, some entries are refused
+// admission (cache stays under the byte cap) while every verdict stays
+// bit-identical to fresh Check; releasing the cache credits the budget
+// back to zero.
+func TestExpCacheByteBudgetAdmission(t *testing.T) {
+	model := deploy.MustNew(smallConfig())
+	det := NewDetector(model, DiffMetric{}, 5)
+	n := model.NumGroups()
+	perEntry := int64(2*n)*8 + expEntryOverheadBytes
+	budget := NewExpCacheBudget(3 * perEntry) // room for ~3 locations
+	det.SetExpCacheBudget(budget)
+
+	r := rng.New(7)
+	locs := make([]geom.Point, 12)
+	obs := make([][]int, len(locs))
+	for i := range locs {
+		g, p := model.SampleLocation(r)
+		locs[i] = p
+		obs[i] = model.SampleObservation(p, g, r)
+	}
+	fresh := NewDetector(model, DiffMetric{}, 5)
+	fresh.SetExpCacheCapacity(0)
+	for round := 0; round < 3; round++ {
+		for i := range locs {
+			got := det.CheckPooled(obs[i], locs[i])
+			want := fresh.Check(obs[i], locs[i])
+			if got != want {
+				t.Fatalf("round %d loc %d: budgeted %+v != fresh %+v", round, i, got, want)
+			}
+		}
+	}
+	if in := budget.InUse(); in > budget.Capacity() {
+		t.Errorf("budget in-use %d exceeds capacity %d", in, budget.Capacity())
+	}
+	size, _, _ := det.ExpCacheStats()
+	if size > 3 {
+		t.Errorf("cache holds %d locations, budget allows ~3", size)
+	}
+	if size == 0 {
+		t.Error("budget admitted nothing; expected ~3 resident locations")
+	}
+
+	// Swapping the cache must credit everything back.
+	det.SetExpCacheCapacity(DefaultExpCacheCapacity)
+	if in := budget.InUse(); in != 0 {
+		t.Errorf("after cache swap, budget in-use = %d, want 0", in)
+	}
+}
+
+// TestExpCacheBudgetAccountOnly pins the default (capacity 0) mode:
+// nothing is refused, but in-use bytes are still tracked and returned
+// on eviction.
+func TestExpCacheBudgetAccountOnly(t *testing.T) {
+	model := deploy.MustNew(smallConfig())
+	det := NewDetector(model, DiffMetric{}, 5)
+	det.SetExpCacheCapacity(4) // tiny LRU so evictions happen
+	budget := NewExpCacheBudget(0)
+	det.SetExpCacheBudget(budget)
+
+	r := rng.New(8)
+	for i := 0; i < 40; i++ {
+		g, p := model.SampleLocation(r)
+		det.CheckPooled(model.SampleObservation(p, g, r), p)
+	}
+	size, _, _ := det.ExpCacheStats()
+	if size == 0 {
+		t.Fatal("account-only budget should not refuse admissions")
+	}
+	n := model.NumGroups()
+	perEntry := int64(2*n)*8 + expEntryOverheadBytes
+	in := budget.InUse()
+	if in < int64(size)*perEntry {
+		t.Errorf("in-use %d under-accounts %d resident entries", in, size)
+	}
+	// Evictions must have credited the non-resident entries back:
+	// in-use stays proportional to residents, not to total traffic.
+	if in > int64(size)*(perEntry+1024) {
+		t.Errorf("in-use %d looks unreleased for %d residents", in, size)
+	}
+}
+
+// TestExpCacheByteBudgetReclaimsOwnTail pins the anti-wedge behavior:
+// when the shared budget is exhausted, a shard evicts its own LRU tail
+// to admit fresh traffic instead of freezing on the earliest-admitted
+// locations forever. After a workload shift, recent locations must be
+// resident (their re-checks hit the cache) and the budget stays bounded.
+func TestExpCacheByteBudgetReclaimsOwnTail(t *testing.T) {
+	model := deploy.MustNew(smallConfig())
+	det := NewDetector(model, DiffMetric{}, 5)
+	n := model.NumGroups()
+	perEntry := int64(2*n)*8 + expEntryOverheadBytes
+	budget := NewExpCacheBudget(4 * perEntry)
+	det.SetExpCacheBudget(budget)
+
+	r := rng.New(11)
+	// Phase 1: fill the budget with one wave of locations.
+	for i := 0; i < 8; i++ {
+		g, p := model.SampleLocation(r)
+		det.CheckPooled(model.SampleObservation(p, g, r), p)
+	}
+	// Phase 2: the workload shifts to a new location; it must become
+	// resident (second check is a hit) rather than being refused forever.
+	g, p := model.SampleLocation(r)
+	o := model.SampleObservation(p, g, r)
+	det.CheckPooled(o, p)
+	_, hitsBefore, _ := det.ExpCacheStats()
+	det.CheckPooled(o, p)
+	_, hitsAfter, _ := det.ExpCacheStats()
+	if hitsAfter <= hitsBefore {
+		t.Fatal("fresh location was not admitted after budget pressure: cache wedged")
+	}
+	if in := budget.InUse(); in > budget.Capacity() {
+		t.Errorf("budget in-use %d exceeds capacity %d", in, budget.Capacity())
+	}
 }

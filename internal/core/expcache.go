@@ -32,6 +32,79 @@ const expCacheShards = 8
 // armed entries are evicted and their budget returns.
 const maxPMFEntriesPerCache = 1 << 23
 
+// ExpCacheBudget is a shared admission budget for expectation-cache
+// memory, in bytes. One budget can back many detectors' caches (the
+// serving pool installs a single budget across every detector it
+// trains), so many small deployments and a few huge ones share one
+// bound instead of each getting the same entry count. A budget with
+// capacity 0 only accounts: reservations always succeed and InUse stays
+// correct, which keeps the default behavior identical to an unbudgeted
+// cache while still exporting the gauge. Safe for concurrent use.
+type ExpCacheBudget struct {
+	capacity atomic.Int64 // 0 = unlimited (account only)
+	inUse    atomic.Int64
+}
+
+// NewExpCacheBudget returns a budget capped at bytes (0 = unlimited,
+// accounting only).
+func NewExpCacheBudget(bytes int64) *ExpCacheBudget {
+	b := &ExpCacheBudget{}
+	b.capacity.Store(bytes)
+	return b
+}
+
+// SetCapacity replaces the byte cap (0 = unlimited). Already-resident
+// entries are never evicted by a cap change; the new cap only gates
+// future admissions.
+func (b *ExpCacheBudget) SetCapacity(bytes int64) { b.capacity.Store(bytes) }
+
+// Capacity returns the byte cap (0 = unlimited).
+func (b *ExpCacheBudget) Capacity() int64 { return b.capacity.Load() }
+
+// InUse returns the bytes currently reserved against the budget.
+func (b *ExpCacheBudget) InUse() int64 { return b.inUse.Load() }
+
+// tryReserve charges n bytes, rolling back and refusing if that would
+// exceed a nonzero capacity. A nil budget admits everything for free.
+func (b *ExpCacheBudget) tryReserve(n int64) bool {
+	if b == nil {
+		return true
+	}
+	if cap := b.capacity.Load(); cap > 0 {
+		if b.inUse.Add(n) > cap {
+			b.inUse.Add(-n)
+			return false
+		}
+		return true
+	}
+	b.inUse.Add(n) // account-only mode
+	return true
+}
+
+// release credits n bytes back.
+func (b *ExpCacheBudget) release(n int64) {
+	if b != nil {
+		b.inUse.Add(-n)
+	}
+}
+
+// expEntryOverheadBytes approximates the fixed per-entry cost charged
+// against a budget beyond the G/Mu float data: the Expectation struct,
+// two slice headers, and the map+LRU bookkeeping of its shard.
+const expEntryOverheadBytes = 160
+
+// expBytes is the admission cost of a resident expectation (without its
+// PMF table, which is charged separately when armed).
+func expBytes(e *Expectation) int64 {
+	return int64(len(e.G)+len(e.Mu))*8 + expEntryOverheadBytes
+}
+
+// pmfBytes is the admission cost of an armed log-PMF table: the flat
+// sample array plus one row header per group.
+func pmfBytes(e *Expectation) int64 {
+	return pmfCost(e)*8 + int64(len(e.G))*24
+}
+
 // expCache is a bounded, sharded LRU of *Expectation keyed by claimed
 // location. It is the cross-request complement of the per-batch
 // deduplication in CheckBatchInto: the g-table evaluation (and, for
@@ -40,12 +113,19 @@ const maxPMFEntriesPerCache = 1 << 23
 // apart from their internally synchronized PMF tables, so readers share
 // them freely; evicted entries are left to the GC — they may still be
 // in use by in-flight checks and must never return to a sync.Pool.
+//
+// When a budget is installed, every insert reserves the entry's bytes
+// and every PMF arming reserves the table's bytes; evictions credit
+// both back. A location refused admission is still scored correctly —
+// its expectation is computed and returned, just not cached — so a full
+// budget degrades throughput, never correctness.
 type expCache struct {
 	hits, misses atomic.Uint64
 	// pmfEntries tracks armed log-PMF table entries across the cache,
 	// charged at arming time and credited back on eviction.
 	pmfEntries  atomic.Int64
 	capPerShard int
+	budget      *ExpCacheBudget // nil = unbudgeted
 	shards      [expCacheShards]expShard
 }
 
@@ -100,24 +180,78 @@ func (c *expCache) get(model *deploy.Model, le geom.Point) *Expectation {
 	e := NewExpectation(model, le)
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if el, ok := s.ent[le]; ok {
 		// Lost a build race; adopt the canonical entry so every caller
 		// shares one expectation (and one PMF table).
 		s.lru.MoveToFront(el)
-		return el.Value.(*Expectation)
+		adopted := el.Value.(*Expectation)
+		s.mu.Unlock()
+		return adopted
+	}
+	for !c.budget.tryReserve(expBytes(e)) {
+		// The pool-wide byte budget is exhausted. Count-based eviction
+		// below only runs after a successful insert, so without help the
+		// resident set would freeze on the earliest-admitted locations
+		// forever. Reclaim cold tails instead — this shard's first (its
+		// lock is held), then a sweep of the sibling shards one lock at
+		// a time (never two locks at once, so no ordering deadlock) —
+		// and retry. Only when the whole cache has nothing left to give
+		// is the expectation served uncached: the budget is then pinned
+		// by OTHER detectors sharing it, which this cache must not touch.
+		if c.evictTailLocked(s) {
+			continue
+		}
+		s.mu.Unlock()
+		freed := false
+		for i := range c.shards {
+			o := &c.shards[i]
+			if o == s {
+				continue
+			}
+			o.mu.Lock()
+			freed = c.evictTailLocked(o)
+			o.mu.Unlock()
+			if freed {
+				break
+			}
+		}
+		s.mu.Lock()
+		if el, ok := s.ent[le]; ok {
+			// Lost an insert race while unlocked; adopt the winner.
+			s.lru.MoveToFront(el)
+			adopted := el.Value.(*Expectation)
+			s.mu.Unlock()
+			return adopted
+		}
+		if !freed {
+			s.mu.Unlock()
+			return e
+		}
 	}
 	s.ent[le] = s.lru.PushFront(e)
 	for s.lru.Len() > c.capPerShard {
-		oldest := s.lru.Back()
-		s.lru.Remove(oldest)
-		ev := oldest.Value.(*Expectation)
-		if ev.pmf.Load() != nil {
-			c.pmfEntries.Add(-pmfCost(ev))
-		}
-		delete(s.ent, ev.Loc)
+		c.evictTailLocked(s)
 	}
+	s.mu.Unlock()
 	return e
+}
+
+// evictTailLocked removes s's least-recently-used entry, crediting its
+// budget charges back; false when the shard is empty. Caller holds s.mu.
+func (c *expCache) evictTailLocked(s *expShard) bool {
+	oldest := s.lru.Back()
+	if oldest == nil {
+		return false
+	}
+	s.lru.Remove(oldest)
+	ev := oldest.Value.(*Expectation)
+	if ev.pmf.Load() != nil {
+		c.pmfEntries.Add(-pmfCost(ev))
+		c.budget.release(pmfBytes(ev))
+	}
+	c.budget.release(expBytes(ev))
+	delete(s.ent, ev.Loc)
+	return true
 }
 
 // pmfCost is the entry count an armed table costs against the budget.
@@ -125,11 +259,12 @@ func pmfCost(e *Expectation) int64 {
 	return int64(len(e.G)) * int64(e.M+1)
 }
 
-// tryArmPMF arms e's log-PMF table if both the per-expectation size cap
-// and the cache-wide budget allow it. Arming is attempted once per
-// residency (on the first reuse); an entry refused for budget stays on
-// the direct path until it is evicted and re-admitted, which keeps the
-// accounting race-free without per-hit CAS traffic.
+// tryArmPMF arms e's log-PMF table if the per-expectation size cap, the
+// cache-wide entry budget, and the shared byte budget all allow it.
+// Arming is attempted once per residency (on the first reuse); an entry
+// refused for budget stays on the direct path until it is evicted and
+// re-admitted, which keeps the accounting race-free without per-hit CAS
+// traffic.
 func (c *expCache) tryArmPMF(e *Expectation) {
 	cost := pmfCost(e)
 	if cost > maxPMFTableEntries {
@@ -139,7 +274,32 @@ func (c *expCache) tryArmPMF(e *Expectation) {
 		c.pmfEntries.Add(-cost)
 		return
 	}
+	if !c.budget.tryReserve(pmfBytes(e)) {
+		c.pmfEntries.Add(-cost)
+		return
+	}
 	e.EnablePMFTable()
+}
+
+// releaseAll credits every resident entry's charges back to the budget;
+// called when a detector replaces this cache so a swapped-out cache does
+// not pin budget forever. The cache must not receive further traffic.
+func (c *expCache) releaseAll() {
+	if c.budget == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			ev := el.Value.(*Expectation)
+			if ev.pmf.Load() != nil {
+				c.budget.release(pmfBytes(ev))
+			}
+			c.budget.release(expBytes(ev))
+		}
+		s.mu.Unlock()
+	}
 }
 
 // stats reports resident entries and the hit/miss counters.

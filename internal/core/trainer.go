@@ -36,6 +36,14 @@ type TrainConfig struct {
 	// under the two paths differ only by the log table's interpolation
 	// error.
 	ReferenceLocalizer bool
+	// ScalarProbes disables the localization engine's batched probe
+	// evaluation (localize.Beaconless.SetProbeBatch(false)): every
+	// pattern-search candidate is evaluated one point at a time through
+	// the scalar likelihood walk. The probe engine is bit-identical to
+	// the scalar path, so thresholds do not move — cmd/ladbench trains
+	// both ways and hard-fails if they ever differ — and this knob exists
+	// exactly so that comparison stays runnable.
+	ScalarProbes bool
 }
 
 func (c *TrainConfig) normalize() error {
@@ -87,6 +95,7 @@ func BenignScores(model *deploy.Model, metrics []Metric, cfg TrainConfig) ([][]f
 
 	loc := localize.NewBeaconlessModel(model)
 	loc.Reference = cfg.ReferenceLocalizer
+	loc.SetProbeBatch(!cfg.ScalarProbes)
 	scores := make([][]float64, len(metrics))
 	for i := range scores {
 		scores[i] = make([]float64, cfg.Trials)

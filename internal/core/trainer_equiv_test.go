@@ -111,3 +111,60 @@ func TestReferenceLocalizerRuns(t *testing.T) {
 		t.Errorf("engine threshold %v vs reference %v: more than 5%% apart", a, b)
 	}
 }
+
+// TestTrainProbeEngineBitIdenticalToScalarProbes is the probe-engine
+// half of the training-equivalence guarantee: with batched probe
+// evaluation on (the default) or off (TrainConfig.ScalarProbes),
+// BenignScores must produce bit-identical scores and localization
+// errors, and Train bit-identical thresholds — for every layout and
+// every metric. This is what lets the SoA engine ship as a pure
+// speedup: no retraining, no threshold drift, no verdict changes.
+func TestTrainProbeEngineBitIdenticalToScalarProbes(t *testing.T) {
+	for name, layout := range map[string]deploy.Layout{
+		"grid": deploy.LayoutGrid, "hex": deploy.LayoutHex, "random": deploy.LayoutRandom,
+	} {
+		cfgD := deploy.PaperConfig()
+		cfgD.Layout = layout
+		cfgD.RandomSeed = 7
+		model := deploy.MustNew(cfgD)
+
+		batch := TrainConfig{Trials: 120, Percentile: 99, Seed: 29, KeepInField: true}
+		scalar := batch
+		scalar.ScalarProbes = true
+		s1, e1, err := BenignScores(model, AllMetrics(), batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, e2, err := BenignScores(model, AllMetrics(), scalar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mi := range s1 {
+			for ti := range s1[mi] {
+				if s1[mi][ti] != s2[mi][ti] {
+					t.Fatalf("%s: score[%d][%d]: probe engine %v != scalar probes %v",
+						name, mi, ti, s1[mi][ti], s2[mi][ti])
+				}
+			}
+		}
+		for ti := range e1 {
+			if e1[ti] != e2[ti] && !(e1[ti] != e1[ti] && e2[ti] != e2[ti]) {
+				t.Fatalf("%s: locErr[%d]: probe engine %v != scalar probes %v", name, ti, e1[ti], e2[ti])
+			}
+		}
+		for _, metric := range AllMetrics() {
+			d1, _, err := Train(model, metric, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d2, _, err := Train(model, metric, scalar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d1.Threshold() != d2.Threshold() {
+				t.Fatalf("%s/%s: probe-engine threshold %v != scalar-probe threshold %v",
+					name, metric.Name(), d1.Threshold(), d2.Threshold())
+			}
+		}
+	}
+}

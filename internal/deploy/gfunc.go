@@ -202,6 +202,18 @@ func (g *GTable) LogEval2(z2 float64) (lnG, ln1G float64) {
 	return lo[0] + (hi[0]-lo[0])*f, lo[1] + (hi[1]-lo[1])*f
 }
 
+// LogEvalN is the batched form of LogEval2: it fills lnG[i], ln1G[i]
+// with the clamped log-probabilities at squared distance z2s[i] for
+// every element of z2s. Each element is computed with exactly LogEval2's
+// arithmetic (same operation order), so the outputs are bit-identical to
+// calling LogEval2 per element; the batch exists so likelihood inner
+// loops can run the table lookup as one branch-light pass over a
+// structure-of-arrays probe batch instead of a dependent per-group
+// chain. lnG and ln1G must be at least len(z2s) long.
+func (g *GTable) LogEvalN(z2s, lnG, ln1G []float64) {
+	g.LogTable().LogEvalN(z2s, lnG, ln1G)
+}
+
 // LogTableView is the raw log-companion table: the interleaved
 // {ln g, ln(1−g)} samples plus the constants LogEval2 combines them
 // with. LogEval2 is above the compiler's inlining budget, so likelihood
@@ -220,6 +232,31 @@ type LogTableView struct {
 // LogTable returns the raw view of the log-space companion table.
 func (g *GTable) LogTable() LogTableView {
 	return LogTableView{Logs: g.logs, InvStep: g.invStep, MaxZ2: g.maxZ2, LnEps: g.lnEps}
+}
+
+// LogEvalN evaluates the view at every squared distance in z2s, writing
+// ln g into lnG and ln(1−g) into ln1G. Per element it is LogEval2's
+// arithmetic verbatim — see GTable.LogEvalN for the contract.
+func (v LogTableView) LogEvalN(z2s, lnG, ln1G []float64) {
+	lnG = lnG[:len(z2s)]
+	ln1G = ln1G[:len(z2s)]
+	logs, invStep, maxZ2, lnEps := v.Logs, v.InvStep, v.MaxZ2, v.LnEps
+	last := len(logs) - 2
+	for i, z2 := range z2s {
+		if z2 >= maxZ2 {
+			lnG[i], ln1G[i] = lnEps, 0
+			continue
+		}
+		u := z2 * invStep
+		k := int(u)
+		if k > last { // float rounding at the right edge
+			k = last
+		}
+		f := u - float64(k)
+		lo, hi := logs[k], logs[k+1]
+		lnG[i] = lo[0] + (hi[0]-lo[0])*f
+		ln1G[i] = lo[1] + (hi[1]-lo[1])*f
+	}
 }
 
 // Omega returns the number of sub-ranges in the table.

@@ -185,3 +185,52 @@ func TestGExactMonotoneInRangeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestLogEvalNBitIdenticalToLogEval2 pins the batched table lookup to
+// the scalar one: for any vector of squared distances — interior,
+// table-edge, beyond-MaxZ, zero — LogEvalN must produce bit-for-bit the
+// pair LogEval2 returns per element. The probe engine's equivalence
+// guarantee stands on this.
+func TestLogEvalNBitIdenticalToLogEval2(t *testing.T) {
+	gt := NewGTable(50, 50, DefaultOmega)
+	maxZ2 := gt.MaxZ2()
+	r := rng.New(9)
+	z2s := []float64{0, 1e-12, maxZ2 / 2, maxZ2 * (1 - 1e-15), maxZ2, maxZ2 + 1, 4 * maxZ2}
+	for i := 0; i < 2000; i++ {
+		z2s = append(z2s, r.Float64()*maxZ2*1.2)
+	}
+	lnG := make([]float64, len(z2s))
+	ln1G := make([]float64, len(z2s))
+	gt.LogEvalN(z2s, lnG, ln1G)
+	for i, z2 := range z2s {
+		wantG, want1G := gt.LogEval2(z2)
+		if lnG[i] != wantG || ln1G[i] != want1G {
+			t.Fatalf("z2=%v: LogEvalN (%v,%v) != LogEval2 (%v,%v)",
+				z2, lnG[i], ln1G[i], wantG, want1G)
+		}
+	}
+	// The view method is the same code path; spot-check it directly.
+	view := gt.LogTable()
+	view.LogEvalN(z2s[:8], lnG[:8], ln1G[:8])
+	for i, z2 := range z2s[:8] {
+		wantG, want1G := gt.LogEval2(z2)
+		if lnG[i] != wantG || ln1G[i] != want1G {
+			t.Fatalf("view z2=%v: (%v,%v) != (%v,%v)", z2, lnG[i], ln1G[i], wantG, want1G)
+		}
+	}
+}
+
+// TestModelPointsView pins the bulk point accessor: same values as
+// DeploymentPoint, shared backing (no copy).
+func TestModelPointsView(t *testing.T) {
+	m := MustNew(PaperConfig())
+	pts := m.Points()
+	if len(pts) != m.NumGroups() {
+		t.Fatalf("Points() has %d entries, want %d", len(pts), m.NumGroups())
+	}
+	for i := range pts {
+		if pts[i] != m.DeploymentPoint(i) {
+			t.Fatalf("Points()[%d] = %v != DeploymentPoint %v", i, pts[i], m.DeploymentPoint(i))
+		}
+	}
+}

@@ -222,6 +222,15 @@ func (m *Model) DeploymentPoints() []geom.Point {
 	return append([]geom.Point(nil), m.points...)
 }
 
+// Points returns the deployment points as a shared, read-only view
+// indexed by group id — the bulk-export accessor the localization probe
+// engine uses to materialize its structure-of-arrays coordinate buffers
+// without one DeploymentPoint call per group. The slice is the model's
+// own backing array, not a copy; callers must not modify it (the model
+// is immutable and shared across goroutines). Use DeploymentPoints for
+// an owned copy.
+func (m *Model) Points() []geom.Point { return m.points }
+
 // GTable returns the model's precomputed g(z) lookup table.
 func (m *Model) GTable() *GTable { return m.gTable }
 

@@ -50,20 +50,40 @@ type Beaconless struct {
 	// before handing the scheme out; it is not synchronized.
 	Reference bool
 
+	// probeBatch routes pattern search through the structure-of-arrays
+	// probe engine: all compass probes of a round are evaluated in one
+	// atN pass over the active set (likelihood.atN, probe.go). Enabled by
+	// the constructors; SetProbeBatch(false) forces the scalar
+	// point-at-a-time path (likelihood.at), which is the equivalence
+	// reference — the two are bit-identical by construction and tests
+	// enforce it. Reference mode always uses the scalar search.
+	probeBatch bool
+
 	// sessions recycles Sessions for the convenience wrappers.
 	sessions sync.Pool
 }
 
 // NewBeaconless builds the scheme for a deployed network.
 func NewBeaconless(net *wsn.Network) *Beaconless {
-	return &Beaconless{model: net.Model(), net: net}
+	return &Beaconless{model: net.Model(), net: net, probeBatch: true}
 }
 
 // NewBeaconlessModel builds an observation-only instance (no network),
 // for use with LocalizeObservation — the experiment harness path.
 func NewBeaconlessModel(model *deploy.Model) *Beaconless {
-	return &Beaconless{model: model}
+	return &Beaconless{model: model, probeBatch: true}
 }
+
+// SetProbeBatch enables (the constructors' default) or disables the
+// batched probe engine. Disabled, every pattern-search candidate is
+// evaluated one point at a time through likelihood.at — the scalar
+// reference path benchmarks measure the engine against and equivalence
+// tests compare it to; results are bit-identical either way. Not
+// synchronized: configure before handing the scheme out, like Reference.
+func (b *Beaconless) SetProbeBatch(enabled bool) { b.probeBatch = enabled }
+
+// ProbeBatchEnabled reports whether the batched probe engine is active.
+func (b *Beaconless) ProbeBatchEnabled() bool { return b.probeBatch }
 
 // Name implements Scheme.
 func (b *Beaconless) Name() string { return "beaconless-mle" }
@@ -128,9 +148,14 @@ func (b *Beaconless) LogLikelihoodAt(o []int, loc geom.Point) float64 {
 type Session struct {
 	b  *Beaconless
 	ll likelihood
-	// eval is ll.at bound once at construction, so pattern search does
-	// not materialize a new closure per localization.
+	// eval is ll.at bound once at construction, so the scalar pattern
+	// search does not materialize a new closure per localization.
 	eval func(geom.Point) float64
+	// probePts/probeVals are the pattern-search probe batch: the round
+	// center plus one slot per compass direction, reused across rounds
+	// and localizations.
+	probePts  []geom.Point
+	probeVals []float64
 }
 
 // NewSession returns a fresh Session for this scheme. The constructor is
@@ -139,6 +164,8 @@ type Session struct {
 func (b *Beaconless) NewSession() *Session {
 	s := &Session{b: b}
 	s.eval = s.ll.at
+	s.probePts = make([]geom.Point, probeBatchMax)
+	s.probeVals = make([]float64, probeBatchMax)
 	return s
 }
 
@@ -217,7 +244,14 @@ func (s *Session) LocalizeFrom(start geom.Point, maxStep float64, exclude []bool
 	if minStep <= 0 {
 		minStep = 0.25
 	}
-	return patternSearch(s.eval, start, maxStep, minStep), nil
+	// Reference mode is the pre-PR3 anchor and stays on the scalar
+	// search; otherwise the probe engine evaluates each round's compass
+	// probes in one SoA pass. Both searches accept exactly the same move
+	// sequence, so the fixpoints are bit-identical (probe_test.go).
+	if s.b.Reference || !s.b.probeBatch {
+		return patternSearch(s.eval, start, maxStep, minStep), nil
+	}
+	return s.ll.patternSearchBatch(s.probePts, s.probeVals, start, maxStep, minStep), nil
 }
 
 // LogLikelihoodAt evaluates the bound observation's log-likelihood at an
@@ -227,7 +261,7 @@ func (s *Session) LogLikelihoodAt(p geom.Point) float64 {
 	if !s.ll.bound() {
 		return math.Inf(-1)
 	}
-	s.ll.act = s.ll.base
+	s.ll.mask(nil)
 	return s.ll.at(p)
 }
 
@@ -237,6 +271,16 @@ func (s *Session) LogLikelihoodAt(p geom.Point) float64 {
 // groups near the search region or with nonzero counts is scanned. The
 // active set is found through the deployment model's spatial index; every
 // buffer is reused across bind calls.
+//
+// Alongside the id-indexed active set, bind materializes the active
+// groups as parallel structure-of-arrays buffers — coordinates plus the
+// per-group likelihood weights o_i and m−o_i as floats — so probe
+// evaluation streams over compact arrays instead of indexing through
+// model.DeploymentPoint and counts[] per probe. The batched atN
+// (probe.go) runs on those arrays; the scalar at keeps the PR 3
+// id-indexed walk as the equivalence reference. Both accumulate per-group
+// terms in ascending group order with identical arithmetic, so their
+// results are bit-identical.
 type likelihood struct {
 	model  *deploy.Model
 	gt     *deploy.GTable
@@ -254,6 +298,34 @@ type likelihood struct {
 	near   []int32 // spatial-index candidate scratch
 	mark   []bool  // per-group "within margin" flags, reused
 
+	// Structure-of-arrays view of the active set, parallel to base/act:
+	// deployment-point coordinates and the probe weights o_i ("ow") and
+	// m−o_i ("mw"), all precomputed at bind so the per-probe inner loop
+	// does no int→float conversion and no pointer chasing. The act*
+	// slices alias the base* ones when no mask is applied and the mask*
+	// scratch buffers otherwise.
+	baseXs, baseYs, baseOw, baseMw []float64
+	actXs, actYs, actOw, actMw     []float64
+	maskXs, maskYs, maskOw, maskMw []float64
+
+	// Probe-engine live set (atN): the per-batch compaction of the
+	// active arrays, cached with the coverage ball it was built for
+	// (anchor liveP0, radius liveRad) so batches probing inside the ball
+	// reuse it. liveValid drops on every bind/mask.
+	liveXs, liveYs, liveOw, liveMw []float64
+	liveN                          int
+	liveP0                         geom.Point
+	liveRad                        float64
+	liveValid                      bool
+
+	// Generic-width probe scratch (atN's three-pass path): squared
+	// distances and table outputs, len(batch)·len(live set), grown once
+	// and reused.
+	z2Buf, lgBuf, l1gBuf []float64
+
+	// maxZ caches GTable.MaxZ() for the probe engine's skip bound.
+	maxZ float64
+
 	// logs is the raw log-companion table view; at inlines the lookup
 	// (deploy.GTable.LogEval2 is over the compiler's inlining budget)
 	// using exactly LogEval2's arithmetic.
@@ -270,10 +342,11 @@ func (ll *likelihood) bind(model *deploy.Model, o []int, reference bool) bool {
 	}
 	total := 0
 	var cx, cy, cw float64
+	pts := model.Points()
 	for i, c := range o {
 		total += c
 		if c > 0 {
-			dp := model.DeploymentPoint(i)
+			dp := pts[i]
 			w := float64(c)
 			cx += dp.X * w
 			cy += dp.Y * w
@@ -288,6 +361,7 @@ func (ll *likelihood) bind(model *deploy.Model, o []int, reference bool) bool {
 	ll.counts = o
 	ll.m = model.GroupSize()
 	ll.logs = ll.gt.LogTable()
+	ll.maxZ = ll.gt.MaxZ()
 	ll.reference = reference
 	ll.centroid = geom.Pt(cx/cw, cy/cw)
 
@@ -320,28 +394,60 @@ func (ll *likelihood) bind(model *deploy.Model, o []int, reference bool) bool {
 			ll.base = append(ll.base, int32(i))
 		}
 	}
-	ll.act = ll.base
+	ll.materializeBase()
+	ll.mask(nil)
 	return true
+}
+
+// materializeBase rebuilds the structure-of-arrays view from the base
+// active set: coordinates from the model's bulk point view, weights from
+// the bound counts. Split out of bind so white-box tests that widen the
+// active set can re-materialize.
+func (ll *likelihood) materializeBase() {
+	pts := ll.model.Points()
+	mm := float64(ll.m)
+	ll.baseXs, ll.baseYs = ll.baseXs[:0], ll.baseYs[:0]
+	ll.baseOw, ll.baseMw = ll.baseOw[:0], ll.baseMw[:0]
+	for _, i := range ll.base {
+		p := pts[i]
+		w := float64(ll.counts[i])
+		ll.baseXs = append(ll.baseXs, p.X)
+		ll.baseYs = append(ll.baseYs, p.Y)
+		ll.baseOw = append(ll.baseOw, w)
+		ll.baseMw = append(ll.baseMw, mm-w)
+	}
 }
 
 // bound reports whether a usable observation is bound.
 func (ll *likelihood) bound() bool { return ll.counts != nil }
 
-// mask selects the working active set: base minus the excluded groups.
+// mask selects the working active set: base minus the excluded groups,
+// filtering the id list and the structure-of-arrays view in one pass.
 // false means nothing is left to fit.
 func (ll *likelihood) mask(exclude []bool) bool {
+	ll.liveValid = false // the probe engine's live set derives from act
 	if exclude == nil {
 		ll.act = ll.base
+		ll.actXs, ll.actYs = ll.baseXs, ll.baseYs
+		ll.actOw, ll.actMw = ll.baseOw, ll.baseMw
 		return len(ll.act) > 0
 	}
 	ll.actBuf = ll.actBuf[:0]
-	for _, i := range ll.base {
+	ll.maskXs, ll.maskYs = ll.maskXs[:0], ll.maskYs[:0]
+	ll.maskOw, ll.maskMw = ll.maskOw[:0], ll.maskMw[:0]
+	for k, i := range ll.base {
 		if int(i) < len(exclude) && exclude[i] {
 			continue
 		}
 		ll.actBuf = append(ll.actBuf, i)
+		ll.maskXs = append(ll.maskXs, ll.baseXs[k])
+		ll.maskYs = append(ll.maskYs, ll.baseYs[k])
+		ll.maskOw = append(ll.maskOw, ll.baseOw[k])
+		ll.maskMw = append(ll.maskMw, ll.baseMw[k])
 	}
 	ll.act = ll.actBuf
+	ll.actXs, ll.actYs = ll.maskXs, ll.maskYs
+	ll.actOw, ll.actMw = ll.maskOw, ll.maskMw
 	return len(ll.act) > 0
 }
 
@@ -409,16 +515,19 @@ func (ll *likelihood) referenceAt(p geom.Point) float64 {
 	return sum
 }
 
-// patternSearch maximizes f by compass search from start.
+// patternSearch maximizes f by compass search from start: the scalar
+// reference search, one candidate evaluation at a time. Candidates are
+// probed in compassDirs order and every improvement moves the center
+// immediately, so later probes of the same round start from the updated
+// best. patternSearchBatch (probe.go) replays exactly this acceptance
+// sequence on batched evaluations.
 func patternSearch(f func(geom.Point) float64, start geom.Point, maxStep, minStep float64) geom.Point {
 	best := start
 	bestV := f(best)
 	step := maxStep
-	dirs := [...]geom.Vec{{DX: 1}, {DX: -1}, {DY: 1}, {DY: -1},
-		{DX: 1, DY: 1}, {DX: 1, DY: -1}, {DX: -1, DY: 1}, {DX: -1, DY: -1}}
 	for step >= minStep {
 		improved := false
-		for _, d := range dirs {
+		for _, d := range compassDirs {
 			cand := best.Add(d.Scale(step))
 			if v := f(cand); v > bestV {
 				best, bestV = cand, v

@@ -106,12 +106,15 @@ func TestActiveSetMatchesFullGroupSet(t *testing.T) {
 			if err := full.Bind(o); err != nil {
 				t.Fatalf("%s: bind: %v", name, err)
 			}
-			// White-box: widen the full session's active set to all groups.
+			// White-box: widen the full session's active set to all groups,
+			// then rebuild the SoA view and reset the mask so both the
+			// scalar walk and the probe engine see the widened set.
 			full.ll.base = full.ll.base[:0]
 			for g := 0; g < model.NumGroups(); g++ {
 				full.ll.base = append(full.ll.base, int32(g))
 			}
-			full.ll.act = full.ll.base
+			full.ll.materializeBase()
+			full.ll.mask(nil)
 
 			// Zero-count groups outside the active margin must contribute
 			// exactly 0 at every reachable candidate, so surfaces agree.

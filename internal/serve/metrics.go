@@ -182,6 +182,14 @@ func (m *Metrics) Render(pool *DetectorPool) string {
 			expRate = float64(expHits) / float64(total)
 		}
 		fmt.Fprintf(&b, "ladd_expectation_cache_hit_rate %g\n", expRate)
+
+		budgetCap, budgetInUse := pool.ExpCacheBudgetStats()
+		b.WriteString("# HELP ladd_expectation_cache_budget_bytes Pool-wide expectation-cache admission budget (0 = unlimited).\n")
+		b.WriteString("# TYPE ladd_expectation_cache_budget_bytes gauge\n")
+		fmt.Fprintf(&b, "ladd_expectation_cache_budget_bytes %d\n", budgetCap)
+		b.WriteString("# HELP ladd_expectation_cache_bytes_in_use Bytes reserved by resident expectation entries and armed PMF tables across all detectors.\n")
+		b.WriteString("# TYPE ladd_expectation_cache_bytes_in_use gauge\n")
+		fmt.Fprintf(&b, "ladd_expectation_cache_bytes_in_use %d\n", budgetInUse)
 	}
 	return b.String()
 }

@@ -153,6 +153,11 @@ type DetectorPool struct {
 	// expCacheCap overrides the expectation-cache capacity installed on
 	// newly trained detectors: 0 keeps core's default, negative disables.
 	expCacheCap int
+	// expBudget is the pool-wide expectation-cache admission budget in
+	// bytes, shared by every detector the pool trains. Created in
+	// account-only mode (capacity 0 = unlimited, bytes still tracked for
+	// /metrics); SetExpCacheByteBudget arms the cap.
+	expBudget *core.ExpCacheBudget
 	// trainer is swappable for tests; nil means trainDetector.
 	trainer func(DetectorSpec, int) (*core.Detector, error)
 
@@ -220,14 +225,22 @@ func (p *DetectorPool) MeanTrainSeconds() float64 {
 // NewDetectorPool returns an empty pool using the production trainer.
 // limit caps resident entries (0 = unbounded).
 func NewDetectorPool(limit int) *DetectorPool {
-	p := &DetectorPool{entries: make(map[string]*poolEntry), limit: limit}
+	p := &DetectorPool{
+		entries:   make(map[string]*poolEntry),
+		limit:     limit,
+		expBudget: core.NewExpCacheBudget(0),
+	}
 	p.SetTrainConcurrency(DefaultTrainConcurrency)
 	return p
 }
 
 // newDetectorPoolWithTrainer is the test seam.
 func newDetectorPoolWithTrainer(trainer func(DetectorSpec, int) (*core.Detector, error)) *DetectorPool {
-	p := &DetectorPool{entries: make(map[string]*poolEntry), trainer: trainer}
+	p := &DetectorPool{
+		entries:   make(map[string]*poolEntry),
+		trainer:   trainer,
+		expBudget: core.NewExpCacheBudget(0),
+	}
 	p.SetTrainConcurrency(DefaultTrainConcurrency)
 	return p
 }
@@ -249,6 +262,26 @@ func (p *DetectorPool) SetTrainConcurrency(n int) {
 // negative disables the cache. Configure before serving.
 func (p *DetectorPool) SetExpCacheCapacity(capacity int) {
 	p.expCacheCap = capacity
+}
+
+// SetExpCacheByteBudget caps the bytes the expectation caches of ALL
+// detectors this pool trains may hold between them — resident G/Mu
+// entries plus armed log-PMF tables, charged at admission and credited
+// on eviction. 0 (the default) removes the cap but keeps accounting, so
+// today's admission behavior is unchanged and the in-use gauge stays
+// live. Configure before serving.
+func (p *DetectorPool) SetExpCacheByteBudget(bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	p.expBudget.SetCapacity(bytes)
+}
+
+// ExpCacheBudgetStats reports the pool-wide expectation-cache byte
+// budget: the configured capacity (0 = unlimited) and the bytes
+// currently reserved across every detector the pool trained.
+func (p *DetectorPool) ExpCacheBudgetStats() (capacityBytes, inUseBytes int64) {
+	return p.expBudget.Capacity(), p.expBudget.InUse()
 }
 
 // Get returns the cached detector for spec, training (and caching) it on
@@ -286,10 +319,15 @@ func (p *DetectorPool) Get(spec DetectorSpec) (*core.Detector, error) {
 		if e.err == nil {
 			p.observeTraining(time.Since(start))
 		}
-		if e.err == nil && p.expCacheCap != 0 {
+		if e.err == nil {
 			// Applied pre-publish: the entry is not visible as ready yet,
-			// so the resize cannot race in-flight checks.
-			e.det.SetExpCacheCapacity(max(0, p.expCacheCap))
+			// so the resize cannot race in-flight checks. Capacity first,
+			// then the shared byte budget (budget installation rebuilds
+			// the cache at the configured capacity).
+			if p.expCacheCap != 0 {
+				e.det.SetExpCacheCapacity(max(0, p.expCacheCap))
+			}
+			e.det.SetExpCacheBudget(p.expBudget)
 		}
 		if e.err != nil {
 			// Evict: failed entries must not occupy limit slots, and a

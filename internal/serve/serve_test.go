@@ -596,3 +596,69 @@ func TestTrainDurationMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestExpCacheByteBudgetThroughPool pins the pool-wide byte budget: the
+// pool installs one shared core.ExpCacheBudget on every detector it
+// trains, /metrics exports the capacity and in-use gauges, and scoring
+// correctness is unaffected by a tiny budget.
+func TestExpCacheByteBudgetThroughPool(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Default: tinySpec(), ExpCacheBudgetBytes: 2048}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Warmup(); err != nil {
+		t.Fatal(err)
+	}
+	det, err := srv.Pool().Get(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.ExpCacheBudget() == nil {
+		t.Fatal("pool did not install its byte budget on the trained detector")
+	}
+	capBytes, _ := srv.Pool().ExpCacheBudgetStats()
+	if capBytes != 2048 {
+		t.Fatalf("budget capacity = %d, want 2048", capBytes)
+	}
+
+	// Score through the server so entries land (or are refused) under
+	// the budget; verdicts must match a fresh uncached detector.
+	model := det.Model()
+	r := rng.New(3)
+	fresh := core.NewDetector(model, det.Metric(), det.Threshold())
+	fresh.SetExpCacheCapacity(0)
+	h := srv.Handler()
+	for i := 0; i < 10; i++ {
+		g, p := model.SampleLocation(r)
+		o := model.SampleObservation(p, g, r)
+		body, _ := json.Marshal(CheckRequest{Observation: o, Location: PointJSON{X: p.X, Y: p.Y}})
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/check", bytes.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("check %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		var resp CheckResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		want := fresh.Check(o, p)
+		if resp.Score != want.Score || resp.Alarm != want.Alarm {
+			t.Fatalf("check %d: budgeted %+v != fresh %+v", i, resp, want)
+		}
+	}
+	_, inUse := srv.Pool().ExpCacheBudgetStats()
+	if inUse > 2048 {
+		t.Fatalf("in-use bytes %d exceed the 2048 budget", inUse)
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	for _, want := range []string{
+		"ladd_expectation_cache_budget_bytes 2048",
+		"ladd_expectation_cache_bytes_in_use",
+	} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

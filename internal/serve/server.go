@@ -95,6 +95,12 @@ type ServerConfig struct {
 	// negative disables the cache. Only consulted when NewServer builds
 	// the pool itself.
 	ExpCacheCapacity int
+	// ExpCacheBudgetBytes caps the bytes ALL detectors' expectation
+	// caches may hold between them (resident entries plus armed PMF
+	// tables); 0 means unlimited — per-detector entry capacities remain
+	// the only bound, today's behavior. Only consulted when NewServer
+	// builds the pool itself.
+	ExpCacheBudgetBytes int64
 }
 
 // DefaultMaxBatch bounds batch size when ServerConfig leaves it zero.
@@ -160,6 +166,7 @@ func NewServer(cfg ServerConfig, pool *DetectorPool) (*Server, error) {
 		pool = NewDetectorPool(cfg.MaxCachedDetectors)
 		pool.SetTrainConcurrency(cfg.MaxConcurrentTrainings)
 		pool.SetExpCacheCapacity(cfg.ExpCacheCapacity)
+		pool.SetExpCacheByteBudget(cfg.ExpCacheBudgetBytes)
 	}
 	return &Server{cfg: cfg, pool: pool, metrics: NewMetrics()}, nil
 }
