@@ -4,20 +4,32 @@
 //
 // Endpoints:
 //
-//	POST /v1/check        score one observation/location pair
-//	POST /v1/check/batch  score many pairs in one request (batched path)
-//	GET  /healthz         readiness (503 until the default detector is trained)
-//	GET  /metrics         Prometheus text metrics
+//	POST   /v2/detectors                  register a detector resource (async training)
+//	GET    /v2/detectors                  list resources and lifecycle states
+//	GET    /v2/detectors/{id}             status: state, threshold, train stats
+//	DELETE /v2/detectors/{id}             evict a resource
+//	POST   /v2/detectors/{id}/check       score one observation/location pair
+//	POST   /v2/detectors/{id}/check/batch score many pairs in one request
+//	POST   /v2/detectors/{id}/correct     re-estimate a location after an alarm
+//	POST   /v2/detectors/{id}/rethreshold re-cut the percentile without retraining
+//	POST   /v1/check                      v1 shim (synchronous, bit-identical verdicts)
+//	POST   /v1/check/batch                v1 shim
+//	GET    /healthz                       readiness (503 until the default detector is trained)
+//	GET    /metrics                       Prometheus text metrics
 //
 // Usage:
 //
 //	ladd                                  # paper deployment, diff metric
 //	ladd -addr :9090 -metric probability -trials 8000
 //	ladd -spec deployment.json            # full DetectorSpec from a file
+//	ladd -api-token-file token.txt        # gate register/delete/rethreshold
 //
-// Requests may carry their own "detector" spec; the daemon trains it on
-// first sight and caches it by a canonical config hash, so clients that
-// agree on a deployment share one training run.
+// Checks against a still-training v2 resource answer 202 + Retry-After;
+// the v1 endpoints instead block until training completes. Both surfaces
+// resolve through one detector pool keyed by a canonical config hash, so
+// clients that agree on a deployment share one training run — and one
+// set of verdicts. The typed Go client in repro/client speaks the v2
+// lifecycle end to end.
 package main
 
 import (
@@ -29,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,9 +62,22 @@ func main() {
 		trainConc   = flag.Int("train-concurrency", serve.DefaultTrainConcurrency, "max detector trainings in flight (each gets GOMAXPROCS/n workers)")
 		expCache    = flag.Int("exp-cache", 0, "per-detector expectation-cache capacity in claimed locations (0 = core default, negative disables)")
 		expBudget   = flag.Int64("exp-cache-budget", 0, "pool-wide expectation-cache admission budget in bytes, shared across all detectors (0 = unlimited)")
+		tokenFile   = flag.String("api-token-file", "", "file holding the bearer token that gates mutating v2 endpoints (register/delete/rethreshold); empty leaves them open")
 		warmupOnly  = flag.Bool("warmup-only", false, "train the default detector, print its threshold, and exit")
 	)
 	flag.Parse()
+
+	apiToken := ""
+	if *tokenFile != "" {
+		raw, err := os.ReadFile(*tokenFile)
+		if err != nil {
+			log.Fatalf("ladd: reading -api-token-file: %v", err)
+		}
+		apiToken = strings.TrimSpace(string(raw))
+		if apiToken == "" {
+			log.Fatalf("ladd: -api-token-file %s is empty", *tokenFile)
+		}
+	}
 
 	spec := serve.DetectorSpec{
 		Deployment: deploy.PaperConfig(),
@@ -80,6 +106,7 @@ func main() {
 
 	srv, err := serve.NewServer(serve.ServerConfig{
 		Default:                spec,
+		APIToken:               apiToken,
 		MaxBatch:               *maxBatch,
 		MaxConcurrentTrainings: *trainConc,
 		ExpCacheCapacity:       *expCache,

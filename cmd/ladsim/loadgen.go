@@ -1,11 +1,8 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -14,8 +11,8 @@ import (
 	"time"
 
 	"repro"
+	"repro/client"
 	"repro/internal/rng"
-	"repro/internal/serve"
 )
 
 // loadgenOptions configure the ladd load generator.
@@ -26,12 +23,24 @@ type loadgenOptions struct {
 	batch       int
 	locations   int
 	seed        uint64
+	// tokenFile holds the daemon's bearer token; required to register
+	// the spec when the daemon runs with -api-token-file.
+	tokenFile string
+	// metric/trials/trainSeed shape the registered spec. Match the
+	// daemon's -metric/-trials/-seed flags and registration is a cache
+	// hit on the detector the daemon already warmed up; mismatch and the
+	// loadgen pays (and measures against) its own training run.
+	metric    string
+	trials    int
+	trainSeed uint64
 }
 
-// runLoadgen drives a running ladd instance with benign batch traffic and
-// reports sustained QPS and latency percentiles. Payloads are generated
-// up front from the paper deployment (the daemon's default spec), so the
-// measurement loop does nothing but HTTP.
+// runLoadgen drives a running ladd instance with benign traffic through
+// the typed v2 client and reports sustained QPS and latency percentiles.
+// It registers a paper-deployment spec as a v2 resource — with default
+// flags, the same spec the daemon warms up, so registration is
+// idempotent and joins the existing detector — and payloads are
+// generated up front, so the measurement loop does nothing but HTTP.
 func runLoadgen(o loadgenOptions) error {
 	model, err := lad.NewModel(lad.PaperDeployment())
 	if err != nil {
@@ -44,36 +53,42 @@ func runLoadgen(o loadgenOptions) error {
 		o.locations = max(1, o.batch/8)
 	}
 
-	// Wait for the daemon to finish warmup. The probe client has its own
-	// timeout so one wedged connection cannot outlive the deadline.
-	probe := &http.Client{Timeout: 2 * time.Second}
-	deadline := time.Now().Add(2 * time.Minute)
-	for {
-		resp, err := probe.Get(o.url + "/healthz")
-		if err == nil {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				break
-			}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	var copts []client.Option
+	if o.tokenFile != "" {
+		raw, err := os.ReadFile(o.tokenFile)
+		if err != nil {
+			return fmt.Errorf("loadgen: reading -lg-token-file: %w", err)
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("loadgen: %s not healthy after 2m", o.url)
-		}
-		time.Sleep(200 * time.Millisecond)
+		copts = append(copts, client.WithToken(strings.TrimSpace(string(raw))))
+	}
+	c := client.New(o.url, copts...)
+
+	// Wait for the daemon, then resolve the detector as a v2 resource.
+	// RegisterAndWait rides out a cold daemon whose warmup is still
+	// running.
+	healthCtx, healthCancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer healthCancel()
+	if err := c.WaitHealthy(healthCtx); err != nil {
+		return fmt.Errorf("loadgen: %w", err)
+	}
+	spec := client.PaperSpec().WithMetric(o.metric).WithSeed(o.trainSeed)
+	if o.trials > 0 {
+		spec = spec.WithTrials(o.trials)
+	}
+	det, err := c.RegisterAndWait(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("loadgen: registering paper detector (token-gated daemon needs -lg-token-file): %w", err)
 	}
 
-	// Pre-encode a rotation of distinct payloads.
+	// Pre-generate a rotation of distinct payloads.
 	const payloads = 64
 	r := rng.New(o.seed)
-	bodies := make([][]byte, payloads)
-	endpoint := o.url + "/v1/check/batch"
 	single := o.batch == 1
-	if single {
-		endpoint = o.url + "/v1/check"
-	}
-	for pi := range bodies {
-		items := make([]serve.BatchItemJSON, o.batch)
+	batches := make([][]client.Item, payloads)
+	for pi := range batches {
+		items := make([]client.Item, o.batch)
 		locs := make([]lad.Point, o.locations)
 		groups := make([]int, o.locations)
 		for i := range locs {
@@ -87,33 +102,21 @@ func runLoadgen(o loadgenOptions) error {
 		}
 		for i := range items {
 			li := i % o.locations
-			items[i] = serve.BatchItemJSON{
+			items[i] = client.Item{
 				Observation: model.SampleObservation(locs[li], groups[li], r),
-				Location:    serve.PointJSON{X: locs[li].X, Y: locs[li].Y},
+				Location:    client.Point{X: locs[li].X, Y: locs[li].Y},
 			}
 		}
-		var body any
-		if single {
-			body = serve.CheckRequest{Observation: items[0].Observation, Location: items[0].Location}
-		} else {
-			body = serve.BatchRequest{Items: items}
-		}
-		raw, err := json.Marshal(body)
-		if err != nil {
-			return err
-		}
-		bodies[pi] = raw
+		batches[pi] = items
 	}
 
-	fmt.Printf("loadgen: %s for %s, %d workers, batch %d (%d distinct locations/batch)\n",
-		endpoint, o.duration, o.concurrency, o.batch, o.locations)
-
-	client := &http.Client{
-		Timeout: 30 * time.Second,
-		Transport: &http.Transport{
-			MaxIdleConnsPerHost: o.concurrency,
-		},
+	endpoint := "/v2/detectors/" + det.ID + "/check/batch"
+	if single {
+		endpoint = "/v2/detectors/" + det.ID + "/check"
 	}
+	fmt.Printf("loadgen: %s%s for %s, %d workers, batch %d (%d distinct locations/batch)\n",
+		o.url, endpoint, o.duration, o.concurrency, o.batch, o.locations)
+
 	var (
 		requests atomic.Uint64
 		failures atomic.Uint64
@@ -128,16 +131,15 @@ func runLoadgen(o loadgenOptions) error {
 			defer wg.Done()
 			lat := make([]time.Duration, 0, 4096)
 			for i := 0; time.Now().Before(stop); i++ {
-				body := bodies[(w+i)%payloads]
+				items := batches[(w+i)%payloads]
 				t0 := time.Now()
-				resp, err := client.Post(endpoint, "application/json", bytes.NewReader(body))
-				if err != nil {
-					failures.Add(1)
-					continue
+				var err error
+				if single {
+					_, err = c.Check(ctx, det.ID, items[0].Observation, items[0].Location)
+				} else {
+					_, err = c.CheckBatch(ctx, det.ID, items)
 				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
+				if err != nil {
 					failures.Add(1)
 					continue
 				}
@@ -170,7 +172,7 @@ func runLoadgen(o loadgenOptions) error {
 	fmt.Printf("loadgen: latency p50 %s  p95 %s  p99 %s  max %s\n",
 		pct(50).Round(time.Microsecond), pct(95).Round(time.Microsecond),
 		pct(99).Round(time.Microsecond), pct(100).Round(time.Microsecond))
-	reportCacheGauges(probe, o.url)
+	reportCacheGauges(ctx, c)
 	if failures.Load() > req/10 {
 		fmt.Fprintln(os.Stderr, "loadgen: >10% of requests failed")
 		os.Exit(1)
@@ -179,29 +181,21 @@ func runLoadgen(o loadgenOptions) error {
 }
 
 // reportCacheGauges scrapes the daemon's /metrics after the run and
-// echoes the detector- and expectation-cache lines, so a loadgen report
-// shows whether the hot path actually ran cached (an expectation-cache
-// hit rate near 1 is the table-driven fast path; near 0 means the
-// workload defeated the cache). Best-effort: a scrape failure only
-// drops the gauges from the report.
-func reportCacheGauges(client *http.Client, baseURL string) {
-	resp, err := client.Get(baseURL + "/metrics")
+// echoes the detector-pool, expectation-cache, and training lines, so a
+// loadgen report shows whether the hot path actually ran cached (an
+// expectation-cache hit rate near 1 is the table-driven fast path; near
+// 0 means the workload defeated the cache). Best-effort: a scrape
+// failure only drops the gauges from the report.
+func reportCacheGauges(ctx context.Context, c *client.Client) {
+	text, err := c.MetricsText(ctx)
 	if err != nil {
 		fmt.Printf("loadgen: /metrics scrape failed: %v\n", err)
 		return
 	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		fmt.Printf("loadgen: /metrics scrape failed reading body: %v\n", err)
-		return
-	}
-	if resp.StatusCode != http.StatusOK {
-		fmt.Printf("loadgen: /metrics scrape failed (status %d)\n", resp.StatusCode)
-		return
-	}
-	for _, line := range strings.Split(string(raw), "\n") {
-		if strings.HasPrefix(line, "ladd_detector_cache_") || strings.HasPrefix(line, "ladd_expectation_cache_") {
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "ladd_detector_cache_") ||
+			strings.HasPrefix(line, "ladd_expectation_cache_") ||
+			strings.HasPrefix(line, "ladd_detectors{") {
 			fmt.Printf("loadgen: %s\n", line)
 		}
 		// Cold-start cost: how long the daemon spent training detectors

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/deploy"
 	"repro/internal/geom"
@@ -28,9 +30,14 @@ func (v Verdict) String() string {
 // Detector is a trained LAD instance: a metric plus its detection
 // threshold, bound to the deployment knowledge. Safe for concurrent use.
 type Detector struct {
-	model     *deploy.Model
-	metric    Metric
-	threshold float64
+	model  *deploy.Model
+	metric Metric
+	// threshold holds math.Float64bits of the detection threshold. It is
+	// atomic so SetThreshold can re-cut the operating point of a live
+	// detector (the serving layer's /rethreshold) without a lock on the
+	// scoring hot path — checks in flight see either the old or the new
+	// value, never a torn one.
+	threshold atomic.Uint64
 	// expPool recycles Expectation buffers across CheckBatch calls so
 	// batched scoring does not allocate per verdict when the cache is
 	// disabled.
@@ -56,7 +63,8 @@ type Detector struct {
 // raw G/Mu slices stay tens of MiB even at the largest request-supplied
 // group counts; tune it with SetExpCacheCapacity.
 func NewDetector(model *deploy.Model, metric Metric, threshold float64) *Detector {
-	d := &Detector{model: model, metric: metric, threshold: threshold}
+	d := &Detector{model: model, metric: metric}
+	d.threshold.Store(math.Float64bits(threshold))
 	n := model.NumGroups()
 	d.expPool.New = func() any {
 		return &Expectation{G: make([]float64, n), Mu: make([]float64, n)}
@@ -100,7 +108,7 @@ func (d *Detector) ExpCacheBudget() *ExpCacheBudget { return d.expBudget }
 
 func (d *Detector) installExpCache() {
 	if d.expCache != nil {
-		d.expCache.releaseAll()
+		d.expCache.retire()
 	}
 	if d.expCacheCapacity <= 0 {
 		d.expCache = nil
@@ -121,6 +129,19 @@ func (d *Detector) SetBatchWorkers(n int) {
 	d.batchWorkers = n
 }
 
+// RetireExpCache credits the detector's expectation-cache reservations
+// back to the shared byte budget and stops the cache from charging it
+// again. Unlike the Set* reconfiguration methods this IS safe to call
+// while checks are in flight — scoring continues (post-retirement
+// admissions are simply uncharged) — which is exactly what the serving
+// pool needs when it evicts a detector whose cache would otherwise pin
+// budget bytes forever.
+func (d *Detector) RetireExpCache() {
+	if d.expCache != nil {
+		d.expCache.retire()
+	}
+}
+
 // ExpCacheStats reports the expectation cache: resident locations and
 // hit/miss counters since the cache was (re)installed. All zeros when
 // the cache is disabled.
@@ -135,7 +156,18 @@ func (d *Detector) ExpCacheStats() (size int, hits, misses uint64) {
 func (d *Detector) Metric() Metric { return d.metric }
 
 // Threshold returns the detection threshold.
-func (d *Detector) Threshold() float64 { return d.threshold }
+func (d *Detector) Threshold() float64 {
+	return math.Float64frombits(d.threshold.Load())
+}
+
+// SetThreshold replaces the detection threshold. It is safe to call
+// while checks are in flight: a concurrent check scores against either
+// the old or the new value. The serving layer's /rethreshold endpoint
+// uses it to re-cut the percentile from retained benign scores without
+// retraining.
+func (d *Detector) SetThreshold(t float64) {
+	d.threshold.Store(math.Float64bits(t))
+}
 
 // Model returns the deployment knowledge the detector uses.
 func (d *Detector) Model() *deploy.Model { return d.model }
@@ -166,7 +198,8 @@ func (d *Detector) CheckPooled(o []int, le geom.Point) Verdict {
 // metrics can share one).
 func (d *Detector) CheckWithExpectation(o []int, e *Expectation) Verdict {
 	s := d.metric.Score(o, e)
-	return Verdict{Score: s, Threshold: d.threshold, Alarm: s > d.threshold}
+	th := d.Threshold()
+	return Verdict{Score: s, Threshold: th, Alarm: s > th}
 }
 
 // BatchItem is one observation/claimed-location pair in a batched check.

@@ -126,7 +126,13 @@ type expCache struct {
 	pmfEntries  atomic.Int64
 	capPerShard int
 	budget      *ExpCacheBudget // nil = unbudgeted
-	shards      [expCacheShards]expShard
+	// retired flips when the owning detector is evicted from the serving
+	// pool: the sweep in retire() credits every resident reservation
+	// back, and later inserts/armings charge nothing, so a cache that is
+	// about to become garbage can never pin budget bytes — even with
+	// in-flight checks still scoring through it.
+	retired atomic.Bool
+	shards  [expCacheShards]expShard
 }
 
 type expShard struct {
@@ -188,7 +194,12 @@ func (c *expCache) get(model *deploy.Model, le geom.Point) *Expectation {
 		s.mu.Unlock()
 		return adopted
 	}
-	for !c.budget.tryReserve(expBytes(e)) {
+	charged := false
+	for !c.retired.Load() {
+		if c.budget.tryReserve(expBytes(e)) {
+			charged = true
+			break
+		}
 		// The pool-wide byte budget is exhausted. Count-based eviction
 		// below only runs after a successful insert, so without help the
 		// resident set would freeze on the earliest-admitted locations
@@ -228,6 +239,10 @@ func (c *expCache) get(model *deploy.Model, le geom.Point) *Expectation {
 			return e
 		}
 	}
+	// A retired cache admits entries uncharged (the loop above falls
+	// through without reserving); charged records whether the reservation
+	// actually happened so eviction credits exactly what was reserved.
+	e.charged = charged
 	s.ent[le] = s.lru.PushFront(e)
 	for s.lru.Len() > c.capPerShard {
 		c.evictTailLocked(s)
@@ -247,9 +262,15 @@ func (c *expCache) evictTailLocked(s *expShard) bool {
 	ev := oldest.Value.(*Expectation)
 	if ev.pmf.Load() != nil {
 		c.pmfEntries.Add(-pmfCost(ev))
-		c.budget.release(pmfBytes(ev))
 	}
-	c.budget.release(expBytes(ev))
+	if ev.pmfCharged {
+		c.budget.release(pmfBytes(ev))
+		ev.pmfCharged = false
+	}
+	if ev.charged {
+		c.budget.release(expBytes(ev))
+		ev.charged = false
+	}
 	delete(s.ent, ev.Loc)
 	return true
 }
@@ -266,6 +287,11 @@ func pmfCost(e *Expectation) int64 {
 // re-admitted, which keeps the accounting race-free without per-hit CAS
 // traffic.
 func (c *expCache) tryArmPMF(e *Expectation) {
+	if c.retired.Load() {
+		// A dying cache arms nothing: the table would never amortize and
+		// its reservation could outlive the retire sweep.
+		return
+	}
 	cost := pmfCost(e)
 	if cost > maxPMFTableEntries {
 		return
@@ -278,13 +304,22 @@ func (c *expCache) tryArmPMF(e *Expectation) {
 		c.pmfEntries.Add(-cost)
 		return
 	}
+	e.pmfCharged = true
 	e.EnablePMFTable()
 }
 
-// releaseAll credits every resident entry's charges back to the budget;
-// called when a detector replaces this cache so a swapped-out cache does
-// not pin budget forever. The cache must not receive further traffic.
-func (c *expCache) releaseAll() {
+// retire credits every resident entry's charges back to the budget and
+// permanently detaches the cache from it: later inserts admit uncharged
+// and PMF arming stops. Unlike a plain drain it is safe with traffic
+// still in flight — the charged flags (guarded by the shard locks) make
+// every reservation credited exactly once, whether by this sweep or by
+// a subsequent eviction. Called when a detector replaces this cache or
+// the serving pool evicts the detector, so a swapped-out or deleted
+// cache can never pin budget bytes forever. Idempotent.
+func (c *expCache) retire() {
+	if c.retired.Swap(true) {
+		return
+	}
 	if c.budget == nil {
 		return
 	}
@@ -293,10 +328,14 @@ func (c *expCache) releaseAll() {
 		s.mu.Lock()
 		for el := s.lru.Front(); el != nil; el = el.Next() {
 			ev := el.Value.(*Expectation)
-			if ev.pmf.Load() != nil {
+			if ev.pmfCharged {
 				c.budget.release(pmfBytes(ev))
+				ev.pmfCharged = false
 			}
-			c.budget.release(expBytes(ev))
+			if ev.charged {
+				c.budget.release(expBytes(ev))
+				ev.charged = false
+			}
 		}
 		s.mu.Unlock()
 	}

@@ -50,6 +50,12 @@ type Expectation struct {
 	// uses counts cache hits on this expectation; the table is armed on
 	// the first reuse so one-shot locations never pay the table build.
 	uses atomic.Uint64
+	// charged/pmfCharged record whether this resident cache entry holds
+	// byte reservations against the cache's shared budget (entry bytes
+	// and armed-PMF bytes respectively). Guarded by the owning cache
+	// shard's mutex; meaningless outside a cache.
+	charged    bool
+	pmfCharged bool
 }
 
 // NewExpectation evaluates the deployment knowledge at le.

@@ -173,6 +173,13 @@ func (c Circle) Intersects(d Circle) bool {
 func (c Circle) IntersectionArea(d Circle) float64 {
 	z := c.Center.Dist(d.Center)
 	r1, r2 := c.R, d.R
+	// Canonical ordering makes the evaluation symmetric by construction:
+	// a.IntersectionArea(b) and b.IntersectionArea(a) run bit-identical
+	// arithmetic (the unordered form could differ by ~1e-6 near
+	// tangency, where the segment terms cancel).
+	if r2 < r1 {
+		r1, r2 = r2, r1
+	}
 	if z >= r1+r2 {
 		return 0
 	}
@@ -189,7 +196,12 @@ func (c Circle) IntersectionArea(d Circle) float64 {
 		x := clamp(dd/r, -1, 1)
 		return r*r*math.Acos(x) - dd*math.Sqrt(math.Max(0, r*r-dd*dd))
 	}
-	return seg(r1, d1) + seg(r2, d2)
+	// Near internal tangency (z barely above |r1−r2|) the segment terms
+	// cancel badly and can overshoot the smaller disk's area by ~1e-6;
+	// the true intersection can never exceed it, so clamp to the exact
+	// geometric bound.
+	r := math.Min(r1, r2)
+	return clamp(seg(r1, d1)+seg(r2, d2), 0, math.Pi*r*r)
 }
 
 // ChordHalfAngle returns, for a disk of radius R centered at distance z

@@ -1,0 +1,38 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// TestIntersectionAreaNearInternalTangency pins the numerically nastiest
+// configuration: z barely above |r1−r2| (inputs found by quick.Check —
+// huge power-of-two floats whose mod-reduction lands exactly on the
+// tangency distance while the radii difference is a few ulps short of
+// it). The unclamped lens formula overshot the smaller disk's area by
+// ~1e-6 here, violating both the ≤min-area and the symmetry property
+// TestCircleIntersectionAreaProperties checks.
+func TestIntersectionAreaNearInternalTangency(t *testing.T) {
+	for _, in := range [][4]float64{
+		{-4.744037372818719e+307, -1.4163210383255285e+308, -1.165362899603537e+308, 1.7947612784339392e+308},
+		{1.594547189614251e+308, 3.970946605927764e+307, 1.0721701423326258e+308, 1.7251020544209886e+308},
+	} {
+		// The same reduction TestCircleIntersectionAreaProperties applies.
+		x := math.Mod(in[0], 100)
+		y := math.Mod(in[1], 100)
+		r1 := math.Abs(math.Mod(in[2], 50)) + 0.01
+		r2 := math.Abs(math.Mod(in[3], 50)) + 0.01
+		a := Circle{Pt(0, 0), r1}
+		b := Circle{Pt(x, y), r2}
+		ab := a.IntersectionArea(b)
+		ba := b.IntersectionArea(a)
+		minArea := math.Min(a.Area(), b.Area())
+		if ab > minArea || ba > minArea {
+			t.Errorf("overlap exceeds the smaller disk: ab=%.15g ba=%.15g min=%.15g (r1=%v r2=%v d=%v)",
+				ab, ba, minArea, r1, r2, math.Hypot(x, y))
+		}
+		if !almostEq(ab, ba, 1e-6) {
+			t.Errorf("asymmetric overlap: |ab-ba| = %g", math.Abs(ab-ba))
+		}
+	}
+}

@@ -56,9 +56,11 @@ func (s *endpointStats) observe(status int, d time.Duration) {
 // counts). Cache hit/miss numbers are read live from the pool when
 // rendering. Safe for concurrent use.
 type Metrics struct {
-	mu        sync.Mutex
-	endpoints map[string]*endpointStats
-	scored    atomic.Uint64
+	mu           sync.Mutex
+	endpoints    map[string]*endpointStats
+	scored       atomic.Uint64
+	corrected    atomic.Uint64
+	rethresholds atomic.Uint64
 }
 
 // NewMetrics returns an empty registry.
@@ -84,6 +86,12 @@ func (m *Metrics) Observe(endpoint string, status int, d time.Duration) {
 
 // AddScored records n scored observations.
 func (m *Metrics) AddScored(n int) { m.scored.Add(uint64(n)) }
+
+// AddCorrected records n served location corrections.
+func (m *Metrics) AddCorrected(n int) { m.corrected.Add(uint64(n)) }
+
+// AddRethreshold records n served re-threshold operations.
+func (m *Metrics) AddRethreshold(n int) { m.rethresholds.Add(uint64(n)) }
 
 // Render emits the Prometheus text exposition format. pool may be nil.
 func (m *Metrics) Render(pool *DetectorPool) string {
@@ -129,9 +137,33 @@ func (m *Metrics) Render(pool *DetectorPool) string {
 	b.WriteString("# TYPE ladd_observations_scored_total counter\n")
 	fmt.Fprintf(&b, "ladd_observations_scored_total %d\n", m.scored.Load())
 
+	b.WriteString("# HELP ladd_corrections_total Location corrections served (/v2 correct verb).\n")
+	b.WriteString("# TYPE ladd_corrections_total counter\n")
+	fmt.Fprintf(&b, "ladd_corrections_total %d\n", m.corrected.Load())
+
+	b.WriteString("# HELP ladd_rethresholds_total Operating-point re-cuts served (/v2 rethreshold verb).\n")
+	b.WriteString("# TYPE ladd_rethresholds_total counter\n")
+	fmt.Fprintf(&b, "ladd_rethresholds_total %d\n", m.rethresholds.Load())
+
 	if pool != nil {
+		states := pool.StateCounts()
+		b.WriteString("# HELP ladd_detectors Detector resources resident in the pool, by lifecycle state.\n")
+		b.WriteString("# TYPE ladd_detectors gauge\n")
+		for _, state := range DetectorStates {
+			fmt.Fprintf(&b, "ladd_detectors{state=%q} %d\n", string(state), states[state])
+		}
+
+		started, okJobs, failedJobs := pool.JobStats()
+		b.WriteString("# HELP ladd_train_jobs_started_total Async training flights spawned (register + first-sight v1 specs).\n")
+		b.WriteString("# TYPE ladd_train_jobs_started_total counter\n")
+		fmt.Fprintf(&b, "ladd_train_jobs_started_total %d\n", started)
+		b.WriteString("# HELP ladd_train_jobs_completed_total Training flights finished, by outcome.\n")
+		b.WriteString("# TYPE ladd_train_jobs_completed_total counter\n")
+		fmt.Fprintf(&b, "ladd_train_jobs_completed_total{outcome=\"ok\"} %d\n", okJobs)
+		fmt.Fprintf(&b, "ladd_train_jobs_completed_total{outcome=\"failed\"} %d\n", failedJobs)
+
 		entries, hits, misses, failures := pool.Stats()
-		b.WriteString("# HELP ladd_detector_cache_entries Trained detectors resident in the pool.\n")
+		b.WriteString("# HELP ladd_detector_cache_entries Detector resources resident in the pool, any lifecycle state (see ladd_detectors for the per-state breakdown).\n")
 		b.WriteString("# TYPE ladd_detector_cache_entries gauge\n")
 		fmt.Fprintf(&b, "ladd_detector_cache_entries %d\n", entries)
 		b.WriteString("# HELP ladd_detector_cache_hits_total Pool lookups served from cache.\n")

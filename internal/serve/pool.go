@@ -3,15 +3,21 @@
 // Check(observation, location) function into a high-throughput scoring
 // service. The pieces:
 //
-//   - DetectorPool caches trained detectors keyed by a canonical hash of
-//     the deployment config + training config + metric, so heterogeneous
-//     clients that agree on a deployment share one training run.
-//   - Server exposes /v1/check (single) and /v1/check/batch (many
-//     observations per request, scored through core.Detector.CheckBatch),
-//     plus /healthz and a Prometheus-style /metrics.
+//   - DetectorPool holds detector *resources*: named, stateful entries
+//     keyed by a canonical hash of deployment + training config + metric.
+//     Registration is asynchronous — a resource moves through
+//     pending → training → ready | failed while the caller polls — and
+//     ready resources retain their benign score sample so the operating
+//     point can be re-cut (/rethreshold) without retraining.
+//   - Server exposes the v2 resource API (/v2/detectors and per-detector
+//     check, check/batch, correct, rethreshold verbs) plus the v1 shims
+//     /v1/check and /v1/check/batch, which resolve through the same pool
+//     and produce bit-identical verdicts; /healthz and a Prometheus-style
+//     /metrics ride along.
 //
-// cmd/ladd wires this package into a daemon; cmd/ladsim -loadgen drives
-// it to measure sustained QPS.
+// cmd/ladd wires this package into a daemon; the public client package
+// (repro/client) speaks the v2 API; cmd/ladsim -loadgen drives it to
+// measure sustained QPS.
 package serve
 
 import (
@@ -21,12 +27,14 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/deploy"
+	"repro/internal/mathx"
 )
 
 // TrainSpec is the JSON-facing subset of core.TrainConfig a client may
@@ -71,6 +79,11 @@ func (s DetectorSpec) Key() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// ID returns the detector resource id the spec registers under: a short
+// stable prefix of the spec key. Registration is therefore idempotent —
+// the same spec always names the same resource.
+func (s DetectorSpec) ID() string { return "d" + s.Key()[:16] }
+
 // Validate rejects specs the trainer would reject, with client-facing
 // messages.
 func (s DetectorSpec) Validate() error {
@@ -89,39 +102,141 @@ func (s DetectorSpec) Validate() error {
 	return nil
 }
 
-// trainDetector is the production trainer: build the deployment model and
-// run threshold training. workers caps the training worker pool; it is
-// assigned by the pool so concurrent cold starts share the machine
-// instead of each claiming GOMAXPROCS.
-func trainDetector(spec DetectorSpec, workers int) (*core.Detector, error) {
+// ErrInvalidSpec marks training failures caused by the spec itself — a
+// config the validator (or model construction) rejects — as opposed to
+// resource exhaustion or a genuine trainer bug. The HTTP layer maps it
+// to 400: the request was wrong, the server is fine.
+var ErrInvalidSpec = errors.New("serve: invalid detector spec")
+
+// trainDetector is the production trainer: build the deployment model
+// and run threshold training, returning the benign score sample
+// alongside the detector so the pool can retain it for /rethreshold.
+// workers caps the training worker pool; it is assigned by the pool so
+// concurrent cold starts share the machine instead of each claiming
+// GOMAXPROCS.
+func trainDetector(spec DetectorSpec, workers int) (*core.Detector, []float64, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+	}
 	model, err := deploy.New(spec.Deployment)
 	if err != nil {
-		return nil, err
+		return nil, nil, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
 	}
 	metric := core.MetricByName(spec.Metric)
 	if metric == nil {
-		return nil, fmt.Errorf("serve: unknown metric %q", spec.Metric)
+		return nil, nil, fmt.Errorf("%w: unknown metric %q", ErrInvalidSpec, spec.Metric)
 	}
 	cfg := spec.Train.TrainConfig()
 	cfg.Workers = workers
-	det, _, err := core.Train(model, metric, cfg)
-	return det, err
+	return core.Train(model, metric, cfg)
 }
 
-// poolEntry is one cached (or in-flight) training run.
+// DetectorState is one phase of a detector resource's lifecycle.
+type DetectorState string
+
+const (
+	// StatePending: registered, queued behind the training-concurrency
+	// cap; no trainer goroutine holds a semaphore slot yet.
+	StatePending DetectorState = "pending"
+	// StateTraining: the Monte-Carlo training run is executing.
+	StateTraining DetectorState = "training"
+	// StateReady: trained; checks, corrections and rethresholds serve.
+	StateReady DetectorState = "ready"
+	// StateFailed: training failed; the resource stays inspectable (the
+	// error is in its status) until deleted, re-registered, or purged
+	// under pool pressure. Failed resources never hold limit slots.
+	StateFailed DetectorState = "failed"
+)
+
+// DetectorStates lists every lifecycle state, in order, for metrics
+// rendering (all states are always exported, including zero gauges).
+var DetectorStates = []DetectorState{StatePending, StateTraining, StateReady, StateFailed}
+
+// DetectorStatus is a point-in-time snapshot of one detector resource —
+// what GET /v2/detectors/{id} reports.
+type DetectorStatus struct {
+	ID    string
+	State DetectorState
+	Spec  DetectorSpec
+	// Threshold and Percentile are the current operating point (valid in
+	// StateReady). Percentile starts at the spec's training percentile
+	// and moves when the resource is rethresholded.
+	Threshold  float64
+	Percentile float64
+	// BenignScores is the retained benign sample size (StateReady).
+	BenignScores int
+	// TrainSeconds is the wall time of the training run (StateReady).
+	TrainSeconds float64
+	// Err is the training failure (StateFailed).
+	Err error
+}
+
+// poolEntry is one detector resource.
 type poolEntry struct {
-	once sync.Once
-	det  *core.Detector
-	err  error
-	// ready flips after once completes; it lets stats readers observe
-	// det without synchronizing on the (possibly in-flight) once.
-	ready atomic.Bool
+	id   string
+	spec DetectorSpec
+
+	mu         sync.Mutex
+	state      DetectorState
+	det        *core.Detector
+	scores     []float64 // ascending-sorted retained benign sample
+	percentile float64   // current operating point
+	trainSecs  float64
+	err        error
+	evicted    bool
+	// corr is the resource's shared plain corrector, built lazily on the
+	// first /correct (its pooled localization sessions amortize across
+	// requests). Trimmed corrections with custom knobs build their own.
+	corrOnce sync.Once
+	corr     *core.Corrector
+
+	// done is closed when the current training flight finishes (ready or
+	// failed). Re-registration after a failure installs a fresh channel.
+	done chan struct{}
 }
 
-// ErrPoolFull is returned by Get when caching a new spec would exceed
-// the pool's entry limit. Training is expensive and successful entries
-// are never evicted, so an unbounded pool would let clients sweeping
-// seeds pin arbitrary CPU and memory; callers should map this to 429.
+// status snapshots the entry.
+func (e *poolEntry) status() DetectorStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := DetectorStatus{
+		ID:         e.id,
+		State:      e.state,
+		Spec:       e.spec,
+		Percentile: e.percentile,
+		Err:        e.err,
+	}
+	if e.state == StateReady {
+		st.Threshold = e.det.Threshold()
+		st.BenignScores = len(e.scores)
+		st.TrainSeconds = e.trainSecs
+	}
+	return st
+}
+
+// detector returns the trained detector when the entry is ready.
+func (e *poolEntry) detector() (*core.Detector, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state != StateReady {
+		return nil, false
+	}
+	return e.det, true
+}
+
+// corrector returns the entry's shared plain corrector (ready entries
+// only; the caller has already checked).
+func (e *poolEntry) corrector() *core.Corrector {
+	e.corrOnce.Do(func() {
+		e.corr = core.NewCorrector(e.det.Model())
+	})
+	return e.corr
+}
+
+// ErrPoolFull is returned when admitting a new spec would exceed the
+// pool's entry limit. Training is expensive and ready entries are never
+// evicted implicitly, so an unbounded pool would let clients sweeping
+// seeds pin arbitrary CPU and memory; the HTTP layer maps this to 429.
 var ErrPoolFull = errors.New("serve: detector pool is full")
 
 // DefaultTrainConcurrency is the number of training runs a pool lets
@@ -131,21 +246,30 @@ var ErrPoolFull = errors.New("serve: detector pool is full")
 // meaningfully splitting the CPU.
 const DefaultTrainConcurrency = 2
 
-// DetectorPool caches trained detectors by DetectorSpec.Key. Training is
-// single-flight: concurrent Gets for the same key block on one training
-// run; Gets for different keys train in parallel, but never more than
-// the pool's training-concurrency cap at a time. Failed training runs
-// are evicted immediately — they hold their map slot only while
-// in-flight (for single-flight error sharing), so a burst of bad specs
-// cannot fill the pool into a permanent ErrPoolFull. Safe for
-// concurrent use.
+// DetectorPool holds detector resources keyed by DetectorSpec.Key (and
+// addressable by DetectorSpec.ID). Training is asynchronous and
+// single-flight: Register returns immediately with the resource's state
+// while one goroutine per resource trains behind the concurrency cap;
+// concurrent registrations of the same spec share the flight. The
+// synchronous Get (the v1 path) registers and then blocks on the flight,
+// so v1 and v2 traffic for the same spec share one detector instance —
+// verdicts are bit-identical across the two surfaces by construction.
+// Safe for concurrent use.
 type DetectorPool struct {
-	mu       sync.Mutex
-	entries  map[string]*poolEntry
-	limit    int
+	mu      sync.Mutex
+	entries map[string]*poolEntry // by spec key
+	byID    map[string]*poolEntry // same entries, by resource id
+	limit   int
+
 	hits     atomic.Uint64
 	misses   atomic.Uint64
-	failures atomic.Uint64
+	failures atomic.Uint64 // failed training runs (per run, not per waiter)
+
+	// Async-job accounting: started counts every training flight spawned
+	// (including ones later evicted mid-run); completions are trainCount
+	// (ok) and failures (failed).
+	jobsStarted atomic.Uint64
+
 	// trainSem caps concurrent training runs; trainWorkers is the
 	// per-run worker budget (GOMAXPROCS / cap(trainSem)).
 	trainSem     chan struct{}
@@ -159,7 +283,7 @@ type DetectorPool struct {
 	// /metrics); SetExpCacheByteBudget arms the cap.
 	expBudget *core.ExpCacheBudget
 	// trainer is swappable for tests; nil means trainDetector.
-	trainer func(DetectorSpec, int) (*core.Detector, error)
+	trainer func(DetectorSpec, int) (*core.Detector, []float64, error)
 
 	// Training-duration accounting: cold starts are the pool's dominant
 	// latency (seconds of Monte-Carlo per new spec vs microseconds per
@@ -222,11 +346,19 @@ func (p *DetectorPool) MeanTrainSeconds() float64 {
 	return float64(p.trainNanos.Load()) / 1e9 / float64(n)
 }
 
+// JobStats reports async training-job counters: flights started, and
+// completions split by outcome (ok = trainCount, failed = failures).
+func (p *DetectorPool) JobStats() (started, ok, failed uint64) {
+	return p.jobsStarted.Load(), p.trainCount.Load(), p.failures.Load()
+}
+
 // NewDetectorPool returns an empty pool using the production trainer.
-// limit caps resident entries (0 = unbounded).
+// limit caps resident live (pending/training/ready) entries (0 =
+// unbounded).
 func NewDetectorPool(limit int) *DetectorPool {
 	p := &DetectorPool{
 		entries:   make(map[string]*poolEntry),
+		byID:      make(map[string]*poolEntry),
 		limit:     limit,
 		expBudget: core.NewExpCacheBudget(0),
 	}
@@ -235,9 +367,10 @@ func NewDetectorPool(limit int) *DetectorPool {
 }
 
 // newDetectorPoolWithTrainer is the test seam.
-func newDetectorPoolWithTrainer(trainer func(DetectorSpec, int) (*core.Detector, error)) *DetectorPool {
+func newDetectorPoolWithTrainer(trainer func(DetectorSpec, int) (*core.Detector, []float64, error)) *DetectorPool {
 	p := &DetectorPool{
 		entries:   make(map[string]*poolEntry),
+		byID:      make(map[string]*poolEntry),
 		trainer:   trainer,
 		expBudget: core.NewExpCacheBudget(0),
 	}
@@ -268,8 +401,8 @@ func (p *DetectorPool) SetExpCacheCapacity(capacity int) {
 // detectors this pool trains may hold between them — resident G/Mu
 // entries plus armed log-PMF tables, charged at admission and credited
 // on eviction. 0 (the default) removes the cap but keeps accounting, so
-// today's admission behavior is unchanged and the in-use gauge stays
-// live. Configure before serving.
+// admission behavior is unchanged and the in-use gauge stays live.
+// Configure before serving.
 func (p *DetectorPool) SetExpCacheByteBudget(bytes int64) {
 	if bytes < 0 {
 		bytes = 0
@@ -284,86 +417,411 @@ func (p *DetectorPool) ExpCacheBudgetStats() (capacityBytes, inUseBytes int64) {
 	return p.expBudget.Capacity(), p.expBudget.InUse()
 }
 
-// Get returns the cached detector for spec, training (and caching) it on
-// first use. Concurrent Gets for a spec that is mid-training share the
-// single flight (and its error, if it fails); once a training has failed
-// the entry is gone, so a later Get retries — transient failures
-// (resource limits) should not be remembered forever, and permanent ones
-// re-fail fast inside spec validation anyway.
-func (p *DetectorPool) Get(spec DetectorSpec) (*core.Detector, error) {
+// Register admits spec as a detector resource and starts (or joins) its
+// training flight, returning the resource's current status immediately —
+// it never blocks on training. created reports whether this call started
+// a new flight (false: the resource already existed in a live state and
+// the status is its current one). A resource in StateFailed is retried:
+// the same id gets a fresh flight. Admitting a genuinely new spec while
+// the pool is at its live-entry limit first purges failed residents and
+// then, if still full, returns ErrPoolFull.
+//
+// When a training-concurrency slot is free, the returned status is
+// already StateTraining (the slot is claimed synchronously); otherwise
+// the resource is StatePending until a slot frees up.
+func (p *DetectorPool) Register(spec DetectorSpec) (DetectorStatus, bool, error) {
+	e, created, err := p.admit(spec)
+	if err != nil {
+		return DetectorStatus{}, false, err
+	}
+	if created {
+		p.misses.Add(1)
+	} else {
+		p.hits.Add(1)
+	}
+	return e.status(), created, nil
+}
+
+// admit is Register without the hit/miss accounting: it returns the live
+// entry for spec, creating (or re-arming a failed) one as needed.
+func (p *DetectorPool) admit(spec DetectorSpec) (*poolEntry, bool, error) {
 	key := spec.Key()
 	p.mu.Lock()
 	e := p.entries[key]
-	joined := e != nil
-	if e == nil {
-		if p.limit > 0 && len(p.entries) >= p.limit {
-			p.mu.Unlock()
-			return nil, ErrPoolFull
+	if e != nil {
+		e.mu.Lock()
+		failed := e.state == StateFailed
+		e.mu.Unlock()
+		if failed {
+			// Re-arming makes the resource live again, so it must fit the
+			// live-entry limit like a fresh admission would (the failed
+			// entry itself does not count as live).
+			if p.limit > 0 && p.liveCountLocked() >= p.limit {
+				p.mu.Unlock()
+				return nil, false, ErrPoolFull
+			}
+			// Retry semantics: a failed resource re-arms in place under
+			// the same id. Waiters of the previous flight hold the old
+			// (already closed) done channel.
+			e.mu.Lock()
+			e.state = StatePending
+			e.err = nil
+			e.done = make(chan struct{})
+			e.mu.Unlock()
+			p.startTraining(e)
 		}
-		e = &poolEntry{}
-		p.entries[key] = e
+		p.mu.Unlock()
+		return e, failed, nil
 	}
+	if p.limit > 0 && p.liveCountLocked() >= p.limit {
+		p.purgeFailedLocked()
+		if p.liveCountLocked() >= p.limit {
+			p.mu.Unlock()
+			return nil, false, ErrPoolFull
+		}
+	}
+	e = &poolEntry{
+		id:         spec.ID(),
+		spec:       spec,
+		state:      StatePending,
+		percentile: spec.Train.Percentile,
+		done:       make(chan struct{}),
+	}
+	p.entries[key] = e
+	p.byID[e.id] = e
+	p.startTraining(e)
 	p.mu.Unlock()
-
-	e.once.Do(func() {
-		// Shared training-parallelism cap: each run gets an equal share
-		// of the CPU budget instead of Workers = GOMAXPROCS apiece.
-		p.trainSem <- struct{}{}
-		defer func() { <-p.trainSem }()
-		train := p.trainer
-		if train == nil {
-			train = trainDetector
-		}
-		start := time.Now()
-		e.det, e.err = train(spec, p.trainWorkers)
-		if e.err == nil {
-			p.observeTraining(time.Since(start))
-		}
-		if e.err == nil {
-			// Applied pre-publish: the entry is not visible as ready yet,
-			// so the resize cannot race in-flight checks. Capacity first,
-			// then the shared byte budget (budget installation rebuilds
-			// the cache at the configured capacity).
-			if p.expCacheCap != 0 {
-				e.det.SetExpCacheCapacity(max(0, p.expCacheCap))
-			}
-			e.det.SetExpCacheBudget(p.expBudget)
-		}
-		if e.err != nil {
-			// Evict: failed entries must not occupy limit slots, and a
-			// retry deserves a fresh flight. Guard against the slot
-			// having been recycled by an earlier eviction+retrain.
-			p.mu.Lock()
-			if p.entries[key] == e {
-				delete(p.entries, key)
-			}
-			p.mu.Unlock()
-		}
-		e.ready.Store(true)
-	})
-
-	// Error lookups are failures, not cache traffic: counting a shared
-	// failed flight as "hits" made /metrics advertise a healthy cache
-	// while every response was a 5xx.
-	switch {
-	case e.err != nil:
-		p.failures.Add(1)
-	case joined:
-		p.hits.Add(1)
-	default:
-		p.misses.Add(1)
-	}
-	return e.det, e.err
+	return e, true, nil
 }
 
-// Stats reports cache behavior: resident entries and the cumulative
-// hit/miss/failure counters since the pool was created. Failures count
-// lookups that returned a training error (which never cache).
+// liveCountLocked counts entries holding limit slots (all but failed).
+func (p *DetectorPool) liveCountLocked() int {
+	n := 0
+	for _, e := range p.entries {
+		e.mu.Lock()
+		if e.state != StateFailed {
+			n++
+		}
+		e.mu.Unlock()
+	}
+	return n
+}
+
+// purgeFailedLocked evicts failed residents to make room for new specs —
+// failed resources are kept for inspection only as long as the pool has
+// slack, so a burst of bad specs can never brick admission.
+func (p *DetectorPool) purgeFailedLocked() {
+	for key, e := range p.entries {
+		e.mu.Lock()
+		failed := e.state == StateFailed
+		if failed {
+			e.evicted = true
+		}
+		e.mu.Unlock()
+		if failed {
+			delete(p.entries, key)
+			delete(p.byID, e.id)
+		}
+	}
+}
+
+// startTraining launches the resource's training flight. If a
+// concurrency slot is free it is claimed before returning, so the common
+// idle-server registration observes StateTraining immediately; otherwise
+// the goroutine queues on the semaphore in StatePending.
+func (p *DetectorPool) startTraining(e *poolEntry) {
+	p.jobsStarted.Add(1)
+	select {
+	case p.trainSem <- struct{}{}:
+		e.mu.Lock()
+		e.state = StateTraining
+		e.mu.Unlock()
+		go p.runTraining(e, true)
+	default:
+		go p.runTraining(e, false)
+	}
+}
+
+// runTraining executes one flight: acquire the semaphore (unless already
+// held), train, publish the result, release. Failed runs leave the entry
+// resident in StateFailed so its error stays inspectable; successful
+// runs sort and retain the benign sample and install the pool's cache
+// configuration pre-publish. A flight whose entry was evicted mid-run
+// (DELETE) still publishes its outcome — waiters that joined before the
+// delete get a real result — but contributes nothing to the job and
+// duration counters, installs no shared cache budget, and retires any
+// budget it did install, so detached work neither skews the Retry-After
+// pacing nor leaks budget bytes.
+func (p *DetectorPool) runTraining(e *poolEntry, semHeld bool) {
+	if !semHeld {
+		p.trainSem <- struct{}{}
+		e.mu.Lock()
+		e.state = StateTraining
+		e.mu.Unlock()
+	}
+	defer func() { <-p.trainSem }()
+
+	train := p.trainer
+	if train == nil {
+		train = trainDetector
+	}
+	start := time.Now()
+	det, scores, err := train(e.spec, p.trainWorkers)
+	took := time.Since(start)
+
+	if err != nil {
+		e.mu.Lock()
+		evicted := e.evicted
+		e.state = StateFailed
+		e.err = err
+		close(e.done)
+		e.mu.Unlock()
+		if !evicted {
+			p.failures.Add(1)
+		}
+		return
+	}
+	e.mu.Lock()
+	evicted := e.evicted
+	e.mu.Unlock()
+	if !evicted {
+		p.observeTraining(took)
+		// Cache configuration is applied pre-publish: the entry is not
+		// visible as ready yet, so the resize cannot race in-flight
+		// checks. Capacity first, then the shared byte budget (budget
+		// installation rebuilds the cache at the configured capacity).
+		if p.expCacheCap != 0 {
+			det.SetExpCacheCapacity(max(0, p.expCacheCap))
+		}
+		det.SetExpCacheBudget(p.expBudget)
+	}
+	// Retain the benign sample sorted so rethreshold is a PercentileSorted
+	// read. The copy is owned by the entry; Train's callers may reuse
+	// theirs.
+	retained := append([]float64(nil), scores...)
+	sort.Float64s(retained)
+
+	e.mu.Lock()
+	e.state = StateReady
+	e.det = det
+	e.scores = retained
+	e.trainSecs = took.Seconds()
+	evictedNow := e.evicted
+	close(e.done)
+	e.mu.Unlock()
+	if evictedNow {
+		// Deleted between the budget install and publish: Delete cannot
+		// have seen e.det, so the retire duty falls on this flight.
+		det.RetireExpCache()
+	}
+}
+
+// Get returns the trained detector for spec, registering it and blocking
+// until its flight finishes — the synchronous v1 path. Concurrent Gets
+// for a spec mid-training share the single flight (and its error, if it
+// fails); a Get after a failure re-arms the flight, so transient failures
+// are not remembered forever.
+func (p *DetectorPool) Get(spec DetectorSpec) (*core.Detector, error) {
+	e, created, err := p.admit(spec)
+	if err != nil {
+		return nil, err
+	}
+	var det *core.Detector
+	var trainErr error
+	for {
+		e.mu.Lock()
+		done := e.done
+		e.mu.Unlock()
+		<-done
+		e.mu.Lock()
+		det, trainErr = e.det, e.err
+		e.mu.Unlock()
+		if det != nil || trainErr != nil {
+			break
+		}
+		// det == nil && err == nil: the flight we waited on failed and a
+		// concurrent registration re-armed the entry (fresh done channel)
+		// before we read the outcome. Wait on the new flight — its result
+		// is the current truth for this spec.
+	}
+	if trainErr != nil {
+		// Run failures are counted once per run (in runTraining), not per
+		// waiter: N clients joining one failed flight is one failure.
+		return nil, trainErr
+	}
+	if created {
+		p.misses.Add(1)
+	} else {
+		p.hits.Add(1)
+	}
+	return det, nil
+}
+
+// Lookup returns the status of the resource named id.
+func (p *DetectorPool) Lookup(id string) (DetectorStatus, bool) {
+	p.mu.Lock()
+	e := p.byID[id]
+	p.mu.Unlock()
+	if e == nil {
+		return DetectorStatus{}, false
+	}
+	return e.status(), true
+}
+
+// Detector returns the trained detector behind id. ok is false when the
+// id is unknown or the resource is not ready; st always carries the
+// current status when the id exists.
+func (p *DetectorPool) Detector(id string) (det *core.Detector, st DetectorStatus, ok bool) {
+	p.mu.Lock()
+	e := p.byID[id]
+	p.mu.Unlock()
+	if e == nil {
+		return nil, DetectorStatus{}, false
+	}
+	det, ready := e.detector()
+	return det, e.status(), ready
+}
+
+// Corrector returns the shared corrector for a ready resource.
+func (p *DetectorPool) Corrector(id string) (*core.Corrector, bool) {
+	p.mu.Lock()
+	e := p.byID[id]
+	p.mu.Unlock()
+	if e == nil {
+		return nil, false
+	}
+	if _, ready := e.detector(); !ready {
+		return nil, false
+	}
+	return e.corrector(), true
+}
+
+// List snapshots every resident resource, ordered by id.
+func (p *DetectorPool) List() []DetectorStatus {
+	p.mu.Lock()
+	es := make([]*poolEntry, 0, len(p.byID))
+	for _, e := range p.byID {
+		es = append(es, e)
+	}
+	p.mu.Unlock()
+	out := make([]DetectorStatus, len(es))
+	for i, e := range es {
+		out[i] = e.status()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Delete evicts the resource named id. A ready resource's expectation
+// cache is retired so its reservations return to the shared byte budget
+// (in-flight checks keep scoring; their admissions are simply
+// uncharged). A mid-training resource is removed from the maps
+// immediately — its flight runs to completion detached (core training
+// is not cancellable), skips the job/duration counters, and discards
+// its result. Returns false for unknown ids.
+func (p *DetectorPool) Delete(id string) bool {
+	p.mu.Lock()
+	e := p.byID[id]
+	if e == nil {
+		p.mu.Unlock()
+		return false
+	}
+	delete(p.byID, id)
+	delete(p.entries, e.spec.Key())
+	p.mu.Unlock()
+	e.mu.Lock()
+	e.evicted = true
+	det := e.det
+	e.mu.Unlock()
+	if det != nil {
+		det.RetireExpCache()
+	}
+	return true
+}
+
+// Rethreshold re-cuts the resource's operating point: the new threshold
+// is the tau-percentile of the retained benign sample, installed on the
+// live detector atomically — no retraining, the train counters do not
+// move, and in-flight checks see either the old or the new threshold.
+// The resource must be ready and tau in (0, 100).
+func (p *DetectorPool) Rethreshold(id string, tau float64) (DetectorStatus, error) {
+	if tau <= 0 || tau >= 100 {
+		return DetectorStatus{}, apiErrorf(CodeInvalidArgument, "percentile must be in (0, 100), got %g", tau)
+	}
+	p.mu.Lock()
+	e := p.byID[id]
+	p.mu.Unlock()
+	if e == nil {
+		return DetectorStatus{}, apiErrorf(CodeNotFound, "no detector %q", id)
+	}
+	e.mu.Lock()
+	if e.state != StateReady {
+		state := e.state
+		e.mu.Unlock()
+		if state == StateFailed {
+			return DetectorStatus{}, apiErrorf(CodeDetectorFailed, "detector %q failed; re-register to retrain", id)
+		}
+		// Pending/training: the job is alive — tell the client to retry,
+		// not to give up.
+		apiErr := apiErrorf(CodeDetectorTraining, "detector %q is %s", id, state)
+		apiErr.RetryAfterMS = p.RetryAfter().Milliseconds()
+		return DetectorStatus{}, apiErr
+	}
+	th := mathx.PercentileSorted(e.scores, tau)
+	e.det.SetThreshold(th)
+	e.percentile = tau
+	e.mu.Unlock()
+	return e.status(), nil
+}
+
+// Stats reports cache behavior: resident entries (all states) and the
+// cumulative hit/miss/failure counters since the pool was created. Hits
+// and misses count spec-keyed lookups (Register and the synchronous
+// Get); failures count failed training runs.
 func (p *DetectorPool) Stats() (entries int, hits, misses, failures uint64) {
 	p.mu.Lock()
 	entries = len(p.entries)
 	p.mu.Unlock()
 	return entries, p.hits.Load(), p.misses.Load(), p.failures.Load()
+}
+
+// StateCounts tallies resident resources per lifecycle state. Every
+// state is present in the result, including zeros.
+func (p *DetectorPool) StateCounts() map[DetectorState]int {
+	counts := make(map[DetectorState]int, len(DetectorStates))
+	for _, s := range DetectorStates {
+		counts[s] = 0
+	}
+	p.mu.Lock()
+	es := make([]*poolEntry, 0, len(p.entries))
+	for _, e := range p.entries {
+		es = append(es, e)
+	}
+	p.mu.Unlock()
+	for _, e := range es {
+		e.mu.Lock()
+		counts[e.state]++
+		e.mu.Unlock()
+	}
+	return counts
+}
+
+// RetryAfter estimates how long a client should wait before re-polling a
+// not-yet-ready resource: the mean successful training duration when one
+// is known, a conservative default otherwise, clamped to [100ms, 30s].
+func (p *DetectorPool) RetryAfter() time.Duration {
+	mean := p.MeanTrainSeconds()
+	if math.IsNaN(mean) {
+		return time.Second
+	}
+	d := time.Duration(mean * float64(time.Second))
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
 }
 
 // ExpCacheStats aggregates the per-detector expectation caches across
@@ -374,8 +832,8 @@ func (p *DetectorPool) ExpCacheStats() (size int, hits, misses uint64) {
 	p.mu.Lock()
 	dets := make([]*core.Detector, 0, len(p.entries))
 	for _, e := range p.entries {
-		if e.ready.Load() && e.det != nil {
-			dets = append(dets, e.det)
+		if d, ok := e.detector(); ok {
+			dets = append(dets, d)
 		}
 	}
 	p.mu.Unlock()

@@ -58,7 +58,7 @@ func TestDetectorSpecKey(t *testing.T) {
 
 func TestDetectorPoolHitMiss(t *testing.T) {
 	var trained atomic.Int32
-	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, error) {
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, []float64, error) {
 		trained.Add(1)
 		return trainDetector(spec, workers)
 	})
@@ -92,7 +92,7 @@ func TestDetectorPoolHitMiss(t *testing.T) {
 
 func TestDetectorPoolSingleFlightUnderRace(t *testing.T) {
 	var trained atomic.Int32
-	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, error) {
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, []float64, error) {
 		trained.Add(1)
 		return trainDetector(spec, workers)
 	})
@@ -123,14 +123,14 @@ func TestDetectorPoolSingleFlightUnderRace(t *testing.T) {
 	}
 }
 
-func TestDetectorPoolEvictsFailedTraining(t *testing.T) {
+func TestFailedTrainingStaysInspectableAndRetries(t *testing.T) {
 	var trained atomic.Int32
 	fail := atomic.Bool{}
 	fail.Store(true)
-	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, error) {
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, []float64, error) {
 		trained.Add(1)
 		if fail.Load() {
-			return nil, fmt.Errorf("boom")
+			return nil, nil, fmt.Errorf("boom")
 		}
 		return trainDetector(spec, workers)
 	})
@@ -138,16 +138,19 @@ func TestDetectorPoolEvictsFailedTraining(t *testing.T) {
 	if _, err := pool.Get(spec); err == nil {
 		t.Fatal("want error")
 	}
-	// The failed entry must not linger: no residency, no hit accounting.
-	entries, hits, misses, failures := pool.Stats()
-	if entries != 0 {
-		t.Errorf("failed training left %d resident entries", entries)
+	// The failed resource stays resident in state failed — inspectable by
+	// id — but never counts as cache traffic.
+	st, ok := pool.Lookup(spec.ID())
+	if !ok || st.State != StateFailed || st.Err == nil {
+		t.Errorf("failed resource status = (%+v, %v), want failed with error", st, ok)
 	}
+	_, hits, misses, failures := pool.Stats()
 	if hits != 0 || misses != 0 || failures != 1 {
 		t.Errorf("stats after failure = (%d hits, %d misses, %d failures), want (0, 0, 1)",
 			hits, misses, failures)
 	}
-	// A retry gets a fresh flight — and can succeed once the cause clears.
+	// A retry re-arms the same resource with a fresh flight — and can
+	// succeed once the cause clears.
 	fail.Store(false)
 	if _, err := pool.Get(spec); err != nil {
 		t.Fatalf("retry after failure: %v", err)
@@ -155,15 +158,18 @@ func TestDetectorPoolEvictsFailedTraining(t *testing.T) {
 	if got := trained.Load(); got != 2 {
 		t.Errorf("trainer ran %d times, want 2 (fail + retry)", got)
 	}
+	if st, _ := pool.Lookup(spec.ID()); st.State != StateReady {
+		t.Errorf("retried resource is %s, want ready", st.State)
+	}
 }
 
 // TestFailedTrainingDoesNotBrickPool is the PR 2 serving-pool bugfix: a
 // burst of distinct bad specs used to occupy limit slots forever and
 // turn every later lookup into ErrPoolFull.
 func TestFailedTrainingDoesNotBrickPool(t *testing.T) {
-	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, error) {
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, []float64, error) {
 		if spec.Train.Seed >= 100 {
-			return nil, fmt.Errorf("bad spec %d", spec.Train.Seed)
+			return nil, nil, fmt.Errorf("bad spec %d", spec.Train.Seed)
 		}
 		return trainDetector(spec, workers)
 	})
@@ -191,7 +197,7 @@ func TestTrainingConcurrencyCap(t *testing.T) {
 	var active, peak atomic.Int32
 	var badWorkers atomic.Int32
 	release := make(chan struct{})
-	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, error) {
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, []float64, error) {
 		if workers < 1 || workers > max(1, runtime.GOMAXPROCS(0)/2) {
 			badWorkers.Store(int32(workers))
 		}
@@ -204,7 +210,7 @@ func TestTrainingConcurrencyCap(t *testing.T) {
 		}
 		<-release
 		active.Add(-1)
-		return nil, fmt.Errorf("synthetic")
+		return nil, nil, fmt.Errorf("synthetic")
 	})
 	pool.SetTrainConcurrency(2)
 	const lookups = 8
@@ -362,9 +368,11 @@ func TestCheckRejectsMalformedRequests(t *testing.T) {
 		if resp.StatusCode != c.status {
 			t.Errorf("%s: status %d, want %d (%s)", c.name, resp.StatusCode, c.status, body)
 		}
-		var e errorResponse
-		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
-			t.Errorf("%s: error body %q not a JSON error", c.name, body)
+		var e errorEnvelope
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == nil || e.Error.Message == "" {
+			t.Errorf("%s: error body %q not a structured JSON error", c.name, body)
+		} else if e.Error.Code != CodeInvalidArgument {
+			t.Errorf("%s: error code %q, want %q", c.name, e.Error.Code, CodeInvalidArgument)
 		}
 	}
 
@@ -544,11 +552,11 @@ func TestHealthzAndMetrics(t *testing.T) {
 func TestTrainDurationMetrics(t *testing.T) {
 	// Training duration is the pool's dominant cold-start cost; it must
 	// be recorded per successful run and exported as ladd_train_seconds.
-	trained := 0
-	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, error) {
-		trained++
+	var trained atomic.Int32
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, []float64, error) {
+		trained.Add(1)
 		if spec.Train.Seed == 666 {
-			return nil, fmt.Errorf("synthetic failure")
+			return nil, nil, fmt.Errorf("synthetic failure")
 		}
 		time.Sleep(5 * time.Millisecond)
 		return trainDetector(spec, workers)

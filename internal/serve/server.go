@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -58,16 +60,16 @@ type BatchResponse struct {
 	Results []CheckResponse `json:"results"`
 }
 
-// errorResponse is the uniform error body.
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
 // ServerConfig tunes a Server.
 type ServerConfig struct {
 	// Default is the detector spec used when a request carries none. It
 	// is operator-chosen and exempt from the per-request caps below.
 	Default DetectorSpec
+	// APIToken, when non-empty, gates the mutating v2 endpoints
+	// (register, delete, rethreshold) behind `Authorization: Bearer
+	// <token>`: a missing token is 401, a wrong one 403. Checks, status
+	// reads, /healthz and /metrics stay open. Empty disables auth.
+	APIToken string
 	// MaxBatch bounds items per batch request; 0 means DefaultMaxBatch.
 	MaxBatch int
 	// MaxBodyBytes bounds request bodies; 0 means DefaultMaxBodyBytes.
@@ -81,9 +83,9 @@ type ServerConfig struct {
 	// MaxGroupSize caps nodes per group of a request-supplied
 	// deployment; 0 means DefaultMaxGroupSize.
 	MaxGroupSize int
-	// MaxCachedDetectors caps pool entries (trained detectors are never
-	// evicted); 0 means DefaultMaxCachedDetectors. Only consulted when
-	// NewServer builds the pool itself.
+	// MaxCachedDetectors caps live pool entries (ready detectors are
+	// never evicted implicitly); 0 means DefaultMaxCachedDetectors. Only
+	// consulted when NewServer builds the pool itself.
 	MaxCachedDetectors int
 	// MaxConcurrentTrainings caps detector training runs in flight at
 	// once (each run's worker pool is sized GOMAXPROCS/cap, so parallel
@@ -98,8 +100,8 @@ type ServerConfig struct {
 	// ExpCacheBudgetBytes caps the bytes ALL detectors' expectation
 	// caches may hold between them (resident entries plus armed PMF
 	// tables); 0 means unlimited — per-detector entry capacities remain
-	// the only bound, today's behavior. Only consulted when NewServer
-	// builds the pool itself.
+	// the only bound. Only consulted when NewServer builds the pool
+	// itself.
 	ExpCacheBudgetBytes int64
 }
 
@@ -189,14 +191,58 @@ func (s *Server) Warmup() error {
 	return nil
 }
 
-// Handler returns the route table.
+// Handler returns the route table: the v2 resource API, the v1 shims,
+// and the operational endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	// v1 shims: synchronous, resolve through the same pool as v2.
 	mux.HandleFunc("POST /v1/check", s.instrument("check", s.handleCheck))
 	mux.HandleFunc("POST /v1/check/batch", s.instrument("check_batch", s.handleCheckBatch))
+	// v2 resource API.
+	mux.HandleFunc("POST /v2/detectors", s.instrument("v2_register", s.requireAuth(s.handleV2Register)))
+	mux.HandleFunc("GET /v2/detectors", s.instrument("v2_list", s.handleV2List))
+	mux.HandleFunc("GET /v2/detectors/{id}", s.instrument("v2_get", s.handleV2Get))
+	mux.HandleFunc("DELETE /v2/detectors/{id}", s.instrument("v2_delete", s.requireAuth(s.handleV2Delete)))
+	mux.HandleFunc("POST /v2/detectors/{id}/check", s.instrument("v2_check", s.handleV2Check))
+	mux.HandleFunc("POST /v2/detectors/{id}/check/batch", s.instrument("v2_check_batch", s.handleV2CheckBatch))
+	mux.HandleFunc("POST /v2/detectors/{id}/correct", s.instrument("v2_correct", s.handleV2Correct))
+	mux.HandleFunc("POST /v2/detectors/{id}/rethreshold", s.instrument("v2_rethreshold", s.requireAuth(s.handleV2Rethreshold)))
+	// Operational.
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// authError checks the request's bearer token against the configured
+// one: nil when authorized (or when no token is configured — development
+// mode), 401 when the token is missing, 403 when it does not match.
+// Token comparison is constant-time.
+func (s *Server) authError(r *http.Request) *APIError {
+	if s.cfg.APIToken == "" {
+		return nil
+	}
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if auth == "" || !strings.HasPrefix(auth, prefix) {
+		return apiErrorf(CodeUnauthenticated, "missing bearer token")
+	}
+	got := strings.TrimPrefix(auth, prefix)
+	if subtle.ConstantTimeCompare([]byte(got), []byte(s.cfg.APIToken)) != 1 {
+		return apiErrorf(CodePermissionDenied, "bearer token does not match")
+	}
+	return nil
+}
+
+// requireAuth gates a mutating endpoint behind the configured bearer
+// token.
+func (s *Server) requireAuth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := s.authError(r); err != nil {
+			writeAPIError(w, err)
+			return
+		}
+		h(w, r)
+	}
 }
 
 // statusRecorder captures the status code for instrumentation.
@@ -225,19 +271,15 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	_ = json.NewEncoder(w).Encode(body)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
-}
-
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge, err)
+			writeAPIError(w, apiErrorf(CodeTooLarge, "request body over %d bytes", s.cfg.MaxBodyBytes))
 		} else {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			writeAPIError(w, apiErrorf(CodeInvalidArgument, "decoding request: %v", err))
 		}
 		return false
 	}
@@ -265,29 +307,53 @@ func (s *Server) capSpec(spec DetectorSpec) error {
 	return nil
 }
 
+// validateRequestSpec runs validation + resource caps on a
+// client-supplied spec, writing the 400 on failure.
+func (s *Server) validateRequestSpec(w http.ResponseWriter, spec DetectorSpec) bool {
+	if err := spec.Validate(); err != nil {
+		writeAPIError(w, apiErrorf(CodeInvalidArgument, "%v", err))
+		return false
+	}
+	if err := s.capSpec(spec); err != nil {
+		writeAPIError(w, apiErrorf(CodeInvalidArgument, "%v", err))
+		return false
+	}
+	return true
+}
+
 // detectorFor resolves the request's spec (or the default) through the
-// pool. On failure it writes the error response and returns ok=false;
-// the caller must only proceed (and must not write) when ok is true.
-func (s *Server) detectorFor(w http.ResponseWriter, spec *DetectorSpec) (*core.Detector, bool) {
+// pool, blocking on training — the v1 path. On failure it writes the
+// typed error response and returns ok=false: spec problems are 400,
+// a full pool 429, and only genuine trainer failures surface as 500.
+//
+// Registration is token-gated, and an inline v1 spec that is not yet
+// resident registers one — so when a token is configured, a first-sight
+// (or failed, i.e. retrain-triggering) inline spec requires the same
+// bearer token as POST /v2/detectors. Checks against the default
+// detector and already-trained specs stay open: they admit nothing.
+func (s *Server) detectorFor(w http.ResponseWriter, r *http.Request, spec *DetectorSpec) (*core.Detector, bool) {
 	chosen := s.cfg.Default
 	if spec != nil {
 		chosen = *spec
-		if err := chosen.Validate(); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+		if !s.validateRequestSpec(w, chosen) {
 			return nil, false
 		}
-		if err := s.capSpec(chosen); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return nil, false
+		// Only the token-gated configuration pays the extra residency
+		// lookup (one spec hash); open daemons keep the pre-v2 hot-path
+		// cost of exactly one hash per request (inside pool.Get).
+		if s.cfg.APIToken != "" {
+			if st, ok := s.pool.Lookup(chosen.ID()); !ok || st.State == StateFailed {
+				if err := s.authError(r); err != nil {
+					err.Message = "registering a new detector spec requires a token: " + err.Message
+					writeAPIError(w, err)
+					return nil, false
+				}
+			}
 		}
 	}
 	det, err := s.pool.Get(chosen)
 	if err != nil {
-		if errors.Is(err, ErrPoolFull) {
-			writeError(w, http.StatusTooManyRequests, err)
-			return nil, false
-		}
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("training detector: %w", err))
+		writeAPIError(w, toAPIError(err, CodeTrainFailed))
 		return nil, false
 	}
 	return det, true
@@ -319,12 +385,12 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	det, ok := s.detectorFor(w, req.Detector)
+	det, ok := s.detectorFor(w, r, req.Detector)
 	if !ok {
 		return
 	}
 	if err := checkObservation(det, req.Observation, -1); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeAPIError(w, apiErrorf(CodeInvalidArgument, "%v", err))
 		return
 	}
 	v := det.CheckPooled(req.Observation, req.Location.Point())
@@ -332,28 +398,23 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, verdictJSON(v))
 }
 
-func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
-	var req BatchRequest
-	if !s.decode(w, r, &req) {
+// scoreBatch validates and scores one batch against det, shared by the
+// v1 and v2 batch handlers (identical verdict path; only resource
+// resolution differs). It writes the error response on failure.
+func (s *Server) scoreBatch(w http.ResponseWriter, det *core.Detector, reqItems []BatchItemJSON) {
+	if len(reqItems) == 0 {
+		writeAPIError(w, apiErrorf(CodeInvalidArgument, "batch has no items"))
 		return
 	}
-	if len(req.Items) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("batch has no items"))
+	if len(reqItems) > s.cfg.MaxBatch {
+		writeAPIError(w, apiErrorf(CodeInvalidArgument,
+			"batch has %d items, max is %d", len(reqItems), s.cfg.MaxBatch))
 		return
 	}
-	if len(req.Items) > s.cfg.MaxBatch {
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("batch has %d items, max is %d", len(req.Items), s.cfg.MaxBatch))
-		return
-	}
-	det, ok := s.detectorFor(w, req.Detector)
-	if !ok {
-		return
-	}
-	items := make([]core.BatchItem, len(req.Items))
-	for i, it := range req.Items {
+	items := make([]core.BatchItem, len(reqItems))
+	for i, it := range reqItems {
 		if err := checkObservation(det, it.Observation, i); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeAPIError(w, apiErrorf(CodeInvalidArgument, "%v", err))
 			return
 		}
 		items[i] = core.BatchItem{Observation: it.Observation, Location: it.Location.Point()}
@@ -365,6 +426,18 @@ func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = verdictJSON(v)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCheckBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	det, ok := s.detectorFor(w, r, req.Detector)
+	if !ok {
+		return
+	}
+	s.scoreBatch(w, det, req.Items)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

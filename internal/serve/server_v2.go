@@ -1,0 +1,302 @@
+package serve
+
+// The v2 resource API: detectors are named, stateful resources with an
+// asynchronous training lifecycle.
+//
+//	POST   /v2/detectors                  register a spec; returns {id, state} immediately
+//	GET    /v2/detectors                  list resident resources
+//	GET    /v2/detectors/{id}             status: state, threshold, train stats, error
+//	DELETE /v2/detectors/{id}             evict (mid-training flights are detached)
+//	POST   /v2/detectors/{id}/check       score one observation
+//	POST   /v2/detectors/{id}/check/batch score many observations
+//	POST   /v2/detectors/{id}/correct     re-estimate a location after an alarm (core.Corrector)
+//	POST   /v2/detectors/{id}/rethreshold re-cut the percentile from retained benign scores
+//
+// Requests against a still-training resource answer 202 Accepted with a
+// Retry-After hint instead of blocking the connection for the whole
+// Monte-Carlo run (the v1 behavior, preserved on the v1 shims).
+
+import (
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// TrainInfoJSON is the training slice of a detector resource's status.
+type TrainInfoJSON struct {
+	// Seconds is the training run's wall time.
+	Seconds float64 `json:"seconds"`
+	// BenignScores is the retained benign sample size /rethreshold cuts
+	// from.
+	BenignScores int `json:"benign_scores"`
+}
+
+// DetectorJSON is the wire form of a detector resource.
+type DetectorJSON struct {
+	ID    string       `json:"id"`
+	State string       `json:"state"`
+	Spec  DetectorSpec `json:"spec"`
+	// Threshold and Percentile are the current operating point; present
+	// once the resource is ready. Percentile starts at the spec's
+	// training percentile and moves on /rethreshold.
+	Threshold  *float64       `json:"threshold,omitempty"`
+	Percentile float64        `json:"percentile"`
+	Train      *TrainInfoJSON `json:"train,omitempty"`
+	// Error is the training failure message (state "failed").
+	Error string `json:"error,omitempty"`
+	// RetryAfterMS hints when to poll again (states "pending" and
+	// "training").
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+func (s *Server) detectorJSON(st DetectorStatus) DetectorJSON {
+	out := DetectorJSON{
+		ID:         st.ID,
+		State:      string(st.State),
+		Spec:       st.Spec,
+		Percentile: st.Percentile,
+	}
+	switch st.State {
+	case StateReady:
+		th := st.Threshold
+		out.Threshold = &th
+		out.Train = &TrainInfoJSON{Seconds: st.TrainSeconds, BenignScores: st.BenignScores}
+	case StateFailed:
+		if st.Err != nil {
+			out.Error = st.Err.Error()
+		}
+	default:
+		out.RetryAfterMS = s.pool.RetryAfter().Milliseconds()
+	}
+	return out
+}
+
+// RegisterRequest is the POST /v2/detectors payload.
+type RegisterRequest struct {
+	Spec DetectorSpec `json:"spec"`
+}
+
+// ListResponse is the GET /v2/detectors payload.
+type ListResponse struct {
+	Detectors []DetectorJSON `json:"detectors"`
+}
+
+// CorrectRequest asks for a location re-estimate from an observation —
+// the paper's stated future work ("not only detect the anomalies, but
+// also correct the errors"), served over HTTP for the first time. The
+// plain correction is the beaconless MLE of the observation itself,
+// discarding the attacked localization result entirely; Trimmed
+// additionally iterates fit → drop worst residual groups → refit (a
+// documented negative ablation against the budget-limited silence
+// attacker, kept for experimentation).
+type CorrectRequest struct {
+	Observation []int `json:"observation"`
+	Trimmed     bool  `json:"trimmed,omitempty"`
+	// TrimFraction and Rounds tune the trimmed variant; zero values take
+	// the core defaults (5%, 1 round). Ignored unless Trimmed.
+	TrimFraction float64 `json:"trim_fraction,omitempty"`
+	Rounds       int     `json:"rounds,omitempty"`
+}
+
+// CorrectResponse carries the re-estimated location. Excluded lists the
+// group indices the trimmed variant dropped (absent for plain).
+type CorrectResponse struct {
+	Location PointJSON `json:"location"`
+	Excluded []int     `json:"excluded,omitempty"`
+}
+
+// RethresholdRequest re-cuts the operating point from the retained
+// benign sample.
+type RethresholdRequest struct {
+	Percentile float64 `json:"percentile"`
+}
+
+// v2Detector resolves {id} to a ready detector, answering 404 for
+// unknown ids, 202+Retry-After for pending/training resources, and 409
+// for failed ones.
+func (s *Server) v2Detector(w http.ResponseWriter, r *http.Request) (*core.Detector, bool) {
+	id := r.PathValue("id")
+	det, st, ready := s.pool.Detector(id)
+	if ready {
+		return det, true
+	}
+	if st.ID == "" {
+		writeAPIError(w, apiErrorf(CodeNotFound, "no detector %q", id))
+		return nil, false
+	}
+	switch st.State {
+	case StateFailed:
+		msg := "training failed"
+		if st.Err != nil {
+			msg = st.Err.Error()
+		}
+		writeAPIError(w, apiErrorf(CodeDetectorFailed, "detector %q failed: %s", id, msg))
+	default:
+		e := apiErrorf(CodeDetectorTraining, "detector %q is %s", id, st.State)
+		e.RetryAfterMS = s.pool.RetryAfter().Milliseconds()
+		writeAPIError(w, e)
+	}
+	return nil, false
+}
+
+func (s *Server) handleV2Register(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if !s.validateRequestSpec(w, req.Spec) {
+		return
+	}
+	st, created, err := s.pool.Register(req.Spec)
+	if err != nil {
+		writeAPIError(w, toAPIError(err, CodeInternal))
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, s.detectorJSON(st))
+}
+
+func (s *Server) handleV2List(w http.ResponseWriter, r *http.Request) {
+	sts := s.pool.List()
+	resp := ListResponse{Detectors: make([]DetectorJSON, len(sts))}
+	for i, st := range sts {
+		resp.Detectors[i] = s.detectorJSON(st)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleV2Get(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.pool.Lookup(id)
+	if !ok {
+		writeAPIError(w, apiErrorf(CodeNotFound, "no detector %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.detectorJSON(st))
+}
+
+func (s *Server) handleV2Delete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.pool.Delete(id) {
+		writeAPIError(w, apiErrorf(CodeNotFound, "no detector %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+func (s *Server) handleV2Check(w http.ResponseWriter, r *http.Request) {
+	var req BatchItemJSON
+	if !s.decode(w, r, &req) {
+		return
+	}
+	det, ok := s.v2Detector(w, r)
+	if !ok {
+		return
+	}
+	if err := checkObservation(det, req.Observation, -1); err != nil {
+		writeAPIError(w, apiErrorf(CodeInvalidArgument, "%v", err))
+		return
+	}
+	v := det.CheckPooled(req.Observation, req.Location.Point())
+	s.metrics.AddScored(1)
+	writeJSON(w, http.StatusOK, verdictJSON(v))
+}
+
+func (s *Server) handleV2CheckBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Detector != nil {
+		writeAPIError(w, apiErrorf(CodeInvalidArgument,
+			"v2 batch checks name the detector in the path, not the body"))
+		return
+	}
+	det, ok := s.v2Detector(w, r)
+	if !ok {
+		return
+	}
+	s.scoreBatch(w, det, req.Items)
+}
+
+func (s *Server) handleV2Correct(w http.ResponseWriter, r *http.Request) {
+	var req CorrectRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	det, ok := s.v2Detector(w, r)
+	if !ok {
+		return
+	}
+	if err := checkObservation(det, req.Observation, -1); err != nil {
+		writeAPIError(w, apiErrorf(CodeInvalidArgument, "%v", err))
+		return
+	}
+	if req.TrimFraction < 0 || req.TrimFraction >= 1 {
+		writeAPIError(w, apiErrorf(CodeInvalidArgument, "trim_fraction must be in [0, 1), got %g", req.TrimFraction))
+		return
+	}
+	if req.Rounds < 0 {
+		writeAPIError(w, apiErrorf(CodeInvalidArgument, "rounds must be non-negative, got %d", req.Rounds))
+		return
+	}
+
+	var resp CorrectResponse
+	if req.Trimmed {
+		// Custom knobs mutate the corrector, so trimmed corrections get
+		// their own instance (construction is cheap — the deployment
+		// model is shared; only session scratch is fresh).
+		corr := core.NewCorrector(det.Model())
+		if req.TrimFraction > 0 {
+			corr.TrimFraction = req.TrimFraction
+		}
+		if req.Rounds > 0 {
+			corr.Rounds = req.Rounds
+		}
+		p, excluded, err := corr.CorrectTrimmed(req.Observation)
+		if err != nil {
+			writeAPIError(w, apiErrorf(CodeInvalidArgument, "correction impossible: %v", err))
+			return
+		}
+		resp.Location = PointJSON{X: p.X, Y: p.Y}
+		for i, ex := range excluded {
+			if ex {
+				resp.Excluded = append(resp.Excluded, i)
+			}
+		}
+	} else {
+		corr, ok := s.pool.Corrector(r.PathValue("id"))
+		if !ok {
+			// The resource raced away between v2Detector and here.
+			writeAPIError(w, apiErrorf(CodeNotFound, "no detector %q", r.PathValue("id")))
+			return
+		}
+		p, err := corr.Correct(req.Observation)
+		if err != nil {
+			// An isolated observation (no audible neighbors) has no MLE;
+			// that is a property of the input, not the server.
+			writeAPIError(w, apiErrorf(CodeInvalidArgument, "correction impossible: %v", err))
+			return
+		}
+		resp.Location = PointJSON{X: p.X, Y: p.Y}
+	}
+	s.metrics.AddCorrected(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleV2Rethreshold(w http.ResponseWriter, r *http.Request) {
+	var req RethresholdRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	st, err := s.pool.Rethreshold(r.PathValue("id"), req.Percentile)
+	if err != nil {
+		writeAPIError(w, toAPIError(err, CodeInternal))
+		return
+	}
+	s.metrics.AddRethreshold(1)
+	writeJSON(w, http.StatusOK, s.detectorJSON(st))
+}
