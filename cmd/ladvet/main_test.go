@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsClean runs the full analyzer suite over the repository
+// itself: the tree must stay finding-free, so any regression against
+// the machine-enforced invariants fails `go test` as well as the CI
+// ladvet job. Every accepted exception is a //lint:ignore with a
+// reason, which this test implicitly re-validates.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository")
+	}
+	diags, err := vet(moduleRoot(t), []string{"./..."})
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestSuiteWired asserts every analyzer of the suite is registered with
+// a non-empty scope predicate and unique name — a guard against a
+// refactor silently dropping one of the five checks.
+func TestSuiteWired(t *testing.T) {
+	want := map[string]bool{
+		"rngdiscipline": false,
+		"noalloc":       false,
+		"guardedby":     false,
+		"errcodes":      false,
+		"ctxcheck":      false,
+	}
+	for _, entry := range suite {
+		name := entry.analyzer.Name
+		seen, known := want[name]
+		if !known {
+			t.Errorf("unexpected analyzer %q in suite", name)
+			continue
+		}
+		if seen {
+			t.Errorf("analyzer %q registered twice", name)
+		}
+		want[name] = true
+		if entry.applies == nil {
+			t.Errorf("analyzer %q has no scope predicate", name)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("analyzer %q missing from suite", name)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package analysis is a minimal, stdlib-only reimplementation of the
+// golang.org/x/tools/go/analysis surface that cmd/ladvet's project
+// analyzers are written against. The repository is dependency-free by
+// policy (see go.mod: no requirements), so rather than vendoring
+// x/tools this package provides the three pieces the suite needs:
+//
+//   - Analyzer/Pass/Diagnostic: the familiar shape — an analyzer gets
+//     one package's syntax plus full type information and reports
+//     position-anchored diagnostics.
+//   - Loader: a module-aware package loader (loader.go) that parses the
+//     repository's packages and type-checks them against the standard
+//     library's compiled export data (via `go list -export`), entirely
+//     offline.
+//   - Suppression: staticcheck-style `//lint:ignore <checks> <reason>`
+//     line comments, honored at Report time, so every accepted finding
+//     in the tree is silenced explicitly AND carries its justification
+//     in the source.
+//
+// The subdirectory analysistest mirrors x/tools' analysistest: fixture
+// packages under testdata/src annotate expected diagnostics with
+// `// want "regexp"` comments, which is how every ladvet analyzer
+// proves its diagnostic actually fires.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check: a name (used in diagnostics and in
+// //lint:ignore directives), a short doc string, and the Run function.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one reported finding, already resolved to a concrete
+// file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags      []Diagnostic
+	suppressed map[string]map[int][]string // filename → line → suppressed analyzer names
+}
+
+// Reportf records a diagnostic at pos unless a //lint:ignore directive
+// on the same line (or the line directly above) names this analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.isSuppressed(position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) isSuppressed(pos token.Position) bool {
+	lines := p.suppressed[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == p.Analyzer.Name || name == "ladvet/"+p.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildSuppressions scans every comment for lint:ignore directives. The
+// accepted form is staticcheck's:
+//
+//	//lint:ignore check1[,check2,...] reason
+//
+// A directive with no reason is itself a defect and is NOT honored —
+// the point of the mechanism is that every silenced finding documents
+// why it is acceptable.
+func (p *Pass) buildSuppressions() {
+	p.suppressed = make(map[string]map[int][]string)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					continue // no reason given: directive not honored
+				}
+				pos := p.Fset.Position(c.Pos())
+				byLine := p.suppressed[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					p.suppressed[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], strings.Split(fields[0], ",")...)
+			}
+		}
+	}
+}
+
+// Run executes one analyzer over one loaded package and returns its
+// surviving (non-suppressed) diagnostics sorted by position.
+func Run(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	pass.buildSuppressions()
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	sort.Slice(pass.diags, func(i, j int) bool {
+		di, dj := pass.diags[i], pass.diags[j]
+		if di.Pos.Filename != dj.Pos.Filename {
+			return di.Pos.Filename < dj.Pos.Filename
+		}
+		if di.Pos.Line != dj.Pos.Line {
+			return di.Pos.Line < dj.Pos.Line
+		}
+		return di.Pos.Column < dj.Pos.Column
+	})
+	return pass.diags, nil
+}
+
+// FuncAnnotated reports whether the function's doc comment carries the
+// given lad: marker as a standalone directive line (e.g. "//lad:noalloc"
+// or "//lad:ctx"). Markers take no arguments; anything after the marker
+// on the same line is commentary.
+func FuncAnnotated(decl *ast.FuncDecl, marker string) bool {
+	return commentHasDirective(decl.Doc, "lad:"+marker)
+}
+
+// FieldDirective returns the argument of a "//lad:<marker> <arg>" line
+// in a struct field's doc (or trailing line) comment, and whether the
+// directive is present at all. An argument-less directive returns ("",
+// true).
+func FieldDirective(field *ast.Field, marker string) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if arg, ok := directiveArg(cg, "lad:"+marker); ok {
+			return arg, true
+		}
+	}
+	return "", false
+}
+
+func commentHasDirective(cg *ast.CommentGroup, directive string) bool {
+	_, ok := directiveArg(cg, directive)
+	return ok
+}
+
+func directiveArg(cg *ast.CommentGroup, directive string) (string, bool) {
+	if cg == nil {
+		return "", false
+	}
+	for _, c := range cg.List {
+		rest, ok := strings.CutPrefix(c.Text, "//"+directive)
+		if !ok {
+			continue
+		}
+		if rest == "" {
+			return "", true
+		}
+		// Require a separator so lad:ctx does not match lad:ctxfoo.
+		if rest[0] == ' ' || rest[0] == '\t' {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// IsNamedType reports whether t (after stripping pointers) is the named
+// type path.name.
+func IsNamedType(t types.Type, path, name string) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name {
+		return false
+	}
+	if obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == path
+}

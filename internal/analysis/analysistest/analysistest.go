@@ -1,0 +1,160 @@
+// Package analysistest runs a ladvet analyzer over fixture packages and
+// checks its diagnostics against `// want "regexp"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under the analyzer package's testdata/src/<name>
+// directory. A comment of the form
+//
+//	x := foo() // want `cannot call foo`
+//
+// asserts that the analyzer reports a diagnostic on that line whose
+// message matches the (RE2) pattern. Several patterns on one line
+// assert several diagnostics. The runner fails the test for every
+// unmatched expectation AND for every unexpected diagnostic, so
+// fixtures document the analyzer's behavior exactly — including the
+// negative cases, which simply carry no want comment.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")\\s*)+)$")
+var patRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads each fixture package from testdata/src/<name> (relative to
+// the calling test's package directory), runs the analyzer on it, and
+// reports mismatches against the want comments through t.
+func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, fixture := range fixtures {
+		t.Run(fixture, func(t *testing.T) {
+			runFixture(t, root, a, fixture)
+		})
+	}
+}
+
+func runFixture(t *testing.T, root string, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir, fixture)
+	if err != nil {
+		t.Fatalf("analysistest: loading fixture %s: %v", fixture, err)
+	}
+	diags, err := analysis.Run(pkg, a)
+	if err != nil {
+		t.Fatalf("analysistest: running %s on %s: %v", a.Name, fixture, err)
+	}
+
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %s, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// collectWants extracts want expectations from every fixture file's
+// comments.
+func collectWants(pkg *analysis.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "want ") && strings.Contains(c.Text, "`") {
+						pos := pkg.Fset.Position(c.Pos())
+						return nil, fmt.Errorf("%s:%d: malformed want comment: %s", pos.Filename, pos.Line, c.Text)
+					}
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, raw := range patRE.FindAllString(m[1], -1) {
+					var pat string
+					if raw[0] == '`' {
+						pat = raw[1 : len(raw)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(raw)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, raw, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// moduleRoot walks up from the working directory (the package dir under
+// `go test`) to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

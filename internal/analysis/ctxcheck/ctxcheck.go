@@ -1,0 +1,91 @@
+// Package ctxcheck is the static footprint of the ROADMAP's
+// cancellable-scheduler item: long-running functions annotated
+//
+//	//lad:ctx
+//
+// must not contain unbounded loops that never consult a
+// context.Context. An unbounded loop is `for { ... }` (no condition) or
+// `for x := range ch` over a channel — the shapes a Monte-Carlo trial
+// pump or a wait-for-state loop takes. Consulting the context means
+// calling Done, Err, or Deadline on a context.Context anywhere in the
+// loop body (typically `case <-ctx.Done():` in a select).
+//
+// Bounded loops (counted trim rounds, slice ranges) are fine without a
+// context: they terminate on their own. Functions that knowingly
+// predate cancellation support carry //lint:ignore directives pointing
+// at the ROADMAP item so the debt stays visible at the call site.
+package ctxcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxcheck check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxcheck",
+	Doc:  "unbounded loops in //lad:ctx functions must consult a context.Context",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.FuncAnnotated(fd, "ctx") {
+				continue
+			}
+			checkBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			if loop.Cond == nil && !consultsContext(pass, loop.Body) {
+				pass.Reportf(loop.Pos(), "unbounded for-loop never consults a context.Context; add a ctx.Done() escape (ROADMAP: cancellable scheduling)")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[loop.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && !consultsContext(pass, loop.Body) {
+					pass.Reportf(loop.Pos(), "channel-range loop never consults a context.Context; add a ctx.Done() escape (ROADMAP: cancellable scheduling)")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// consultsContext reports whether any call to Done/Err/Deadline on a
+// context.Context value appears in the loop body.
+func consultsContext(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Done", "Err", "Deadline":
+		default:
+			return true
+		}
+		if tv, ok := pass.Info.Types[sel.X]; ok && analysis.IsNamedType(tv.Type, "context", "Context") {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,69 @@
+// Package ctxfixture exercises the ctxcheck analyzer: unbounded loops
+// in //lad:ctx functions fire unless they consult the context; bounded
+// loops and unannotated functions are out of scope.
+package ctxfixture
+
+import "context"
+
+// pump drains a work channel with no way to cancel.
+//
+//lad:ctx
+func pump(ctx context.Context, work chan int) int {
+	total := 0
+	for w := range work { // want `channel-range loop never consults`
+		total += w
+	}
+	return total
+}
+
+// pumpCancellable is the fixed shape: the select consults ctx.Done.
+//
+//lad:ctx
+func pumpCancellable(ctx context.Context, work chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case w, ok := <-work:
+			if !ok {
+				return total
+			}
+			total += w
+		}
+	}
+}
+
+// spin busy-waits without a context escape.
+//
+//lad:ctx
+func spin(ctx context.Context, ready *bool) int {
+	n := 0
+	for { // want `unbounded for-loop never consults`
+		n++
+		if *ready {
+			break
+		}
+	}
+	return n
+}
+
+// trimRounds is bounded: counted loops terminate on their own.
+//
+//lad:ctx
+func trimRounds(ctx context.Context, rounds int) int {
+	n := 0
+	for i := 0; i < rounds; i++ {
+		n++
+	}
+	return n
+}
+
+// unannotated long loops are not this analyzer's business.
+func unannotated(work chan int) int {
+	total := 0
+	for w := range work {
+		total += w
+	}
+	return total
+}

@@ -1,0 +1,171 @@
+// Package errcodes machine-checks the serving API's error taxonomy.
+// The contract (internal/serve/errors.go) is: one ErrorCode constant ↔
+// one HTTP status, with codeStatus as the single canonical table, and
+// every error leaving the server wrapped in the structured
+// {"error": {...}} envelope.
+//
+// Two rules:
+//
+//  1. The code↔status table is total in both directions: every declared
+//     ErrorCode constant appears as a key of codeStatus, and every key
+//     of codeStatus is a declared ErrorCode constant (no raw string
+//     keys, no orphan entries).
+//  2. No handler bypasses the envelope: calls to http.Error and bare
+//     w.WriteHeader(...) on an http.ResponseWriter are flagged. The two
+//     legitimate sites — the envelope writer itself and the
+//     status-recording middleware — carry //lint:ignore directives with
+//     their justification.
+//
+// The cmd/ladvet driver applies this analyzer to internal/serve.
+package errcodes
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errcodes check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errcodes",
+	Doc:  "ErrorCode constants and the codeStatus table must match exactly; error writes must use the structured envelope",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkTable(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkBypass(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkTable verifies ErrorCode consts ↔ codeStatus keys both ways.
+// Packages that declare no ErrorCode type are skipped, which keeps the
+// analyzer harmless if it is ever pointed somewhere else.
+func checkTable(pass *analysis.Pass) {
+	scope := pass.Pkg.Scope()
+	codeObj, ok := scope.Lookup("ErrorCode").(*types.TypeName)
+	if !ok {
+		return
+	}
+	codeType := codeObj.Type()
+
+	// All package-level constants of type ErrorCode, with positions.
+	consts := map[string]*types.Const{}
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), codeType) {
+			consts[name] = c
+		}
+	}
+
+	// The key set of the codeStatus composite literal.
+	tablePos, keys := codeStatusKeys(pass)
+	if tablePos == 0 {
+		if len(consts) > 0 {
+			pass.Reportf(pass.Files[0].Pos(), "package declares ErrorCode constants but no codeStatus table literal was found")
+		}
+		return
+	}
+	for name, c := range consts {
+		if !keys[name] {
+			pass.Reportf(c.Pos(), "ErrorCode constant %s has no entry in codeStatus: every code must map to exactly one HTTP status", name)
+		}
+	}
+}
+
+// codeStatusKeys locates `var codeStatus = map[ErrorCode]int{...}` and
+// returns its position plus the set of constant names used as keys. Keys
+// that are not identifiers of declared constants are reported directly
+// (a raw-string key would silently desynchronize the taxonomy).
+func codeStatusKeys(pass *analysis.Pass) (pos int, keys map[string]bool) {
+	keys = map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "codeStatus" || len(vs.Values) != 1 {
+					continue
+				}
+				lit, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				pos = int(lit.Pos())
+				for _, elt := range lit.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if id, ok := ast.Unparen(kv.Key).(*ast.Ident); ok {
+						if _, isConst := pass.Info.Uses[id].(*types.Const); isConst {
+							keys[id.Name] = true
+							continue
+						}
+					}
+					pass.Reportf(kv.Key.Pos(), "codeStatus key %s is not a declared ErrorCode constant", analysis.ExprString(pass.Fset, kv.Key))
+				}
+			}
+		}
+	}
+	return pos, keys
+}
+
+// checkBypass flags http.Error calls and bare WriteHeader calls on an
+// http.ResponseWriter.
+func checkBypass(pass *analysis.Pass, call *ast.CallExpr) {
+	obj := analysis.Callee(pass.Info, call)
+	if obj == nil {
+		return
+	}
+	if obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Error" {
+		pass.Reportf(call.Pos(), "http.Error bypasses the structured error envelope; use writeAPIError")
+		return
+	}
+	if obj.Name() != "WriteHeader" {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if recv, ok := pass.Info.Types[sel.X]; ok && isResponseWriter(recv.Type) {
+		pass.Reportf(call.Pos(), "bare WriteHeader bypasses the error envelope and the code↔status table; use writeJSON/writeAPIError")
+	}
+}
+
+// isResponseWriter reports whether t is (or points to / embeds as its
+// interface) net/http.ResponseWriter.
+func isResponseWriter(t types.Type) bool {
+	if analysis.IsNamedType(t, "net/http", "ResponseWriter") {
+		return true
+	}
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	// An interface that embeds ResponseWriter still carries its methods;
+	// identifying by method set is robust against wrapping.
+	var hasWriteHeader, hasHeader bool
+	for i := 0; i < iface.NumMethods(); i++ {
+		switch iface.Method(i).Name() {
+		case "WriteHeader":
+			hasWriteHeader = true
+		case "Header":
+			hasHeader = true
+		}
+	}
+	return hasWriteHeader && hasHeader
+}

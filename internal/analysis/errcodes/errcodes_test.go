@@ -1,0 +1,12 @@
+package errcodes_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errcodes"
+)
+
+func TestErrCodes(t *testing.T) {
+	analysistest.Run(t, errcodes.Analyzer, "errfixture")
+}

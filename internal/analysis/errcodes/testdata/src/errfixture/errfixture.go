@@ -1,0 +1,32 @@
+// Package errfixture exercises the errcodes analyzer: an ErrorCode
+// constant missing from codeStatus fires, a non-constant table key
+// fires, envelope-bypassing writes fire, and the //lint:ignore escape
+// hatch suppresses the one legitimate site.
+package errfixture
+
+import "net/http"
+
+type ErrorCode string
+
+const (
+	CodeOK      ErrorCode = "ok"
+	CodeBad     ErrorCode = "bad"
+	CodeMissing ErrorCode = "missing" // want `has no entry in codeStatus`
+)
+
+var codeStatus = map[ErrorCode]int{
+	CodeOK:  http.StatusOK,
+	CodeBad: http.StatusBadRequest,
+	"rogue": http.StatusTeapot, // want `not a declared ErrorCode constant`
+}
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want `http\.Error bypasses`
+	w.WriteHeader(http.StatusTeapot)                      // want `bare WriteHeader bypasses`
+}
+
+// envelope is the one sanctioned writer; the directive documents why.
+func envelope(w http.ResponseWriter, code ErrorCode) {
+	//lint:ignore ladvet/errcodes this is the envelope writer itself
+	w.WriteHeader(codeStatus[code])
+}

@@ -1,0 +1,495 @@
+// Package guardedby checks mutex-protection annotations on struct
+// fields. A field carrying
+//
+//	//lad:guardedby mu
+//
+// (where mu names a sync.Mutex / sync.RWMutex sibling field) may only be
+// accessed while that mutex is held on the same base value: the analyzer
+// simulates lock state sequentially through each function body —
+// Lock/Unlock calls, defer'd Unlocks, if/else joins (a branch that
+// returns doesn't constrain the code after the join), loops, and
+// switches — and reports any guarded-field access at a point where the
+// base's mutex is not provably held.
+//
+// The variant
+//
+//	//lad:guardedby setup
+//
+// marks configure-before-serving fields: reads are free (the serving
+// hot paths read them lock-free by design), but writes are only legal
+// inside functions annotated //lad:setup — the option/setter phase that
+// completes before the value is shared.
+//
+// Exemptions, matching the repository's conventions:
+//
+//   - functions whose name ends in "Locked" assert caller-holds-lock;
+//     their bodies are not simulated (the convention is checked at
+//     their call sites, which must hold the lock to call them)
+//   - accesses through provably-fresh locals (x := &T{...} / new(T) in
+//     the same function) are exempt: nothing else can see the value yet
+//   - function literals are simulated with empty lock state — a closure
+//     runs later, so it must acquire locks itself
+//
+// Only fields declared in the analyzed package can be annotated; the
+// guarded state in this repository (detector pool entries, metrics
+// registry, expectation-cache shards) is all unexported, so in-package
+// checking is full coverage.
+package guardedby
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the guardedby check.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "//lad:guardedby fields must be accessed under their mutex (or, for setup fields, written only in //lad:setup functions)",
+	Run:  run,
+}
+
+type guard struct {
+	mu    string // mutex sibling-field name; "" when setup
+	setup bool
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue // caller-holds-lock convention
+			}
+			s := &sim{
+				pass:    pass,
+				guards:  guards,
+				fresh:   freshLocals(pass, fd),
+				inSetup: analysis.FuncAnnotated(fd, "setup"),
+			}
+			s.block(fd.Body, state{})
+		}
+	}
+	return nil
+}
+
+// collectGuards maps annotated field objects to their guard spec,
+// validating that a named mutex is a sibling field of a sync type.
+func collectGuards(pass *analysis.Pass) map[types.Object]guard {
+	guards := map[types.Object]guard{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			siblings := map[string]bool{}
+			for _, field := range st.Fields.List {
+				if !isSyncType(pass, field.Type) {
+					continue
+				}
+				for _, name := range field.Names {
+					siblings[name.Name] = true
+				}
+			}
+			for _, field := range st.Fields.List {
+				arg, ok := analysis.FieldDirective(field, "guardedby")
+				if !ok {
+					continue
+				}
+				g := guard{mu: arg, setup: arg == "setup"}
+				if !g.setup && !siblings[arg] {
+					pass.Reportf(field.Pos(), "//lad:guardedby %s does not name a sync.Mutex/RWMutex sibling field", arg)
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						guards[obj] = g
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func isSyncType(pass *analysis.Pass, typeExpr ast.Expr) bool {
+	tv, ok := pass.Info.Types[typeExpr]
+	if !ok {
+		return false
+	}
+	return analysis.IsNamedType(tv.Type, "sync", "Mutex") || analysis.IsNamedType(tv.Type, "sync", "RWMutex")
+}
+
+// freshLocals collects names assigned from &T{...}, T{...}, or new(T)
+// anywhere in the function: values nothing else can reference yet, so
+// constructor-style initialization needs no lock.
+func freshLocals(pass *analysis.Pass, fd *ast.FuncDecl) map[string]bool {
+	fresh := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			switch r := ast.Unparen(rhs).(type) {
+			case *ast.CompositeLit:
+				fresh[id.Name] = true
+			case *ast.UnaryExpr:
+				if r.Op == token.AND {
+					if _, ok := ast.Unparen(r.X).(*ast.CompositeLit); ok {
+						fresh[id.Name] = true
+					}
+				}
+			case *ast.CallExpr:
+				if analysis.IsBuiltinCall(pass.Info, r, "new") {
+					fresh[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// state is the set of held-lock keys, e.g. {"p.mu", "shard.mu"}.
+type state map[string]bool
+
+func (st state) clone() state {
+	c := make(state, len(st))
+	for k := range st {
+		c[k] = true
+	}
+	return c
+}
+
+func intersect(a, b state) state {
+	out := state{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+type sim struct {
+	pass    *analysis.Pass
+	guards  map[types.Object]guard
+	fresh   map[string]bool
+	inSetup bool
+}
+
+func (s *sim) block(b *ast.BlockStmt, st state) state {
+	for _, stmt := range b.List {
+		st = s.stmt(stmt, st)
+	}
+	return st
+}
+
+func (s *sim) stmt(stmt ast.Stmt, st state) state {
+	switch stmt := stmt.(type) {
+	case nil:
+		return st
+	case *ast.BlockStmt:
+		return s.block(stmt, st.clone())
+	case *ast.ExprStmt:
+		if key, op, ok := lockOp(s.pass, stmt.X); ok {
+			if op == "lock" {
+				st = st.clone()
+				st[key] = true
+			} else {
+				st = st.clone()
+				delete(st, key)
+			}
+			return st
+		}
+		s.check(stmt.X, st, false)
+		return st
+	case *ast.DeferStmt:
+		// A deferred Unlock runs at function exit; it does not change
+		// the state at this point. A deferred closure is simulated with
+		// the current state (it sees the locks held here only if they
+		// are still held at exit — good enough for the tree's
+		// defer-unlock idiom).
+		if _, _, ok := lockOp(s.pass, stmt.Call); ok {
+			return st
+		}
+		if lit, ok := ast.Unparen(stmt.Call.Fun).(*ast.FuncLit); ok {
+			s.funcLit(lit, st.clone())
+			return st
+		}
+		s.check(stmt.Call, st, false)
+		return st
+	case *ast.GoStmt:
+		if lit, ok := ast.Unparen(stmt.Call.Fun).(*ast.FuncLit); ok {
+			s.funcLit(lit, state{}) // runs concurrently: no inherited locks
+			for _, arg := range stmt.Call.Args {
+				s.check(arg, st, false)
+			}
+			return st
+		}
+		s.check(stmt.Call, st, false)
+		return st
+	case *ast.AssignStmt:
+		for _, rhs := range stmt.Rhs {
+			s.check(rhs, st, false)
+		}
+		for _, lhs := range stmt.Lhs {
+			s.check(lhs, st, true)
+		}
+		return st
+	case *ast.IncDecStmt:
+		s.check(stmt.X, st, true)
+		return st
+	case *ast.SendStmt:
+		s.check(stmt.Chan, st, false)
+		s.check(stmt.Value, st, false)
+		return st
+	case *ast.ReturnStmt:
+		for _, r := range stmt.Results {
+			s.check(r, st, false)
+		}
+		return st
+	case *ast.IfStmt:
+		st = s.stmt(stmt.Init, st)
+		s.check(stmt.Cond, st, false)
+		thenEnd := s.block(stmt.Body, st.clone())
+		elseEnd := st
+		if stmt.Else != nil {
+			elseEnd = s.stmt(stmt.Else, st.clone())
+		}
+		thenTerm := terminates(stmt.Body)
+		elseTerm := stmt.Else != nil && terminates(stmt.Else)
+		switch {
+		case thenTerm && elseTerm:
+			return st
+		case thenTerm:
+			return elseEnd
+		case elseTerm:
+			return thenEnd
+		default:
+			return intersect(thenEnd, elseEnd)
+		}
+	case *ast.ForStmt:
+		st = s.stmt(stmt.Init, st)
+		s.check(stmt.Cond, st, false)
+		bodyEnd := s.block(stmt.Body, st.clone())
+		bodyEnd = s.stmt(stmt.Post, bodyEnd)
+		return intersect(st, bodyEnd)
+	case *ast.RangeStmt:
+		s.check(stmt.X, st, false)
+		bodyEnd := s.block(stmt.Body, st.clone())
+		return intersect(st, bodyEnd)
+	case *ast.SwitchStmt:
+		st = s.stmt(stmt.Init, st)
+		s.check(stmt.Tag, st, false)
+		return s.clauses(stmt.Body, st)
+	case *ast.TypeSwitchStmt:
+		st = s.stmt(stmt.Init, st)
+		return s.clauses(stmt.Body, st)
+	case *ast.SelectStmt:
+		return s.clauses(stmt.Body, st)
+	case *ast.LabeledStmt:
+		return s.stmt(stmt.Stmt, st)
+	case *ast.DeclStmt:
+		if gd, ok := stmt.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.check(v, st, false)
+					}
+				}
+			}
+		}
+		return st
+	default:
+		return st
+	}
+}
+
+// clauses simulates each case of a switch/select from the entry state
+// and joins with intersection; the entry state itself participates in
+// the join (a switch may match no case).
+func (s *sim) clauses(body *ast.BlockStmt, st state) state {
+	merged := st
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				s.check(e, st, false)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			end := st.clone()
+			end = s.stmt(c.Comm, end)
+			end = s.stmtsFrom(c.Body, end)
+			if !stmtsTerminate(c.Body) {
+				merged = intersect(merged, end)
+			}
+			continue
+		default:
+			continue
+		}
+		end := s.stmtsFrom(stmts, st.clone())
+		if !stmtsTerminate(stmts) {
+			merged = intersect(merged, end)
+		}
+	}
+	return merged
+}
+
+func (s *sim) stmtsFrom(list []ast.Stmt, st state) state {
+	for _, stmt := range list {
+		st = s.stmt(stmt, st)
+	}
+	return st
+}
+
+// funcLit simulates a function literal body under the given entry
+// state. Fresh-local knowledge does not transfer: by the time a closure
+// runs, its captured value may be shared.
+func (s *sim) funcLit(lit *ast.FuncLit, st state) {
+	inner := &sim{pass: s.pass, guards: s.guards, fresh: map[string]bool{}, inSetup: s.inSetup}
+	inner.block(lit.Body, st)
+}
+
+// check inspects an expression for guarded-field accesses under st.
+func (s *sim) check(e ast.Expr, st state, write bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			s.funcLit(n, state{})
+			return false
+		case *ast.SelectorExpr:
+			s.selector(n, st, write)
+		}
+		return true
+	})
+}
+
+func (s *sim) selector(sel *ast.SelectorExpr, st state, write bool) {
+	selection, ok := s.pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	g, ok := s.guards[selection.Obj()]
+	if !ok {
+		return
+	}
+	if id := rootIdent(sel.X); id != nil && s.fresh[id.Name] {
+		return
+	}
+	if g.setup {
+		if write && !s.inSetup {
+			s.pass.Reportf(sel.Sel.Pos(), "write to setup-guarded field %q outside a //lad:setup function: these fields are configure-before-serving", sel.Sel.Name)
+		}
+		return
+	}
+	key := analysis.ExprString(s.pass.Fset, sel.X) + "." + g.mu
+	if !st[key] {
+		s.pass.Reportf(sel.Sel.Pos(), "access to field %q (//lad:guardedby %s) without holding %s", sel.Sel.Name, g.mu, key)
+	}
+}
+
+// rootIdent walks a selector base through selector, index, star, and
+// paren nodes to its root identifier: c.shards[i].ent is rooted at c.
+// If the root is a fresh local, everything reachable from it is still
+// unshared, so the whole access chain is exempt.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// lockOp recognizes mu.Lock/RLock/Unlock/RUnlock calls on sync mutexes
+// and returns the lock-state key ("<base-expr>" of the mutex selector).
+func lockOp(pass *analysis.Pass, e ast.Expr) (key, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return "", "", false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return analysis.ExprString(pass.Fset, sel.X), op, true
+}
+
+// terminates reports whether control cannot flow past the statement
+// (ends in return, panic-like call, or an unconditional branch).
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			name := sel.Sel.Name
+			return name == "Exit" || name == "Fatal" || name == "Fatalf"
+		}
+		return false
+	case *ast.BlockStmt:
+		return stmtsTerminate(s.List)
+	case *ast.IfStmt:
+		return s.Else != nil && terminates(s.Body) && terminates(s.Else)
+	}
+	return false
+}
+
+func stmtsTerminate(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	return terminates(list[len(list)-1])
+}

@@ -1,0 +1,144 @@
+// Package guardedfixture exercises the guardedby analyzer: unguarded
+// access to //lad:guardedby fields fires, while lock-dominated access,
+// fresh-local construction, Locked-suffix callees, //lad:setup setters,
+// and self-locking closures do not.
+package guardedfixture
+
+import "sync"
+
+type registry struct {
+	mu sync.Mutex
+	//lad:guardedby mu
+	items map[string]int
+	//lad:guardedby setup
+	capacity int
+}
+
+// newRegistry touches guarded fields through a provably-fresh local.
+func newRegistry() *registry {
+	r := &registry{}
+	r.items = map[string]int{}
+	r.capacity = 4
+	return r
+}
+
+// SetCapacity is the sanctioned configure-before-serving setter.
+//
+//lad:setup
+func (r *registry) SetCapacity(n int) {
+	r.capacity = n
+}
+
+// Grow mutates a setup field after serving has begun.
+func (r *registry) Grow(n int) {
+	r.capacity = n // want `write to setup-guarded field`
+}
+
+// Capacity reads a setup field lock-free — reads are the design.
+func (r *registry) Capacity() int {
+	return r.capacity
+}
+
+// Lookup holds the mutex across the access (defer-unlock idiom).
+func (r *registry) Lookup(k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.items[k]
+}
+
+// race reads the guarded map with no lock at all.
+func (r *registry) race(k string) int {
+	return r.items[k] // want `without holding r.mu`
+}
+
+// branchy joins lock state across branches: after the early-unlock
+// branch returns, the straight-line path still holds the lock; after
+// the explicit Unlock it does not.
+func (r *registry) branchy(k string, done bool) {
+	r.mu.Lock()
+	if done {
+		r.mu.Unlock()
+		return
+	}
+	r.items[k] = 1
+	r.mu.Unlock()
+	r.items[k] = 2 // want `without holding r.mu`
+}
+
+// putLocked asserts caller-holds-lock by naming convention.
+func (r *registry) putLocked(k string) {
+	r.items[k] = 3
+}
+
+// closures run later: a goroutine body starts with no inherited locks,
+// and a closure that takes the lock itself is fine.
+func (r *registry) closures() {
+	go func() {
+		r.items["x"] = 1 // want `without holding r.mu`
+	}()
+	f := func() {
+		r.mu.Lock()
+		r.items["y"] = 2
+		r.mu.Unlock()
+	}
+	f()
+}
+
+// looped keeps the lock across iterations.
+func (r *registry) looped(keys []string) {
+	r.mu.Lock()
+	for _, k := range keys {
+		r.items[k]++
+	}
+	r.mu.Unlock()
+}
+
+// relock exercises the unlock-work-relock pattern inside a loop.
+func (r *registry) relock(keys []string) {
+	r.mu.Lock()
+	for _, k := range keys {
+		r.mu.Unlock()
+		expensive(k)
+		r.mu.Lock()
+		r.items[k] = 9
+	}
+	r.mu.Unlock()
+}
+
+func expensive(string) {}
+
+// sharded guards per-shard state: each shard's map is guarded by the
+// shard's own mutex, keyed by the full base expression.
+type sharded struct {
+	shards [4]shard
+}
+
+type shard struct {
+	mu sync.Mutex
+	//lad:guardedby mu
+	ent map[string]int
+}
+
+// newSharded initializes shard state through an indexed path rooted at
+// a fresh local — still provably unshared, so no lock is needed.
+func newSharded() *sharded {
+	c := &sharded{}
+	for i := range c.shards {
+		c.shards[i].ent = map[string]int{}
+	}
+	return c
+}
+
+// shardGet locks the one shard it touches; the key tracks the indexed
+// base expression, and a different shard's lock does not count.
+func (c *sharded) shardGet(i int, k string) int {
+	s := &c.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ent[k]
+}
+
+// shardRace touches a shard map without that shard's lock.
+func (c *sharded) shardRace(i int, k string) int {
+	return c.shards[i].ent[k] // want `without holding c.shards\[i\].mu`
+}

@@ -1,0 +1,268 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and fully type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Loader parses and type-checks packages of the enclosing module without
+// any network or module cache: packages of this module are parsed from
+// source and checked recursively, while standard-library imports are
+// satisfied from the toolchain's compiled export data, located with
+// `go list -export` and read by the stock gc importer.
+type Loader struct {
+	Root    string // module root directory (contains go.mod)
+	ModPath string // module import path, e.g. "repro"
+
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+	exports map[string]string // stdlib import path → export-data file
+}
+
+// NewLoader returns a Loader for the module rooted at root (a directory
+// containing go.mod).
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("loader: %s is not a module root: %w", abs, err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(mod), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("loader: no module directive in %s/go.mod", abs)
+	}
+	l := &Loader{
+		Root:    abs,
+		ModPath: modPath,
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+		exports: make(map[string]string),
+	}
+	l.std = importer.ForCompiler(l.fset, "gc", l.lookupExport)
+	return l, nil
+}
+
+// lookupExport resolves a standard-library import path to its compiled
+// export data via the build cache (`go list -export` prints the cache
+// entry; the toolchain compiles the package on first demand). This works
+// fully offline: only stdlib packages ever reach here, and the gc
+// export data is indexed, so transitive imports resolve internally.
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+		cmd.Dir = l.Root
+		out, err := cmd.Output()
+		if err != nil {
+			detail := ""
+			if ee, ok := err.(*exec.ExitError); ok {
+				detail = ": " + strings.TrimSpace(string(ee.Stderr))
+			}
+			return nil, fmt.Errorf("loader: no export data for %q%s", path, detail)
+		}
+		file = strings.TrimSpace(string(out))
+		if file == "" {
+			return nil, fmt.Errorf("loader: empty export data path for %q", path)
+		}
+		l.exports[path] = file
+	}
+	return os.Open(file)
+}
+
+// Import implements types.Importer: module-internal paths are loaded
+// from source recursively; everything else comes from gc export data.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		dir := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(path, l.ModPath)))
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load expands Go-style package patterns (".", "./x", "./...",
+// "./x/...") relative to the module root and loads every matched
+// package, in deterministic path order. Directories named testdata and
+// directories whose name starts with "." or "_" are skipped, matching
+// the go tool's convention.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "" || pat == "." {
+				pat = "."
+			}
+		}
+		base := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if !recursive {
+			dirs[base] = true
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if files, err := goSourceFiles(path); err == nil && len(files) > 0 {
+				dirs[path] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ordered := make([]string, 0, len(dirs))
+	for dir := range dirs {
+		ordered = append(ordered, dir)
+	}
+	sort.Strings(ordered)
+
+	pkgs := make([]*Package, 0, len(ordered))
+	for _, dir := range ordered {
+		rel, err := filepath.Rel(l.Root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := l.ModPath
+		if rel != "." {
+			importPath = l.ModPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.LoadDir(dir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir, registering
+// it under importPath. Test files (_test.go) are excluded: the analyzers
+// enforce production-code invariants, and several (rngdiscipline in
+// particular) deliberately do not apply to tests.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("loader: import cycle through %q", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	names, err := goSourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("loader: no Go source files in %s", dir)
+	}
+
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("loader: type errors in %s: %w", importPath, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("loader: %s: %w", importPath, err)
+	}
+
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// goSourceFiles lists the non-test Go files of dir in sorted order.
+func goSourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}

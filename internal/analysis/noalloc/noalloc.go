@@ -1,0 +1,344 @@
+// Package noalloc is the compile-time companion to ladbench's 0 allocs/op
+// gate. Functions annotated
+//
+//	//lad:noalloc
+//
+// are the measured hot paths (probe kernels, per-observation scoring,
+// log-table evaluation); inside their bodies the analyzer flags every
+// construct that forces or risks a heap allocation:
+//
+//   - new(T) and make(...) — except make under the amortized grow-guard
+//     idiom `if cap(buf) < n { buf = make(...) }`, which is how the hot
+//     paths size their reusable buffers on first touch
+//   - slice and map composite literals, and &T{...} (escaping composite);
+//     plain struct and array values are fine — they stay on the stack
+//   - append to anything but a struct-owned buffer (a field selector):
+//     appending into a receiver-owned buffer is amortized reuse,
+//     appending to a fresh local is a growing allocation
+//   - fmt.* calls (interface boxing plus internal buffering)
+//   - string concatenation and string(bytes/runes) conversions
+//   - passing non-pointer-shaped, non-constant values to interface
+//     parameters (boxing), and calling variadic functions with loose
+//     arguments (the ... slice is allocated per call)
+//   - closure creation and go statements
+//
+// The analyzer is deliberately a lint, not an escape analysis: the few
+// annotated functions that make a justified amortized allocation (e.g.
+// the per-chunk dedup map in Detector.checkRange) document it with a
+// //lint:ignore and keep the annotation, so the benchmark gate and the
+// static gate stay in agreement about what "hot" means.
+package noalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the noalloc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "//lad:noalloc function bodies must not contain allocation-forcing constructs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.FuncAnnotated(fd, "noalloc") {
+				continue
+			}
+			c := &checker{pass: pass}
+			c.stmt(fd.Body, false)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// stmt walks statements, threading capGuarded: true while inside an if
+// whose condition compares cap(...) or len(...), the buffer grow-guard
+// idiom under which make is the point of the code.
+func (c *checker) stmt(s ast.Stmt, capGuarded bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			c.stmt(sub, capGuarded)
+		}
+	case *ast.IfStmt:
+		c.stmt(s.Init, capGuarded)
+		c.expr(s.Cond, capGuarded)
+		c.stmt(s.Body, capGuarded || isCapGuard(c.pass, s.Cond))
+		c.stmt(s.Else, capGuarded)
+	case *ast.ForStmt:
+		c.stmt(s.Init, capGuarded)
+		c.expr(s.Cond, capGuarded)
+		c.stmt(s.Post, capGuarded)
+		c.stmt(s.Body, capGuarded)
+	case *ast.RangeStmt:
+		c.expr(s.X, capGuarded)
+		c.stmt(s.Body, capGuarded)
+	case *ast.SwitchStmt:
+		c.stmt(s.Init, capGuarded)
+		c.expr(s.Tag, capGuarded)
+		c.stmt(s.Body, capGuarded)
+	case *ast.TypeSwitchStmt:
+		c.stmt(s.Init, capGuarded)
+		c.stmt(s.Assign, capGuarded)
+		c.stmt(s.Body, capGuarded)
+	case *ast.SelectStmt:
+		c.stmt(s.Body, capGuarded)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			c.expr(e, capGuarded)
+		}
+		for _, sub := range s.Body {
+			c.stmt(sub, capGuarded)
+		}
+	case *ast.CommClause:
+		c.stmt(s.Comm, capGuarded)
+		for _, sub := range s.Body {
+			c.stmt(sub, capGuarded)
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, capGuarded)
+	case *ast.GoStmt:
+		c.pass.Reportf(s.Pos(), "go statement in //lad:noalloc function allocates a goroutine")
+		c.expr(s.Call, capGuarded)
+	case *ast.DeferStmt:
+		c.expr(s.Call, capGuarded)
+	case *ast.AssignStmt:
+		c.assign(s, capGuarded)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.expr(e, capGuarded)
+		}
+	case *ast.ExprStmt:
+		c.expr(s.X, capGuarded)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v, capGuarded)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		c.expr(s.X, capGuarded)
+	case *ast.SendStmt:
+		c.expr(s.Chan, capGuarded)
+		c.expr(s.Value, capGuarded)
+	}
+}
+
+func (c *checker) assign(s *ast.AssignStmt, capGuarded bool) {
+	// String += concatenation allocates just like explicit concat.
+	if s.Tok.String() == "+=" && len(s.Lhs) == 1 {
+		if tv, ok := c.pass.Info.Types[s.Lhs[0]]; ok && isString(tv.Type) {
+			c.pass.Reportf(s.Pos(), "string concatenation in //lad:noalloc function allocates")
+		}
+	}
+	for _, e := range s.Rhs {
+		c.expr(e, capGuarded)
+	}
+	for _, e := range s.Lhs {
+		// Index/selector bases can contain calls; re-check them.
+		if _, ok := e.(*ast.Ident); !ok {
+			c.expr(e, capGuarded)
+		}
+	}
+}
+
+func (c *checker) expr(e ast.Expr, capGuarded bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.pass.Reportf(n.Pos(), "closure creation in //lad:noalloc function allocates")
+			return false // the closure body runs under its own rules
+		case *ast.CompositeLit:
+			c.compositeLit(n)
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.pass.Reportf(n.Pos(), "&composite{...} in //lad:noalloc function escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				if tv, ok := c.pass.Info.Types[n.X]; ok && isString(tv.Type) && !isConstExpr(c.pass, n) {
+					c.pass.Reportf(n.Pos(), "string concatenation in //lad:noalloc function allocates")
+				}
+			}
+		case *ast.CallExpr:
+			c.call(n, capGuarded)
+		}
+		return true
+	})
+}
+
+func (c *checker) compositeLit(lit *ast.CompositeLit) {
+	tv, ok := c.pass.Info.Types[lit]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		c.pass.Reportf(lit.Pos(), "slice literal in //lad:noalloc function allocates")
+	case *types.Map:
+		c.pass.Reportf(lit.Pos(), "map literal in //lad:noalloc function allocates")
+	}
+	// Struct and array values stay on the stack unless address-taken,
+	// which the &composite check catches.
+}
+
+func (c *checker) call(call *ast.CallExpr, capGuarded bool) {
+	// Builtins.
+	switch {
+	case analysis.IsBuiltinCall(c.pass.Info, call, "new"):
+		c.pass.Reportf(call.Pos(), "new(...) in //lad:noalloc function allocates")
+		return
+	case analysis.IsBuiltinCall(c.pass.Info, call, "make"):
+		if !capGuarded {
+			c.pass.Reportf(call.Pos(), "make(...) in //lad:noalloc function allocates (amortized first-touch sizing must sit under an `if cap(buf) < n` guard)")
+		}
+		return
+	case analysis.IsBuiltinCall(c.pass.Info, call, "append"):
+		c.append(call)
+		return
+	}
+
+	// Conversions: string([]byte) / string([]rune) allocate.
+	if tv, ok := c.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if isString(tv.Type) && len(call.Args) == 1 {
+			if atv, ok := c.pass.Info.Types[call.Args[0]]; ok && !isString(atv.Type) && atv.Value == nil {
+				c.pass.Reportf(call.Pos(), "string conversion in //lad:noalloc function allocates")
+			}
+		}
+		return
+	}
+
+	obj := analysis.Callee(c.pass.Info, call)
+	if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		c.pass.Reportf(call.Pos(), "fmt.%s in //lad:noalloc function allocates (boxing + buffering)", obj.Name())
+		return
+	}
+	c.boxing(call, obj)
+}
+
+// append is allowed only into struct-owned buffers (field selectors):
+// that is the documented amortized-reuse idiom. Appending to a local or
+// package-level slice inside a hot path is a per-call growth risk.
+func (c *checker) append(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if _, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+		return
+	}
+	c.pass.Reportf(call.Pos(), "append to non-struct-owned slice in //lad:noalloc function risks per-call growth; reuse a struct-owned buffer")
+}
+
+// boxing flags non-pointer-shaped, non-constant arguments passed to
+// interface parameters, and loose variadic arguments (the callee's ...
+// slice is allocated per call).
+func (c *checker) boxing(call *ast.CallExpr, obj types.Object) {
+	tv, ok := c.pass.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	name := "function"
+	if obj != nil {
+		name = obj.Name()
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // spread of an existing slice: no new backing array here
+			}
+			c.pass.Reportf(arg.Pos(), "loose variadic argument to %s in //lad:noalloc function allocates the ... slice", name)
+			continue
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		atv, ok := c.pass.Info.Types[arg]
+		if !ok || atv.Value != nil {
+			continue // constants are boxed into read-only data, not per call
+		}
+		if _, alreadyIface := atv.Type.Underlying().(*types.Interface); alreadyIface {
+			continue
+		}
+		if !pointerShaped(atv.Type) {
+			c.pass.Reportf(arg.Pos(), "passing %s by value to interface parameter of %s in //lad:noalloc function boxes it", atv.Type, name)
+		}
+	}
+}
+
+// isCapGuard recognizes conditions containing a cap(...) or len(...)
+// comparison — the grow-guard idiom.
+func isCapGuard(pass *analysis.Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op.String() {
+		case "<", "<=", ">", ">=", "!=":
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			if inner, ok := ast.Unparen(side).(*ast.CallExpr); ok {
+				if analysis.IsBuiltinCall(pass.Info, inner, "cap") || analysis.IsBuiltinCall(pass.Info, inner, "len") {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConstExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// pointerShaped types box into an interface without copying the value
+// to the heap: the interface word holds the pointer (or pointer-like
+// header word) directly.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,87 @@
+// Package noallocfixture exercises the noalloc analyzer: every
+// allocation-forcing construct fires inside //lad:noalloc bodies, the
+// grow-guard and struct-owned-append idioms do not, and unannotated
+// functions are out of scope.
+package noallocfixture
+
+import "fmt"
+
+type buffers struct {
+	buf  []float64
+	tags []int
+}
+
+// hot is the idiomatic zero-alloc steady-state shape: first-touch
+// sizing under a cap guard, then reuse.
+//
+//lad:noalloc
+func hot(b *buffers, xs []float64) float64 {
+	if cap(b.buf) < len(xs) {
+		b.buf = make([]float64, len(xs))
+	}
+	b.buf = b.buf[:len(xs)]
+	s := 0.0
+	for i, x := range xs {
+		b.buf[i] = x * x
+		s += x
+	}
+	return s
+}
+
+//lad:noalloc
+func builtins(b *buffers, xs []float64) int {
+	ys := make([]float64, len(xs)) // want `make\(\.\.\.\) in //lad:noalloc`
+	p := new(buffers)              // want `new\(\.\.\.\) in //lad:noalloc`
+	q := &buffers{}                // want `escapes to the heap`
+	lit := []int{1, 2, 3}          // want `slice literal`
+	m := map[int]int{}             // want `map literal`
+	var local []int
+	local = append(local, 1)                                 // want `append to non-struct-owned slice`
+	b.tags = append(b.tags, len(ys)+len(p.tags)+len(q.tags)) // struct-owned: allowed
+	return lit[0] + m[0] + local[0]
+}
+
+//lad:noalloc
+func strings(b *buffers, bs []byte) string {
+	s := "a"
+	s += "b"        // want `string concatenation`
+	t := s + "c"    // want `string concatenation`
+	u := string(bs) // want `string conversion`
+	fmt.Println(t)  // want `fmt\.Println`
+	return u
+}
+
+//lad:noalloc
+func spawning(b *buffers) {
+	go cold()                    // want `go statement`
+	f := func() int { return 1 } // want `closure creation`
+	_ = f()
+}
+
+type pair struct{ a, b float64 }
+
+//lad:noalloc
+func boxing(v pair, p *buffers) {
+	take(v)     // want `boxes it`
+	take(p)     // pointer-shaped: allowed
+	varargs(1)  // want `loose variadic argument`
+	varargs()   // empty variadic: allowed
+	spread(nil) // conversion-free nil: allowed
+}
+
+func take(v any) int {
+	_, ok := v.(*buffers)
+	if ok {
+		return 1
+	}
+	return 0
+}
+func varargs(vs ...int) int { return len(vs) }
+func spread(vs []int) int   { return varargs(vs...) }
+
+// cold is unannotated: the same constructs are fine here.
+func cold() []int {
+	xs := make([]int, 4)
+	xs = append(xs, 5)
+	return xs
+}

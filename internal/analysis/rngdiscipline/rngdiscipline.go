@@ -1,0 +1,191 @@
+// Package rngdiscipline enforces the repository's randomness policy:
+// every random draw in simulation, training, and localization code must
+// flow through repro/internal/rng (the counter-seeded, splittable
+// xoshiro generator), because the paper's detection-rate and FPR claims
+// only reproduce when the whole pipeline is bit-deterministic for a
+// given master seed.
+//
+// Three rules:
+//
+//  1. The packages under its purview must not import math/rand,
+//     math/rand/v2, or crypto/rand. Stdlib rand is seeded from global
+//     process state and crypto/rand is nondeterministic by design;
+//     either one silently breaks replay.
+//  2. Seeds must not be derived from the wall clock: a time.Now (or
+//     time.Since) call may not appear in the arguments of any
+//     repro/internal/rng function or method (New, Reseed, ...).
+//  3. A *rng.Rand is documented share-nothing. A goroutine must own its
+//     Rand: capturing one as a free variable in a `go func(){...}()`
+//     closure is flagged (Split a child and pass it by value instead),
+//     as is declaring a struct that holds a *rng.Rand next to sync
+//     primitives — the tell-tale shape of a generator shared across
+//     goroutines.
+//
+// The cmd/ladvet driver applies this analyzer to the deterministic core
+// (internal/{rng,deploy,localize,core,attack,sim,experiment,mathx});
+// test files are never loaded.
+package rngdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"repro/internal/analysis"
+)
+
+const rngPath = "repro/internal/rng"
+
+var forbiddenImports = map[string]string{
+	"math/rand":    "globally-seeded stdlib rand breaks deterministic replay",
+	"math/rand/v2": "globally-seeded stdlib rand breaks deterministic replay",
+	"crypto/rand":  "crypto/rand is nondeterministic by design",
+}
+
+// Analyzer is the rngdiscipline check.
+var Analyzer = &analysis.Analyzer{
+	Name: "rngdiscipline",
+	Doc:  "all randomness must flow through repro/internal/rng, seeded deterministically, one Rand per goroutine",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		checkImports(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkTimeSeed(pass, n)
+			case *ast.GoStmt:
+				checkGoCapture(pass, n)
+			case *ast.TypeSpec:
+				checkSharedStruct(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkImports(pass *analysis.Pass, f *ast.File) {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if reason, ok := forbiddenImports[path]; ok {
+			pass.Reportf(imp.Pos(), "import of %q is forbidden (%s); use repro/internal/rng", path, reason)
+		}
+	}
+}
+
+// checkTimeSeed flags time.Now/time.Since appearing anywhere inside the
+// arguments of a call into repro/internal/rng (rng.New, Rand.Reseed,
+// ...): seeds must derive from the experiment's master seed, never from
+// the wall clock.
+func checkTimeSeed(pass *analysis.Pass, call *ast.CallExpr) {
+	obj := analysis.Callee(pass.Info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != rngPath {
+		return
+	}
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.Callee(pass.Info, inner)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "time" {
+				return true
+			}
+			if callee.Name() == "Now" || callee.Name() == "Since" {
+				pass.Reportf(inner.Pos(), "time-derived RNG seed passed to %s.%s: derive seeds from the experiment master seed", obj.Pkg().Name(), obj.Name())
+			}
+			return true
+		})
+	}
+}
+
+// checkGoCapture flags `go func(){ ... r.Float64() ... }()` where r is a
+// *rng.Rand declared outside the closure: the goroutine and its spawner
+// would share one generator. Passing a Rand as an explicit argument is
+// the sanctioned handoff (ownership transfer after Split), so only free
+// variables are flagged.
+func checkGoCapture(pass *analysis.Pass, g *ast.GoStmt) {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	seen := map[types.Object]bool{}
+	// Idents appearing as the Sel of a selector are field/method names,
+	// not variable references; skip them.
+	selNames := map[*ast.Ident]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			selNames[sel.Sel] = true
+		}
+		return true
+	})
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || selNames[id] {
+			return true
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || seen[v] {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the closure (or a parameter of it)
+		}
+		if analysis.IsNamedType(v.Type(), rngPath, "Rand") {
+			seen[v] = true
+			pass.Reportf(id.Pos(), "*rng.Rand %q captured by goroutine: Rand is share-nothing, Split() a child and pass it in", id.Name)
+		}
+		return true
+	})
+}
+
+// checkSharedStruct flags struct types that pair a *rng.Rand field with
+// sync or sync/atomic fields: synchronization primitives mark the struct
+// as crossing goroutines, and a Rand must not cross with it.
+func checkSharedStruct(pass *analysis.Pass, spec *ast.TypeSpec) {
+	st, ok := spec.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	var randField *ast.Field
+	hasSync := false
+	for _, field := range st.Fields.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if analysis.IsNamedType(tv.Type, rngPath, "Rand") {
+			randField = field
+		}
+		if t, ok := deref(tv.Type).(*types.Named); ok && t.Obj().Pkg() != nil {
+			switch t.Obj().Pkg().Path() {
+			case "sync", "sync/atomic":
+				hasSync = true
+			}
+		}
+	}
+	if randField != nil && hasSync {
+		name := "(anonymous)"
+		if len(randField.Names) > 0 {
+			name = randField.Names[0].Name
+		}
+		pass.Reportf(randField.Pos(), "struct %s holds *rng.Rand field %q alongside sync primitives: a Rand is share-nothing, keep one per goroutine (Split children)", spec.Name.Name, name)
+	}
+}
+
+func deref(t types.Type) types.Type {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = ptr.Elem()
+	}
+}

@@ -1,0 +1,12 @@
+package rngdiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/rngdiscipline"
+)
+
+func TestRngDiscipline(t *testing.T) {
+	analysistest.Run(t, rngdiscipline.Analyzer, "rngfixture")
+}

@@ -1,0 +1,13 @@
+package rngfixture
+
+import (
+	crand "crypto/rand" // want `import of "crypto/rand" is forbidden`
+	mrand "math/rand"   // want `import of "math/rand" is forbidden`
+)
+
+// drainStdlibRand uses the forbidden imports so the fixture compiles.
+func drainStdlibRand() (int, error) {
+	b := make([]byte, 8)
+	_, err := crand.Read(b)
+	return mrand.Int(), err
+}

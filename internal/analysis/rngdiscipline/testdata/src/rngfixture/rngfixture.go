@@ -1,0 +1,56 @@
+// Package rngfixture exercises the rngdiscipline analyzer: wall-clock
+// seeds, goroutine-captured Rands, and sync-adjacent Rand fields fire;
+// master-seed derivation and Split handoff do not.
+package rngfixture
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// seedFromClock derives a seed from the wall clock.
+func seedFromClock() *rng.Rand {
+	return rng.New(uint64(time.Now().UnixNano())) // want `time-derived RNG seed`
+}
+
+// reseedFromClock reseeds from the clock through a method call.
+func reseedFromClock(r *rng.Rand) {
+	r.Reseed(uint64(time.Since(time.Time{}).Nanoseconds())) // want `time-derived RNG seed`
+}
+
+// goodSeed derives from the experiment master seed.
+func goodSeed(master uint64) *rng.Rand {
+	return rng.New(master + 17)
+}
+
+// capture shares one Rand between the spawner and a goroutine.
+func capture(r *rng.Rand, wg *sync.WaitGroup) float64 {
+	go func() {
+		defer wg.Done()
+		_ = r.Float64() // want `captured by goroutine`
+	}()
+	return r.Float64()
+}
+
+// handoff transfers ownership of a Split child explicitly — sanctioned.
+func handoff(r *rng.Rand) {
+	child := r.Split()
+	go consume(child)
+}
+
+func consume(r *rng.Rand) { _ = r.Float64() }
+
+// sharedPool pairs a Rand with a mutex: the shape of a generator shared
+// across goroutines.
+type sharedPool struct {
+	mu  sync.Mutex
+	gen *rng.Rand // want `alongside sync primitives`
+}
+
+// perWorker owns its Rand with no synchronization — one per goroutine.
+type perWorker struct {
+	gen *rng.Rand
+	n   int
+}

@@ -60,6 +60,8 @@ func (c *Corrector) Correct(o []int) (geom.Point, error) {
 // set scan — per round, O(groups²) across a trim schedule). Refits also
 // warm-start the pattern search from the previous round's estimate,
 // which is already near the refit optimum.
+//
+//lad:ctx
 func (c *Corrector) CorrectTrimmed(o []int) (geom.Point, []bool, error) {
 	sess := c.mle.NewSession()
 	if err := sess.Bind(o); err != nil {

@@ -41,19 +41,24 @@ type Detector struct {
 	// expPool recycles Expectation buffers across CheckBatch calls so
 	// batched scoring does not allocate per verdict when the cache is
 	// disabled.
+	//lad:guardedby setup
 	expPool sync.Pool
 	// expCache shares expectations — and their lazily built log-PMF
 	// tables — across requests, keyed by claimed location. nil disables
 	// it (SetExpCacheCapacity(0)); verdicts are bit-identical either way.
+	//lad:guardedby setup
 	expCache *expCache
 	// expCacheCapacity remembers the configured entry bound so budget
 	// installation can rebuild the cache at the same size.
+	//lad:guardedby setup
 	expCacheCapacity int
 	// expBudget is the (possibly pool-shared) byte budget installed on
 	// the cache; nil leaves admissions ungated.
+	//lad:guardedby setup
 	expBudget *ExpCacheBudget
 	// batchWorkers caps the goroutines CheckBatchInto fans a large batch
 	// out over; 0 means GOMAXPROCS.
+	//lad:guardedby setup
 	batchWorkers int
 }
 
@@ -84,6 +89,8 @@ func NewDetector(model *deploy.Model, metric Metric, threshold float64) *Detecto
 // cache, and the old cache's reservations are credited back. Not safe
 // to call concurrently with checks — configure the detector before
 // serving traffic.
+//
+//lad:setup
 func (d *Detector) SetExpCacheCapacity(capacity int) {
 	if capacity < 0 {
 		capacity = 0
@@ -98,6 +105,8 @@ func (d *Detector) SetExpCacheCapacity(capacity int) {
 // cache is rebuilt empty at its configured capacity and the previous
 // cache's reservations are credited back. Not safe to call concurrently
 // with checks — configure before serving traffic.
+//
+//lad:setup
 func (d *Detector) SetExpCacheBudget(b *ExpCacheBudget) {
 	d.expBudget = b
 	d.installExpCache()
@@ -106,6 +115,7 @@ func (d *Detector) SetExpCacheBudget(b *ExpCacheBudget) {
 // ExpCacheBudget returns the installed byte budget (nil when none).
 func (d *Detector) ExpCacheBudget() *ExpCacheBudget { return d.expBudget }
 
+//lad:setup
 func (d *Detector) installExpCache() {
 	if d.expCache != nil {
 		d.expCache.retire()
@@ -122,6 +132,8 @@ func (d *Detector) installExpCache() {
 // SetBatchWorkers caps the worker goroutines a single CheckBatchInto may
 // fan out over; n <= 0 restores the default (GOMAXPROCS). Not safe to
 // call concurrently with checks.
+//
+//lad:setup
 func (d *Detector) SetBatchWorkers(n int) {
 	if n < 0 {
 		n = 0
@@ -183,6 +195,8 @@ func (d *Detector) Check(o []int, le geom.Point) Verdict {
 // slice allocations. The serving layer uses it for single-observation
 // requests; Check stays allocation-per-call so callers that retain the
 // expectation indirectly are unaffected.
+//
+//lad:noalloc
 func (d *Detector) CheckPooled(o []int, le geom.Point) Verdict {
 	if d.expCache != nil {
 		return d.CheckWithExpectation(o, d.expCache.get(d.model, le))
@@ -196,6 +210,8 @@ func (d *Detector) CheckPooled(o []int, le geom.Point) Verdict {
 
 // CheckWithExpectation is Check with a precomputed expectation (several
 // metrics can share one).
+//
+//lad:noalloc
 func (d *Detector) CheckWithExpectation(o []int, e *Expectation) Verdict {
 	s := d.metric.Score(o, e)
 	th := d.Threshold()
@@ -239,6 +255,8 @@ const minBatchChunk = 256
 // scored in parallel; each chunk writes a disjoint range of dst, so the
 // output order is deterministic and every verdict is bit-identical to
 // sequential Check.
+//
+//lad:noalloc
 func (d *Detector) CheckBatchInto(dst []Verdict, items []BatchItem) {
 	if len(dst) != len(items) {
 		panic("core: CheckBatchInto length mismatch")
@@ -265,6 +283,7 @@ func (d *Detector) CheckBatchInto(dst []Verdict, items []BatchItem) {
 	for lo := chunk; lo < len(items); lo += chunk {
 		hi := min(lo+chunk, len(items))
 		wg.Add(1)
+		//lint:ignore ladvet/noalloc large-batch fan-out: one spawn per chunk, amortized over >=minBatchChunk items
 		go func(lo, hi int) {
 			defer wg.Done()
 			d.checkRange(dst[lo:hi], items[lo:hi])
@@ -277,7 +296,10 @@ func (d *Detector) CheckBatchInto(dst []Verdict, items []BatchItem) {
 // checkRange scores one contiguous chunk. Locations are deduplicated
 // chunk-locally so the shared cache (or the buffer pool) is consulted
 // once per distinct location rather than once per item.
+//
+//lad:noalloc
 func (d *Detector) checkRange(dst []Verdict, items []BatchItem) {
+	//lint:ignore ladvet/noalloc per-chunk dedup map: one small map per >=256-item chunk, not per verdict
 	local := make(map[geom.Point]*Expectation, 1+len(items)/8)
 	var pooled []*Expectation
 	for i, it := range items {
@@ -288,6 +310,7 @@ func (d *Detector) checkRange(dst []Verdict, items []BatchItem) {
 			} else {
 				e = d.expPool.Get().(*Expectation)
 				e.Fill(d.model, it.Location)
+				//lint:ignore ladvet/noalloc distinct-location list: grows once per unique location, returned to the pool below
 				pooled = append(pooled, e)
 			}
 			local[it.Location] = e

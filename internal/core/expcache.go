@@ -136,8 +136,10 @@ type expCache struct {
 }
 
 type expShard struct {
-	mu  sync.Mutex
+	mu sync.Mutex
+	//lad:guardedby mu
 	ent map[geom.Point]*list.Element
+	//lad:guardedby mu
 	lru list.List // front = most recently used; element values are *Expectation
 }
 

@@ -85,6 +85,8 @@ type BenignSample struct {
 // Trials whose localization fails (isolated sensors) carry a NaN entry in
 // the returned localization errors; use SummarizeLocErrs to aggregate
 // without the failures biasing the mean toward zero.
+//
+//lad:ctx
 func BenignScores(model *deploy.Model, metrics []Metric, cfg TrainConfig) ([][]float64, []float64, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, nil, err
@@ -127,6 +129,7 @@ func BenignScores(model *deploy.Model, metrics []Metric, cfg TrainConfig) ([][]f
 			sess := loc.NewSession()
 			e := &Expectation{G: make([]float64, n), Mu: make([]float64, n)}
 			r := rng.New(0)
+			//lint:ignore ladvet/ctxcheck bounded in practice: the producer sends exactly cfg.Trials indices and closes next; cancellable training is a ROADMAP item
 			for t := range next {
 				r.Reseed(seeds[t])
 				group, la := model.SampleLocation(r)
@@ -167,6 +170,8 @@ func BenignScores(model *deploy.Model, metrics []Metric, cfg TrainConfig) ([][]f
 // Train derives a detector for one metric: the threshold is the
 // τ-percentile of the benign score distribution. The benign scores are
 // returned alongside so callers can reuse them for ROC curves.
+//
+//lad:ctx
 func Train(model *deploy.Model, metric Metric, cfg TrainConfig) (*Detector, []float64, error) {
 	scores, _, err := BenignScores(model, []Metric{metric}, cfg)
 	if err != nil {

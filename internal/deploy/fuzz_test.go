@@ -1,0 +1,79 @@
+package deploy
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// fuzzTables are a few tables spanning the shapes the repo serves:
+// the paper's parameters, a coarse low-resolution table, and a tight
+// small-range one. Built once; fuzz iterations only evaluate.
+var fuzzTables = sync.OnceValue(func() []*GTable {
+	return []*GTable{
+		NewGTable(50, 25, DefaultOmega),
+		NewGTable(50, 25, 8),
+		NewGTable(3, 0.5, 64),
+		NewGTable(100, 1, 32),
+	}
+})
+
+// FuzzGTableLogEval feeds fuzzed squared distances through the three
+// log-companion evaluation paths — GTable.LogEval2, GTable.LogEvalN,
+// and the raw LogTableView.LogEvalN inner-loop form — and asserts the
+// bit-identity contract the localization engine's exactness rests on,
+// plus the clamp convention: both log-probabilities are finite, at most
+// zero, and beyond MaxZ² collapse to (LnEps, 0).
+func FuzzGTableLogEval(f *testing.F) {
+	f.Add(uint8(0), 0.0, 1.0, 2500.0)
+	f.Add(uint8(1), 1e-9, 39999.9, 40000.1) // straddle the paper table's MaxZ² = 200²
+	f.Add(uint8(2), 0.25, 12.25, 1e6)
+	f.Add(uint8(3), 0.0, 0.0, 0.0)
+
+	f.Fuzz(func(t *testing.T, pick uint8, a, b, c float64) {
+		tables := fuzzTables()
+		g := tables[int(pick)%len(tables)]
+
+		// The contract's domain: squared distances are finite and
+		// non-negative (they are sums of squares in every caller).
+		z2s := make([]float64, 0, 6)
+		for _, z2 := range []float64{a, b, c} {
+			if math.IsNaN(z2) || math.IsInf(z2, 0) {
+				continue
+			}
+			z2s = append(z2s, math.Abs(z2))
+		}
+		// Exercise the right-edge branch explicitly alongside the
+		// fuzzed values.
+		z2s = append(z2s, g.MaxZ2(), math.Nextafter(g.MaxZ2(), 0), 0)
+
+		lnG := make([]float64, len(z2s))
+		ln1G := make([]float64, len(z2s))
+		g.LogEvalN(z2s, lnG, ln1G)
+
+		viewLnG := make([]float64, len(z2s))
+		viewLn1G := make([]float64, len(z2s))
+		g.LogTable().LogEvalN(z2s, viewLnG, viewLn1G)
+
+		for i, z2 := range z2s {
+			wantLn, wantLn1 := g.LogEval2(z2)
+			if math.Float64bits(lnG[i]) != math.Float64bits(wantLn) || math.Float64bits(ln1G[i]) != math.Float64bits(wantLn1) {
+				t.Fatalf("LogEvalN(z2=%g) = (%x, %x), LogEval2 = (%x, %x): batch path diverged",
+					z2, math.Float64bits(lnG[i]), math.Float64bits(ln1G[i]),
+					math.Float64bits(wantLn), math.Float64bits(wantLn1))
+			}
+			if math.Float64bits(viewLnG[i]) != math.Float64bits(wantLn) || math.Float64bits(viewLn1G[i]) != math.Float64bits(wantLn1) {
+				t.Fatalf("LogTableView.LogEvalN(z2=%g) diverged from LogEval2", z2)
+			}
+			if math.IsNaN(wantLn) || math.IsNaN(wantLn1) || wantLn > 0 || wantLn1 > 0 {
+				t.Fatalf("LogEval2(z2=%g) = (%g, %g): log-probabilities must be finite and <= 0", z2, wantLn, wantLn1)
+			}
+			if wantLn < g.LnEps() {
+				t.Fatalf("LogEval2(z2=%g) ln g = %g below the clamp floor %g", z2, wantLn, g.LnEps())
+			}
+			if z2 >= g.MaxZ2() && (wantLn != g.LnEps() || wantLn1 != 0) {
+				t.Fatalf("LogEval2(z2=%g) beyond MaxZ2 = (%g, %g), want (LnEps=%g, 0)", z2, wantLn, wantLn1, g.LnEps())
+			}
+		}
+	})
+}

@@ -210,6 +210,8 @@ func (g *GTable) LogEval2(z2 float64) (lnG, ln1G float64) {
 // loops can run the table lookup as one branch-light pass over a
 // structure-of-arrays probe batch instead of a dependent per-group
 // chain. lnG and ln1G must be at least len(z2s) long.
+//
+//lad:noalloc
 func (g *GTable) LogEvalN(z2s, lnG, ln1G []float64) {
 	g.LogTable().LogEvalN(z2s, lnG, ln1G)
 }
@@ -237,6 +239,8 @@ func (g *GTable) LogTable() LogTableView {
 // LogEvalN evaluates the view at every squared distance in z2s, writing
 // ln g into lnG and ln(1−g) into ln1G. Per element it is LogEval2's
 // arithmetic verbatim — see GTable.LogEvalN for the contract.
+//
+//lad:noalloc
 func (v LogTableView) LogEvalN(z2s, lnG, ln1G []float64) {
 	lnG = lnG[:len(z2s)]
 	ln1G = ln1G[:len(z2s)]

@@ -107,6 +107,8 @@ func (b *Beaconless) session() *Session {
 // LocalizeObservation estimates a location from an observation vector
 // o (length NumGroups). It runs on a pooled Session: steady state, zero
 // heap allocations.
+//
+//lad:noalloc
 func (b *Beaconless) LocalizeObservation(o []int) (geom.Point, error) {
 	s := b.session()
 	p, err := s.BindLocalize(o)
@@ -183,6 +185,8 @@ func (s *Session) Bind(o []int) error {
 
 // BindLocalize is Bind followed by Localize — the per-trial call of the
 // training loop.
+//
+//lad:noalloc
 func (s *Session) BindLocalize(o []int) (geom.Point, error) {
 	if err := s.Bind(o); err != nil {
 		return geom.Point{}, err
@@ -457,6 +461,8 @@ func (ll *likelihood) mask(exclude []bool) bool {
 // together), and two multiply-adds. Groups beyond MaxZ contribute
 // o·ln(eps) through the table's clamped tail, matching the reference
 // path's explicit penalty.
+//
+//lad:noalloc
 func (ll *likelihood) at(p geom.Point) float64 {
 	if ll.reference {
 		return ll.referenceAt(p)

@@ -61,6 +61,8 @@ const probeSkipSlack = 1e-6
 // Each candidate's result is bit-identical to at(candidate). In
 // Reference mode it degrades to per-point referenceAt calls so direct
 // callers need no mode check.
+//
+//lad:noalloc
 func (ll *likelihood) atN(pts []geom.Point, out []float64) {
 	if len(out) != len(pts) {
 		panic("localize: atN length mismatch")
@@ -199,6 +201,8 @@ func logLookup(logs [][2]float64, invStep, maxZ2, lnEps float64, last int, z2 fl
 // probe) element costs its arithmetic plus loads only — no accumulator
 // store/reload per element. Arithmetic and accumulation order are the
 // scalar walk's exactly; see atN.
+//
+//lad:noalloc
 func (ll *likelihood) atN4(pts *[4]geom.Point, out *[4]float64) {
 	n := ll.liveN
 	xs, ys := ll.liveXs[:n], ll.liveYs[:n]
@@ -324,6 +328,8 @@ const axisChunk = 4
 //
 // pts and vals are caller-owned scratch of at least probeBatchMax slots
 // (Sessions hold them), so steady state allocates nothing.
+//
+//lad:noalloc
 func (ll *likelihood) patternSearchBatch(pts []geom.Point, vals []float64, start geom.Point, maxStep, minStep float64) geom.Point {
 	best := start
 	step := maxStep

@@ -56,7 +56,8 @@ func (s *endpointStats) observe(status int, d time.Duration) {
 // counts). Cache hit/miss numbers are read live from the pool when
 // rendering. Safe for concurrent use.
 type Metrics struct {
-	mu           sync.Mutex
+	mu sync.Mutex
+	//lad:guardedby mu
 	endpoints    map[string]*endpointStats
 	scored       atomic.Uint64
 	corrected    atomic.Uint64

@@ -176,22 +176,31 @@ type poolEntry struct {
 	id   string
 	spec DetectorSpec
 
-	mu         sync.Mutex
-	state      DetectorState
-	det        *core.Detector
-	scores     []float64 // ascending-sorted retained benign sample
-	percentile float64   // current operating point
-	trainSecs  float64
-	err        error
-	evicted    bool
+	mu sync.Mutex
+	//lad:guardedby mu
+	state DetectorState
+	//lad:guardedby mu
+	det *core.Detector
+	//lad:guardedby mu
+	scores []float64 // ascending-sorted retained benign sample
+	//lad:guardedby mu
+	percentile float64 // current operating point
+	//lad:guardedby mu
+	trainSecs float64
+	//lad:guardedby mu
+	err error
+	//lad:guardedby mu
+	evicted bool
 	// corr is the resource's shared plain corrector, built lazily on the
 	// first /correct (its pooled localization sessions amortize across
 	// requests). Trimmed corrections with custom knobs build their own.
+	// Guarded by corrOnce, not mu: the once is the synchronization.
 	corrOnce sync.Once
 	corr     *core.Corrector
 
 	// done is closed when the current training flight finishes (ready or
 	// failed). Re-registration after a failure installs a fresh channel.
+	//lad:guardedby mu
 	done chan struct{}
 }
 
@@ -225,10 +234,12 @@ func (e *poolEntry) detector() (*core.Detector, bool) {
 }
 
 // corrector returns the entry's shared plain corrector (ready entries
-// only; the caller has already checked).
-func (e *poolEntry) corrector() *core.Corrector {
+// only). The caller passes the detector it already fetched under the
+// entry's mutex, so the once-guarded build touches no mu-guarded state
+// — the once closure runs lock-free by design.
+func (e *poolEntry) corrector(det *core.Detector) *core.Corrector {
 	e.corrOnce.Do(func() {
-		e.corr = core.NewCorrector(e.det.Model())
+		e.corr = core.NewCorrector(det.Model())
 	})
 	return e.corr
 }
@@ -256,10 +267,13 @@ const DefaultTrainConcurrency = 2
 // verdicts are bit-identical across the two surfaces by construction.
 // Safe for concurrent use.
 type DetectorPool struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	//lad:guardedby mu
 	entries map[string]*poolEntry // by spec key
-	byID    map[string]*poolEntry // same entries, by resource id
-	limit   int
+	//lad:guardedby mu
+	byID map[string]*poolEntry // same entries, by resource id
+	//lad:guardedby mu
+	limit int
 
 	hits     atomic.Uint64
 	misses   atomic.Uint64
@@ -272,17 +286,22 @@ type DetectorPool struct {
 
 	// trainSem caps concurrent training runs; trainWorkers is the
 	// per-run worker budget (GOMAXPROCS / cap(trainSem)).
-	trainSem     chan struct{}
+	//lad:guardedby setup
+	trainSem chan struct{}
+	//lad:guardedby setup
 	trainWorkers int
 	// expCacheCap overrides the expectation-cache capacity installed on
 	// newly trained detectors: 0 keeps core's default, negative disables.
+	//lad:guardedby setup
 	expCacheCap int
 	// expBudget is the pool-wide expectation-cache admission budget in
 	// bytes, shared by every detector the pool trains. Created in
 	// account-only mode (capacity 0 = unlimited, bytes still tracked for
 	// /metrics); SetExpCacheByteBudget arms the cap.
+	//lad:guardedby setup
 	expBudget *core.ExpCacheBudget
 	// trainer is swappable for tests; nil means trainDetector.
+	//lad:guardedby setup
 	trainer func(DetectorSpec, int) (*core.Detector, []float64, error)
 
 	// Training-duration accounting: cold starts are the pool's dominant
@@ -382,6 +401,8 @@ func newDetectorPoolWithTrainer(trainer func(DetectorSpec, int) (*core.Detector,
 // (n <= 0 restores the default) and splits GOMAXPROCS across them. Not
 // safe to call while trainings are in flight — configure the pool before
 // serving.
+//
+//lad:setup
 func (p *DetectorPool) SetTrainConcurrency(n int) {
 	if n <= 0 {
 		n = DefaultTrainConcurrency
@@ -393,6 +414,8 @@ func (p *DetectorPool) SetTrainConcurrency(n int) {
 // SetExpCacheCapacity sets the expectation-cache capacity applied to
 // detectors the pool trains from now on: 0 keeps core's default,
 // negative disables the cache. Configure before serving.
+//
+//lad:setup
 func (p *DetectorPool) SetExpCacheCapacity(capacity int) {
 	p.expCacheCap = capacity
 }
@@ -621,6 +644,8 @@ func (p *DetectorPool) runTraining(e *poolEntry, semHeld bool) {
 // for a spec mid-training share the single flight (and its error, if it
 // fails); a Get after a failure re-arms the flight, so transient failures
 // are not remembered forever.
+//
+//lad:ctx
 func (p *DetectorPool) Get(spec DetectorSpec) (*core.Detector, error) {
 	e, created, err := p.admit(spec)
 	if err != nil {
@@ -628,6 +653,7 @@ func (p *DetectorPool) Get(spec DetectorSpec) (*core.Detector, error) {
 	}
 	var det *core.Detector
 	var trainErr error
+	//lint:ignore ladvet/ctxcheck re-wait loop: each iteration blocks on a flight's done channel, and re-arming is rare; context-aware waiting is the ROADMAP's cancellable-scheduling item
 	for {
 		e.mu.Lock()
 		done := e.done
@@ -690,10 +716,11 @@ func (p *DetectorPool) Corrector(id string) (*core.Corrector, bool) {
 	if e == nil {
 		return nil, false
 	}
-	if _, ready := e.detector(); !ready {
+	det, ready := e.detector()
+	if !ready {
 		return nil, false
 	}
-	return e.corrector(), true
+	return e.corrector(det), true
 }
 
 // List snapshots every resident resource, ordered by id.
