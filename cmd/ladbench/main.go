@@ -45,6 +45,15 @@
 // median of five is far less movable than any single run, which lets
 // the CI gate use a much tighter -max-regress bound.
 //
+// Each snapshot additionally records reference_ns_per_op: the median of
+// a fixed arithmetic kernel that never changes with the code under
+// test. When both sides of a -baseline comparison carry it, drift and
+// -max-regress are computed on reference-normalized numbers — a runner
+// that is 1.3× slower across the board shows a 1.3× reference too, so
+// uniform machine speed differences cancel instead of tripping (or
+// masking) the regression gate. Baselines without a reference (schema
+// ≤ 4) fall back to the absolute comparison.
+//
 // Usage:
 //
 //	go run ./cmd/ladbench -out BENCH_PR5.json
@@ -117,6 +126,30 @@ func benchMedian(f func(b *testing.B)) testing.BenchmarkResult {
 	return rs[(len(rs)-1)/2]
 }
 
+// refSink keeps the compiler from eliding referenceBench's work.
+var refSink float64
+
+// referenceBench is the fixed runner-calibration kernel: xorshift64*
+// mixing feeding a float accumulation, no memory traffic, no
+// repository code. Its ns/op depends only on the machine (and, weakly,
+// the Go version — recorded alongside), so the ratio between two
+// snapshots' references is the ratio of their runners' speeds.
+func referenceBench(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x := uint64(0x9E3779B97F4A7C15)
+		s := 0.0
+		for j := 0; j < 1<<16; j++ {
+			x ^= x >> 12
+			x ^= x << 25
+			x ^= x >> 27
+			x *= 0x2545F4914F6CDD1D
+			s += float64(x>>11) * (1.0 / (1 << 53))
+		}
+		refSink = s
+	}
+}
+
 // report is the JSON document ladbench writes.
 type report struct {
 	Schema      int    `json:"schema"`
@@ -126,8 +159,14 @@ type report struct {
 	Locations   int    `json:"locations"`
 	TrainTrials int    `json:"train_trials"`
 	// Runs is benchRuns: how many runs each median was taken over.
-	Runs    int      `json:"runs"`
-	Results []result `json:"results"`
+	Runs int `json:"runs"`
+	// ReferenceNsPerOp is the median ns/op of referenceBench, a fixed
+	// arithmetic kernel independent of the code under test. It measures
+	// the RUNNER, not the repository: baseline comparisons divide it out
+	// so snapshots taken on machines of different speeds stay
+	// comparable.
+	ReferenceNsPerOp float64  `json:"reference_ns_per_op"`
+	Results          []result `json:"results"`
 	// SpeedupVsPR1 is, per metric, batch_pr1 ns/op over batch ns/op —
 	// the factor the table-driven cached path buys over the PR 1 batch
 	// path on identical items.
@@ -173,7 +212,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:               4,
+		Schema:               5,
 		Runs:                 *runs,
 		GoVersion:            runtime.Version(),
 		GOMAXPROCS:           runtime.GOMAXPROCS(0),
@@ -187,6 +226,7 @@ func main() {
 		SpeedupProbeTrain:    map[string]float64{},
 	}
 
+	rep.ReferenceNsPerOp = float64(benchMedian(referenceBench).NsPerOp())
 	scoringSection(&rep, model, *batch, *locations, *trials)
 	trainingSection(&rep, *trials)
 	probeBatchSection(&rep, *trials)
@@ -593,9 +633,16 @@ func probeBatchSection(rep *report, trials int) {
 // job runs it against the committed BENCH_PR*.json so the log shows
 // drift against the last recorded state. With maxRegressPct > 0 it
 // turns into a gate: any shared benchmark whose ns/op exceeds the
-// baseline by more than that percentage fails the run. The bound should
-// leave headroom for runner noise (CI uses tens of percent); it exists
-// to catch step-change regressions, not jitter.
+// baseline by more than that percentage fails the run.
+//
+// When both snapshots carry reference_ns_per_op, this run's numbers are
+// first divided by the reference ratio (this runner's reference over
+// the baseline's): a uniformly slower or faster machine moves the
+// reference by the same factor as every real benchmark, so the
+// calibrated comparison isolates changes to the CODE from changes of
+// runner. The bound then only needs headroom for per-benchmark noise,
+// not whole-machine variance; it exists to catch step-change
+// regressions, not jitter.
 func compareBaseline(path string, rep report, maxRegressPct float64) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -606,6 +653,15 @@ func compareBaseline(path string, rep report, maxRegressPct float64) {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fmt.Fprintf(os.Stderr, "ladbench: baseline %s unparsable: %v\n", path, err)
 		return
+	}
+	ratio := 1.0
+	if base.ReferenceNsPerOp > 0 && rep.ReferenceNsPerOp > 0 {
+		ratio = rep.ReferenceNsPerOp / base.ReferenceNsPerOp
+		fmt.Fprintf(os.Stderr, "ladbench: runner calibration: reference %.0f -> %.0f ns/op; this runner is %.2fx the baseline's, comparisons normalized\n",
+			base.ReferenceNsPerOp, rep.ReferenceNsPerOp, ratio)
+	} else {
+		fmt.Fprintf(os.Stderr, "ladbench: baseline %s has no reference benchmark (schema %d); comparing absolute ns/op\n",
+			path, base.Schema)
 	}
 	old := map[string]float64{}
 	for _, r := range base.Results {
@@ -623,12 +679,13 @@ func compareBaseline(path string, rep report, maxRegressPct float64) {
 		if !ok || ns <= 0 {
 			return
 		}
-		fmt.Fprintf(os.Stderr, "ladbench: vs %s: %-28s %8.0f -> %8.0f ns/op (%.2fx)\n",
-			path, name, prev, ns, prev/ns)
-		if maxRegressPct > 0 && ns > prev*(1+maxRegressPct/100) {
+		norm := ns / ratio
+		fmt.Fprintf(os.Stderr, "ladbench: vs %s: %-28s %8.0f -> %8.0f ns/op calibrated (%.2fx)\n",
+			path, name, prev, norm, prev/norm)
+		if maxRegressPct > 0 && norm > prev*(1+maxRegressPct/100) {
 			regressions = append(regressions,
-				fmt.Sprintf("%s: %0.f -> %0.f ns/op (+%.1f%%, bound %.0f%%)",
-					name, prev, ns, (ns/prev-1)*100, maxRegressPct))
+				fmt.Sprintf("%s: %0.f -> %0.f ns/op calibrated (+%.1f%%, bound %.0f%%)",
+					name, prev, norm, (norm/prev-1)*100, maxRegressPct))
 		}
 	}
 	for _, r := range rep.Results {

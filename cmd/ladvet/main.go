@@ -1,38 +1,61 @@
 // Command ladvet is the project's static-analysis gate: a multichecker
-// of five repository-specific analyzers that machine-enforce the
+// of nine repository-specific analyzers that machine-enforce the
 // invariants the paper's reproduction rests on — RNG determinism
-// (rngdiscipline), zero-allocation hot paths (noalloc), mutex
-// discipline on shared serving state (guardedby), the error-taxonomy
-// contract of the serving API (errcodes), and cancellability of
-// long-running loops (ctxcheck).
+// (rngdiscipline), zero-allocation hot paths including everything they
+// transitively call (noalloc), mutex discipline on shared serving state
+// (guardedby), declared lock preconditions on *Locked helpers
+// (requiresheld), a global lock-acquisition order free of deadlock
+// cycles (lockorder), the error-taxonomy contract of the serving API
+// (errcodes), client↔server wire-struct compatibility (wirecompat),
+// cancellability of long-running loops (ctxcheck), and the hygiene of
+// the //lint:ignore escape hatch itself (suppressions).
 //
 // Usage:
 //
-//	go run ./cmd/ladvet ./...
+//	go run ./cmd/ladvet [-json|-github] ./...
 //
 // Patterns are Go package patterns relative to the module root; with no
-// arguments ./... is assumed. Exit status 1 means findings. Suppress an
-// accepted finding in source with
+// arguments ./... is assumed. The run is interprocedural: the
+// dependency closure of the matched packages is analyzed in dependency
+// order so facts (allocation summaries, lock preconditions, held-lock
+// sets) flow from callees to callers, but findings are reported only
+// for packages the patterns matched. Exit status 1 means findings.
+//
+// -json prints the findings as a JSON array instead of text; -github
+// prints GitHub Actions workflow annotations (::error ...) so CI runs
+// surface findings inline on the PR diff.
+//
+// Suppress an accepted finding in source with
 //
 //	//lint:ignore ladvet/<analyzer> <reason>
 //
 // on (or directly above) the offending line; directives without a
-// reason are not honored. CI runs ladvet as a required job, and
+// reason are not honored, and the suppressions analyzer flags stale or
+// misspelled directives. CI runs ladvet as a required job, and
 // cmd/ladvet's own test asserts the tree is clean, so a new finding
 // fails both locally and remotely.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/ctxcheck"
 	"repro/internal/analysis/errcodes"
 	"repro/internal/analysis/guardedby"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/noalloc"
+	"repro/internal/analysis/requiresheld"
 	"repro/internal/analysis/rngdiscipline"
+	"repro/internal/analysis/suppressions"
+	"repro/internal/analysis/wirecompat"
 )
 
 // rngScope is the deterministic core: the packages whose randomness
@@ -48,7 +71,12 @@ var rngScope = []string{
 	"repro/internal/mathx",
 }
 
-// suite pairs each analyzer with the packages it applies to.
+// suite pairs each analyzer with the packages it applies to, in run
+// order. The order matters twice: analyzers that consume facts
+// (requiresheld, lockorder) run after the producers on each package,
+// and suppressions must stay LAST so every other analyzer — including
+// Finish hooks — has marked its absorbed directives used before the
+// audit runs.
 var suite = []struct {
 	analyzer *analysis.Analyzer
 	applies  func(importPath string) bool
@@ -58,6 +86,10 @@ var suite = []struct {
 	{guardedby.Analyzer, everywhere},
 	{errcodes.Analyzer, inScope([]string{"repro/internal/serve"})},
 	{ctxcheck.Analyzer, everywhere},
+	{requiresheld.Analyzer, everywhere},
+	{lockorder.Analyzer, everywhere},
+	{wirecompat.Analyzer, inScope([]string{"repro/client"})},
+	{suppressions.Analyzer, everywhere},
 }
 
 func everywhere(string) bool { return true }
@@ -73,42 +105,156 @@ func inScope(paths []string) func(string) bool {
 	}
 }
 
-// vet loads the patterns from the module rooted at root and runs every
-// applicable analyzer, returning all surviving diagnostics in file
-// order.
+// frameworkPkg reports whether importPath is part of the analysis
+// framework itself. The framework and its fixtures discuss the
+// forbidden constructs; vetting the vet tool would only flag its own
+// documentation.
+func frameworkPkg(importPath string) bool {
+	return strings.HasPrefix(importPath, "repro/internal/analysis")
+}
+
+// vet loads the patterns from the module rooted at root and runs the
+// suite interprocedurally: every package of the dependency closure is
+// analyzed in dependency order under one shared Context (so facts and
+// suppression usage accumulate run-wide), and diagnostics are kept for
+// the pattern-matched packages only.
 func vet(root string, patterns []string) ([]analysis.Diagnostic, error) {
 	loader, err := analysis.NewLoader(root)
 	if err != nil {
 		return nil, err
 	}
-	pkgs, err := loader.Load(patterns...)
+	matchedPkgs, err := loader.Load(patterns...)
 	if err != nil {
 		return nil, err
 	}
+	matched := make(map[string]bool)
+	matchedDirs := make(map[string]bool)
+	for _, pkg := range matchedPkgs {
+		if frameworkPkg(pkg.ImportPath) {
+			continue
+		}
+		matched[pkg.ImportPath] = true
+		matchedDirs[pkg.Dir] = true
+	}
+
+	ctx := analysis.NewContext(loader)
+	ctx.KnownAnalyzers = make(map[string]bool, len(suite))
+	for _, entry := range suite {
+		ctx.KnownAnalyzers[entry.analyzer.Name] = true
+	}
+
 	var diags []analysis.Diagnostic
-	for _, pkg := range pkgs {
-		// The analysis framework and its fixtures discuss the forbidden
-		// constructs; vetting the vet tool would only flag its own
-		// documentation.
-		if strings.HasPrefix(pkg.ImportPath, "repro/internal/analysis") {
+	for _, pkg := range loader.Packages() {
+		if frameworkPkg(pkg.ImportPath) {
 			continue
 		}
 		for _, entry := range suite {
 			if !entry.applies(pkg.ImportPath) {
 				continue
 			}
-			ds, err := analysis.Run(pkg, entry.analyzer)
+			ds, err := analysis.RunPass(pkg, entry.analyzer, ctx)
 			if err != nil {
 				return nil, err
 			}
-			diags = append(diags, ds...)
+			if matched[pkg.ImportPath] {
+				diags = append(diags, ds...)
+			}
 		}
 	}
+	// Finish hooks draw whole-program conclusions; anchor-filter them to
+	// the matched packages so a narrow pattern does not surface findings
+	// about files the user did not ask about.
+	for _, entry := range suite {
+		if entry.analyzer.Finish == nil {
+			continue
+		}
+		for _, d := range entry.analyzer.Finish(ctx) {
+			if matchedDirs[filepath.Dir(d.Pos.Filename)] {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		di, dj := diags[i], diags[j]
+		if di.Pos.Filename != dj.Pos.Filename {
+			return di.Pos.Filename < dj.Pos.Filename
+		}
+		if di.Pos.Line != dj.Pos.Line {
+			return di.Pos.Line < dj.Pos.Line
+		}
+		return di.Pos.Column < dj.Pos.Column
+	})
 	return diags, nil
 }
 
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// emit writes the findings in the chosen format: "text" (one line per
+// finding), "json" (a JSON array, machine-readable), or "github"
+// (GitHub Actions ::error workflow annotations).
+func emit(w io.Writer, diags []analysis.Diagnostic, format string) error {
+	switch format {
+	case "json":
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	case "github":
+		for _, d := range diags {
+			fmt.Fprintf(w, "::error file=%s,line=%d,col=%d::%s\n",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column,
+				githubEscape(fmt.Sprintf("[%s] %s", d.Analyzer, d.Message)))
+		}
+		return nil
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(w, d)
+		}
+		return nil
+	}
+}
+
+// githubEscape applies the workflow-command data escaping rules.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
 func main() {
-	patterns := os.Args[1:]
+	jsonOut := flag.Bool("json", false, "print findings as a JSON array")
+	githubOut := flag.Bool("github", false, "print findings as GitHub Actions annotations")
+	flag.Parse()
+	if *jsonOut && *githubOut {
+		fmt.Fprintln(os.Stderr, "ladvet: -json and -github are mutually exclusive")
+		os.Exit(2)
+	}
+	format := "text"
+	if *jsonOut {
+		format = "json"
+	}
+	if *githubOut {
+		format = "github"
+	}
+
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -122,8 +268,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ladvet:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if err := emit(os.Stdout, diags, format); err != nil {
+		fmt.Fprintln(os.Stderr, "ladvet:", err)
+		os.Exit(2)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "ladvet: %d finding(s)\n", len(diags))

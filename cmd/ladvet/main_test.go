@@ -1,9 +1,15 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"go/token"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
 // moduleRoot walks up from the working directory to the go.mod.
@@ -29,7 +35,7 @@ func moduleRoot(t *testing.T) string {
 // itself: the tree must stay finding-free, so any regression against
 // the machine-enforced invariants fails `go test` as well as the CI
 // ladvet job. Every accepted exception is a //lint:ignore with a
-// reason, which this test implicitly re-validates.
+// reason, which the suppressions analyzer re-validates on the same run.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole repository")
@@ -45,7 +51,9 @@ func TestRepoIsClean(t *testing.T) {
 
 // TestSuiteWired asserts every analyzer of the suite is registered with
 // a non-empty scope predicate and unique name — a guard against a
-// refactor silently dropping one of the five checks.
+// refactor silently dropping one of the nine checks — and that
+// suppressions stays last (its Finish-time audit must observe every
+// other analyzer's directive usage).
 func TestSuiteWired(t *testing.T) {
 	want := map[string]bool{
 		"rngdiscipline": false,
@@ -53,6 +61,10 @@ func TestSuiteWired(t *testing.T) {
 		"guardedby":     false,
 		"errcodes":      false,
 		"ctxcheck":      false,
+		"requiresheld":  false,
+		"lockorder":     false,
+		"wirecompat":    false,
+		"suppressions":  false,
 	}
 	for _, entry := range suite {
 		name := entry.analyzer.Name
@@ -73,5 +85,66 @@ func TestSuiteWired(t *testing.T) {
 		if !seen {
 			t.Errorf("analyzer %q missing from suite", name)
 		}
+	}
+	if got := suite[len(suite)-1].analyzer.Name; got != "suppressions" {
+		t.Errorf("suppressions must run last, but the suite ends with %q", got)
+	}
+}
+
+var emitFixture = []analysis.Diagnostic{
+	{
+		Pos:      token.Position{Filename: "internal/serve/pool.go", Line: 42, Column: 7},
+		Analyzer: "lockorder",
+		Message:  "lock-order cycle: 100% certain",
+	},
+	{
+		Pos:      token.Position{Filename: "client/types.go", Line: 7, Column: 1},
+		Analyzer: "wirecompat",
+		Message:  "wire mismatch",
+	},
+}
+
+// TestEmitJSON round-trips the -json output: tooling consumes this
+// shape, so field names are contract.
+func TestEmitJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emit(&buf, emitFixture, "json"); err != nil {
+		t.Fatal(err)
+	}
+	var got []jsonDiagnostic
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 findings, got %d", len(got))
+	}
+	if got[0].File != "internal/serve/pool.go" || got[0].Line != 42 || got[0].Col != 7 ||
+		got[0].Analyzer != "lockorder" || got[0].Message != "lock-order cycle: 100% certain" {
+		t.Errorf("first finding mangled: %+v", got[0])
+	}
+	// An empty run must still be a valid (empty) array, not "null".
+	buf.Reset()
+	if err := emit(&buf, nil, "json"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty run must emit [], got %q", buf.String())
+	}
+}
+
+// TestEmitGitHub checks the annotation shape and the %-escaping the
+// workflow-command parser requires.
+func TestEmitGitHub(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emit(&buf, emitFixture, "github"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 annotation lines, got %d: %q", len(lines), buf.String())
+	}
+	want := "::error file=internal/serve/pool.go,line=42,col=7::[lockorder] lock-order cycle: 100%25 certain"
+	if lines[0] != want {
+		t.Errorf("annotation mismatch:\n got %q\nwant %q", lines[0], want)
 	}
 }

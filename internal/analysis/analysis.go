@@ -33,10 +33,15 @@ import (
 
 // Analyzer is one static check: a name (used in diagnostics and in
 // //lint:ignore directives), a short doc string, and the Run function.
+// Finish, when set, runs once after every package of the run has been
+// analyzed — the hook for whole-program conclusions (lockorder's global
+// cycle detection) that no single package can reach. Finish hooks must
+// route would-be diagnostics through Context.SuppressedAt themselves.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name   string
+	Doc    string
+	Run    func(*Pass) error
+	Finish func(*Context) []Diagnostic
 }
 
 // Diagnostic is one reported finding, already resolved to a concrete
@@ -51,23 +56,24 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Pass carries one analyzer's view of one package.
+// Pass carries one analyzer's view of one package, plus the run-wide
+// Context through which facts flow and suppressions are audited.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Ctx      *Context
 
-	diags      []Diagnostic
-	suppressed map[string]map[int][]string // filename → line → suppressed analyzer names
+	diags []Diagnostic
 }
 
 // Reportf records a diagnostic at pos unless a //lint:ignore directive
 // on the same line (or the line directly above) names this analyzer.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if p.isSuppressed(position) {
+	if p.Ctx.SuppressedAt(p.Analyzer.Name, position) {
 		return
 	}
 	p.diags = append(p.diags, Diagnostic{
@@ -77,62 +83,46 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-func (p *Pass) isSuppressed(pos token.Position) bool {
-	lines := p.suppressed[pos.Filename]
-	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, name := range lines[line] {
-			if name == p.Analyzer.Name || name == "ladvet/"+p.Analyzer.Name {
-				return true
-			}
-		}
-	}
-	return false
+// SuppressedAt reports whether a diagnostic of this analyzer at pos
+// would be suppressed. Analyzers computing silent facts (noalloc's
+// allocation summaries) use it so a reasoned //lint:ignore sanctions a
+// construct for fact purposes exactly as it silences a diagnostic.
+func (p *Pass) SuppressedAt(pos token.Pos) bool {
+	return p.Ctx.SuppressedAt(p.Analyzer.Name, p.Fset.Position(pos))
 }
 
-// buildSuppressions scans every comment for lint:ignore directives. The
-// accepted form is staticcheck's:
-//
-//	//lint:ignore check1[,check2,...] reason
-//
-// A directive with no reason is itself a defect and is NOT honored —
-// the point of the mechanism is that every silenced finding documents
-// why it is acceptable.
-func (p *Pass) buildSuppressions() {
-	p.suppressed = make(map[string]map[int][]string)
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
-				if !ok {
-					continue
-				}
-				fields := strings.Fields(text)
-				if len(fields) < 2 {
-					continue // no reason given: directive not honored
-				}
-				pos := p.Fset.Position(c.Pos())
-				byLine := p.suppressed[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int][]string)
-					p.suppressed[pos.Filename] = byLine
-				}
-				byLine[pos.Line] = append(byLine[pos.Line], strings.Split(fields[0], ",")...)
-			}
-		}
-	}
+// ExportObjectFact attaches fact to obj in the run's shared fact store.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.Ctx.Facts.Export(obj, fact)
 }
 
-// Run executes one analyzer over one loaded package and returns its
-// surviving (non-suppressed) diagnostics sorted by position.
+// ImportObjectFact copies obj's fact of ptr's concrete type into ptr,
+// reporting whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	return p.Ctx.Facts.Import(obj, ptr)
+}
+
+// Run executes one analyzer over one loaded package with a fresh
+// single-package context and returns its surviving (non-suppressed)
+// diagnostics sorted by position. Interprocedural analyzers need the
+// shared-context entry point RunPass instead.
 func Run(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
+	return RunPass(pkg, a, NewContext(nil))
+}
+
+// RunPass executes one analyzer over one loaded package under the given
+// run context, so facts exported by earlier passes (and packages) are
+// visible and suppression usage accumulates run-wide.
+func RunPass(pkg *Package, a *Analyzer, ctx *Context) ([]Diagnostic, error) {
+	ctx.registerFiles(pkg.Fset, pkg.Files)
 	pass := &Pass{
 		Analyzer: a,
 		Fset:     pkg.Fset,
 		Files:    pkg.Files,
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
+		Ctx:      ctx,
 	}
-	pass.buildSuppressions()
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
 	}
@@ -155,6 +145,13 @@ func Run(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
 // on the same line is commentary.
 func FuncAnnotated(decl *ast.FuncDecl, marker string) bool {
 	return commentHasDirective(decl.Doc, "lad:"+marker)
+}
+
+// FuncDirective returns the argument of a "//lad:<marker> <arg>" line
+// in a function's doc comment, and whether the directive is present at
+// all. An argument-less directive returns ("", true).
+func FuncDirective(decl *ast.FuncDecl, marker string) (string, bool) {
+	return directiveArg(decl.Doc, "lad:"+marker)
 }
 
 // FieldDirective returns the argument of a "//lad:<marker> <arg>" line

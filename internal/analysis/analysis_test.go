@@ -1,0 +1,104 @@
+package analysis_test
+
+import (
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// writeModule lays out a throwaway single-file module and returns its
+// root.
+func writeModule(t *testing.T, pkgDir, file, src string) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module throwaway\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, pkgDir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, file), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// A package that fails type-checking must surface the first type error,
+// not come back as a half-checked package the analyzers would then
+// misread.
+func TestLoaderReportsTypeErrors(t *testing.T) {
+	root := writeModule(t, "broken", "broken.go", `package broken
+
+func f() int { return "not an int" }
+`)
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = loader.LoadDir(filepath.Join(root, "broken"), "throwaway/broken")
+	if err == nil {
+		t.Fatal("expected a type error, got none")
+	}
+	if !strings.Contains(err.Error(), "type errors in throwaway/broken") {
+		t.Errorf("error should name the failing package, got: %v", err)
+	}
+}
+
+// A missing directory must error rather than return an empty package.
+func TestLoaderMissingDir(t *testing.T) {
+	root := writeModule(t, "ok", "ok.go", "package ok\n")
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.LoadDir(filepath.Join(root, "absent"), "throwaway/absent"); err == nil {
+		t.Fatal("expected an error for a nonexistent package directory")
+	}
+}
+
+type markFact struct{ N int }
+
+func (*markFact) AFact() {}
+
+type otherFact struct{ S string }
+
+func (*otherFact) AFact() {}
+
+// Facts are keyed by (object, concrete type): re-export replaces,
+// import copies by type, and distinct fact types coexist on one object.
+func TestFactStore(t *testing.T) {
+	s := analysis.NewFactStore()
+	obj := types.NewVar(token.NoPos, nil, "x", types.Typ[types.Int])
+
+	var got markFact
+	if s.Import(obj, &got) {
+		t.Fatal("import from empty store should fail")
+	}
+
+	s.Export(obj, &markFact{N: 1})
+	s.Export(obj, &otherFact{S: "side"})
+	s.Export(obj, &markFact{N: 2}) // replaces N:1
+
+	if !s.Import(obj, &got) || got.N != 2 {
+		t.Errorf("want replaced fact N=2, got %+v", got)
+	}
+	var other otherFact
+	if !s.Import(obj, &other) || other.S != "side" {
+		t.Errorf("distinct fact types must coexist, got %+v", other)
+	}
+	if s.Has(types.NewVar(token.NoPos, nil, "y", types.Typ[types.Int]), &got) {
+		t.Error("facts must not leak across objects")
+	}
+
+	// nil object / nil fact are ignored, not panics.
+	s.Export(nil, &markFact{})
+	if s.Import(nil, &got) || s.Has(obj, nil) {
+		t.Error("nil object/fact must be inert")
+	}
+}

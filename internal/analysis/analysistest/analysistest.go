@@ -54,30 +54,95 @@ func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
 	}
 }
 
-func runFixture(t *testing.T, root string, a *analysis.Analyzer, fixture string) {
+// RunSuite runs several analyzers over each fixture under ONE shared
+// run context: facts flow between analyzers and packages, Finish hooks
+// run at the end, and want comments are matched against the combined
+// diagnostics. Fixture packages named in deps are loaded first (in
+// order, registered under their bare names) so the fixture itself can
+// import them — the way interprocedural analyzers see dependency facts
+// in the real driver. Want comments in dep files count too.
+func RunSuite(t *testing.T, analyzers []*analysis.Analyzer, deps []string, fixtures ...string) {
 	t.Helper()
-	dir, err := filepath.Abs(filepath.Join("testdata", "src", fixture))
-	if err != nil {
-		t.Fatal(err)
-	}
-	loader, err := analysis.NewLoader(root)
+	root, err := moduleRoot()
 	if err != nil {
 		t.Fatalf("analysistest: %v", err)
 	}
-	pkg, err := loader.LoadDir(dir, fixture)
-	if err != nil {
-		t.Fatalf("analysistest: loading fixture %s: %v", fixture, err)
+	for _, fixture := range fixtures {
+		t.Run(fixture, func(t *testing.T) {
+			runSuiteFixture(t, root, analyzers, deps, fixture)
+		})
 	}
+}
+
+func runFixture(t *testing.T, root string, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	_, pkg := loadFixturePkg(t, root, nil, fixture)
 	diags, err := analysis.Run(pkg, a)
 	if err != nil {
 		t.Fatalf("analysistest: running %s on %s: %v", a.Name, fixture, err)
 	}
+	matchWants(t, []*analysis.Package{pkg}, diags)
+}
 
-	wants, err := collectWants(pkg)
+func runSuiteFixture(t *testing.T, root string, analyzers []*analysis.Analyzer, deps []string, fixture string) {
+	t.Helper()
+	loader, _ := loadFixturePkg(t, root, deps, fixture)
+	ctx := analysis.NewContext(loader)
+	ctx.KnownAnalyzers = map[string]bool{}
+	for _, a := range analyzers {
+		ctx.KnownAnalyzers[a.Name] = true
+	}
+	pkgs := loader.Packages()
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			ds, err := analysis.RunPass(pkg, a, ctx)
+			if err != nil {
+				t.Fatalf("analysistest: running %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			diags = append(diags, ds...)
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			diags = append(diags, a.Finish(ctx)...)
+		}
+	}
+	matchWants(t, pkgs, diags)
+}
+
+// loadFixturePkg builds a loader rooted at the module, preloads the dep
+// fixtures under their bare import paths, and loads the main fixture.
+func loadFixturePkg(t *testing.T, root string, deps []string, fixture string) (*analysis.Loader, *analysis.Package) {
+	t.Helper()
+	loader, err := analysis.NewLoader(root)
 	if err != nil {
 		t.Fatalf("analysistest: %v", err)
 	}
+	var pkg *analysis.Package
+	for _, name := range append(append([]string{}, deps...), fixture) {
+		dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err = loader.LoadDir(dir, name)
+		if err != nil {
+			t.Fatalf("analysistest: loading fixture %s: %v", name, err)
+		}
+	}
+	return loader, pkg
+}
 
+func matchWants(t *testing.T, pkgs []*analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		ws, err := collectWants(pkg)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		wants = append(wants, ws...)
+	}
 	for _, d := range diags {
 		matched := false
 		for _, w := range wants {

@@ -1,0 +1,109 @@
+package callgraph
+
+import (
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func loadFixture(t *testing.T) *analysis.Package {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := dir
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			t.Fatal("no go.mod above working directory")
+		}
+		root = parent
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join(dir, "testdata", "src", "callgraphfixture"), "callgraphfixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func funcByName(t *testing.T, g *Graph, name string) *types.Func {
+	t.Helper()
+	for _, f := range g.Functions() {
+		if f.Name() == name {
+			return f
+		}
+	}
+	t.Fatalf("function %q not in graph", name)
+	return nil
+}
+
+func TestStaticAndDynamicEdges(t *testing.T) {
+	pkg := loadFixture(t)
+	g := Build(pkg)
+
+	caller := funcByName(t, g, "caller")
+	edges := g.Calls(caller)
+
+	var static, dynamic, inGo int
+	byName := map[string]int{}
+	for _, e := range edges {
+		if e.InGo {
+			inGo++
+			if e.Callee == nil || e.Callee.Name() != "helper" {
+				t.Errorf("go-spawned edge resolved to %v, want helper", e.Callee)
+			}
+			continue
+		}
+		if e.Callee == nil {
+			dynamic++
+			continue
+		}
+		static++
+		byName[e.Callee.Name()]++
+	}
+	if static != 3 {
+		t.Errorf("static edges = %d, want 3 (bump, read, helper): %v", static, byName)
+	}
+	if byName["bump"] != 1 || byName["read"] != 1 || byName["helper"] != 1 {
+		t.Errorf("static targets = %v, want bump/read/helper once each", byName)
+	}
+	// b.bump() through the interface and f() through the func value.
+	if dynamic != 2 {
+		t.Errorf("dynamic edges = %d, want 2", dynamic)
+	}
+	if inGo != 1 {
+		t.Errorf("go-spawned edges = %d, want 1", inGo)
+	}
+
+	callees := g.StaticCallees(caller)
+	if len(callees) != 3 {
+		t.Errorf("StaticCallees = %d targets, want 3 (go-spawned helper excluded)", len(callees))
+	}
+}
+
+func TestClosureAttribution(t *testing.T) {
+	pkg := loadFixture(t)
+	g := Build(pkg)
+	cu := funcByName(t, g, "closureUser")
+	callees := g.StaticCallees(cu)
+	found := false
+	for _, c := range callees {
+		if c.Name() == "helper" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("closureUser's literal call to helper not attributed to closureUser: %v", callees)
+	}
+}

@@ -1,0 +1,33 @@
+// Package callgraphfixture exercises the call-graph builder: static
+// calls, concrete-receiver method calls, and the conservative dynamic
+// fallbacks.
+package callgraphfixture
+
+type counter struct{ n int }
+
+func (c *counter) bump() { c.n++ }
+
+func (c counter) read() int { return c.n }
+
+type bumper interface{ bump() }
+
+func helper() int { return 1 }
+
+func caller() int {
+	c := &counter{}
+	c.bump()                     // static: (*counter).bump
+	_ = c.read()                 // static: counter.read
+	var b bumper = c             // interface value
+	b.bump()                     // dynamic: interface dispatch
+	f := helper                  // func value
+	_ = f()                      // dynamic: func value call
+	go func() { _ = helper() }() // helper edge marked InGo
+	xs := make([]int, 2)         // builtin: no edge
+	_ = float64(xs[0])           // conversion: no edge
+	return helper()              // static: helper
+}
+
+func closureUser() {
+	f := func() { helper() } // helper edge attributed to closureUser
+	f()
+}

@@ -1,0 +1,157 @@
+package analysis
+
+// Context is the whole-run state shared by every Pass of one analysis
+// invocation. It is what turns the per-package framework into an
+// interprocedural one:
+//
+//   - Facts carries analyzer conclusions across package boundaries (the
+//     driver analyzes packages in dependency order, so a Pass can always
+//     import the facts of everything it imports).
+//   - Loader gives analyzers access to packages their subject does NOT
+//     import — wirecompat compares repro/client against
+//     repro/internal/serve, which the client deliberately never imports.
+//   - The suppression tables are run-global: //lint:ignore directives
+//     are collected once per file, every suppression that actually
+//     absorbs a diagnostic is recorded, and the suppressions analyzer
+//     reports the leftovers (a directive that suppresses nothing is
+//     stale documentation).
+//   - State gives analyzers a per-run scratch area for cross-package
+//     aggregates (lockorder's global lock-class graph), read back by
+//     their Finish hooks.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one //lint:ignore occurrence, reasoned or not.
+type Directive struct {
+	Pos    token.Position
+	Names  []string // analyzer names listed (possibly "ladvet/"-prefixed)
+	Reason bool     // a justification followed the name list
+}
+
+// Context carries cross-package analysis state for one run.
+type Context struct {
+	// Loader is the module loader of the run; nil in single-package
+	// compatibility mode (the plain Run entry point).
+	Loader *Loader
+	// Facts is the run's shared fact store.
+	Facts *FactStore
+	// KnownAnalyzers names every analyzer registered with the driver, so
+	// the suppressions analyzer can flag directives naming checks that do
+	// not exist. Nil disables the unknown-name check.
+	KnownAnalyzers map[string]bool
+
+	state map[string]any
+
+	suppressed map[string]map[int][]string // filename → line → reasoned names
+	directives []Directive
+	used       map[string]map[int]bool // filename → directive line → absorbed a diagnostic
+	seenFiles  map[*ast.File]bool
+}
+
+// NewContext returns a fresh run context. loader may be nil when no
+// cross-package loading is needed.
+func NewContext(loader *Loader) *Context {
+	return &Context{
+		Loader:     loader,
+		Facts:      NewFactStore(),
+		state:      make(map[string]any),
+		suppressed: make(map[string]map[int][]string),
+		used:       make(map[string]map[int]bool),
+		seenFiles:  make(map[*ast.File]bool),
+	}
+}
+
+// State returns the named analyzer's run-wide scratch value, creating it
+// with init on first use. Lockorder stashes its global lock-class graph
+// here between per-package passes and its Finish hook.
+func (c *Context) State(analyzer string, init func() any) any {
+	v, ok := c.state[analyzer]
+	if !ok {
+		v = init()
+		c.state[analyzer] = v
+	}
+	return v
+}
+
+// registerFiles scans each file's comments for lint:ignore directives,
+// once per file across the whole run. The accepted form is
+// staticcheck's:
+//
+//	//lint:ignore check1[,check2,...] reason
+//
+// A directive with no reason is recorded (so the suppressions analyzer
+// can report it) but NOT honored — the point of the mechanism is that
+// every silenced finding documents why it is acceptable.
+func (c *Context) registerFiles(fset *token.FileSet, files []*ast.File) {
+	for _, f := range files {
+		if c.seenFiles[f] {
+			continue
+		}
+		c.seenFiles[f] = true
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				text, ok := strings.CutPrefix(cm.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(cm.Pos())
+				names := strings.Split(fields[0], ",")
+				c.directives = append(c.directives, Directive{
+					Pos:    pos,
+					Names:  names,
+					Reason: len(fields) >= 2,
+				})
+				if len(fields) < 2 {
+					continue // no reason given: directive not honored
+				}
+				byLine := c.suppressed[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					c.suppressed[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], names...)
+			}
+		}
+	}
+}
+
+// SuppressedAt reports whether a reasoned //lint:ignore directive on
+// pos's line (or the line directly above) names analyzer, and records
+// the directive as used when it does. Finish hooks call this directly;
+// Pass.Reportf routes through it.
+func (c *Context) SuppressedAt(analyzer string, pos token.Position) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range c.suppressed[pos.Filename][line] {
+			if name == analyzer || name == "ladvet/"+analyzer {
+				byLine := c.used[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]bool)
+					c.used[pos.Filename] = byLine
+				}
+				byLine[line] = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Directives returns every //lint:ignore occurrence registered so far,
+// in registration order.
+func (c *Context) Directives() []Directive {
+	return c.directives
+}
+
+// DirectiveUsed reports whether the directive at (file, line) absorbed
+// at least one diagnostic during this run.
+func (c *Context) DirectiveUsed(file string, line int) bool {
+	return c.used[file][line]
+}

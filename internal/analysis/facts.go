@@ -1,0 +1,85 @@
+package analysis
+
+// Facts are how analyzers become interprocedural without re-analyzing
+// callees at every call site: an analyzer visiting a package in
+// dependency order attaches conclusions ("this function allocates",
+// "this helper requires p.mu held") to types.Objects, and analyzers of
+// downstream packages import them. This mirrors x/tools'
+// analysis.Fact, with one deliberate simplification: the whole run
+// shares a single token.FileSet and types.Package graph (the Loader
+// type-checks everything in one process), so facts are plain in-memory
+// values keyed by object identity — no gob serialization, no fact
+// surrogates for export data.
+
+import (
+	"go/types"
+	"reflect"
+)
+
+// Fact is a piece of analyzer-derived information attached to a
+// types.Object. Implementations must be pointer types; the AFact marker
+// method keeps arbitrary values from being stored by accident.
+type Fact interface{ AFact() }
+
+// FactStore holds every exported fact of one analysis run. Facts are
+// keyed by (object, concrete fact type): one object can carry one fact
+// of each type, and any analyzer may import any fact type — the
+// requiresheld analyzer's lock preconditions, for example, feed both
+// guardedby's and lockorder's entry states.
+type FactStore struct {
+	facts map[types.Object][]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{facts: make(map[types.Object][]Fact)}
+}
+
+// Export attaches fact to obj, replacing an existing fact of the same
+// concrete type.
+func (s *FactStore) Export(obj types.Object, fact Fact) {
+	if obj == nil || fact == nil {
+		return
+	}
+	t := reflect.TypeOf(fact)
+	list := s.facts[obj]
+	for i, old := range list {
+		if reflect.TypeOf(old) == t {
+			list[i] = fact
+			return
+		}
+	}
+	s.facts[obj] = append(list, fact)
+}
+
+// Import copies obj's fact of ptr's concrete type into ptr, reporting
+// whether one was found. ptr must be a non-nil pointer to a fact value,
+// exactly as with x/tools' Pass.ImportObjectFact.
+func (s *FactStore) Import(obj types.Object, ptr Fact) bool {
+	if s == nil || obj == nil || ptr == nil {
+		return false
+	}
+	t := reflect.TypeOf(ptr)
+	for _, f := range s.facts[obj] {
+		if reflect.TypeOf(f) == t {
+			reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+// Has reports whether obj carries a fact of ptr's concrete type without
+// copying it.
+func (s *FactStore) Has(obj types.Object, ptr Fact) bool {
+	if s == nil || obj == nil || ptr == nil {
+		return false
+	}
+	t := reflect.TypeOf(ptr)
+	for _, f := range s.facts[obj] {
+		if reflect.TypeOf(f) == t {
+			return true
+		}
+	}
+	return false
+}

@@ -5,11 +5,10 @@
 //
 // (where mu names a sync.Mutex / sync.RWMutex sibling field) may only be
 // accessed while that mutex is held on the same base value: the analyzer
-// simulates lock state sequentially through each function body —
-// Lock/Unlock calls, defer'd Unlocks, if/else joins (a branch that
-// returns doesn't constrain the code after the join), loops, and
-// switches — and reports any guarded-field access at a point where the
-// base's mutex is not provably held.
+// simulates lock state sequentially through each function body (the
+// shared locksim engine — Lock/Unlock calls, defer'd Unlocks, if/else
+// joins, loops, switches) and reports any guarded-field access at a
+// point where the base's mutex is not provably held.
 //
 // The variant
 //
@@ -22,13 +21,18 @@
 //
 // Exemptions, matching the repository's conventions:
 //
-//   - functions whose name ends in "Locked" assert caller-holds-lock;
-//     their bodies are not simulated (the convention is checked at
-//     their call sites, which must hold the lock to call them)
+//   - functions annotated //lad:requires <mu> are simulated with that
+//     mutex already held — the declared precondition IS the entry state
+//     (requiresheld checks the call sites)
+//   - functions whose name ends in "Locked" WITHOUT a //lad:requires
+//     annotation assert caller-holds-lock informally; their bodies are
+//     not simulated (annotating them upgrades the convention to a
+//     checked contract)
 //   - accesses through provably-fresh locals (x := &T{...} / new(T) in
 //     the same function) are exempt: nothing else can see the value yet
 //   - function literals are simulated with empty lock state — a closure
-//     runs later, so it must acquire locks itself
+//     runs later, so it must acquire locks itself (deferred literals
+//     inherit the current state: the defer-unlock idiom)
 //
 // Only fields declared in the analyzed package can be annotated; the
 // guarded state in this repository (detector pool entries, metrics
@@ -43,6 +47,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/locksim"
 )
 
 // Analyzer is the guardedby check.
@@ -68,16 +73,24 @@ func run(pass *analysis.Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			if strings.HasSuffix(fd.Name.Name, "Locked") {
-				continue // caller-holds-lock convention
+			entry := locksim.State{}
+			req, has, err := locksim.ResolveRequires(pass, fd)
+			switch {
+			case has && err == nil:
+				entry[req.Key()] = locksim.Lock{Obj: req.Field}
+			case has:
+				// Malformed directive: requiresheld reports it; here we
+				// just get no entry state.
+			case strings.HasSuffix(fd.Name.Name, "Locked"):
+				continue // unchecked caller-holds-lock convention
 			}
-			s := &sim{
+			c := &checker{
 				pass:    pass,
 				guards:  guards,
 				fresh:   freshLocals(pass, fd),
 				inSetup: analysis.FuncAnnotated(fd, "setup"),
 			}
-			s.block(fd.Body, state{})
+			c.simulate(fd.Body, entry)
 		}
 	}
 	return nil
@@ -167,247 +180,52 @@ func freshLocals(pass *analysis.Pass, fd *ast.FuncDecl) map[string]bool {
 	return fresh
 }
 
-// state is the set of held-lock keys, e.g. {"p.mu", "shard.mu"}.
-type state map[string]bool
-
-func (st state) clone() state {
-	c := make(state, len(st))
-	for k := range st {
-		c[k] = true
-	}
-	return c
-}
-
-func intersect(a, b state) state {
-	out := state{}
-	for k := range a {
-		if b[k] {
-			out[k] = true
-		}
-	}
-	return out
-}
-
-type sim struct {
+// checker reports guarded-field accesses made without the mutex held,
+// driving the shared locksim simulation.
+type checker struct {
 	pass    *analysis.Pass
 	guards  map[types.Object]guard
 	fresh   map[string]bool
 	inSetup bool
 }
 
-func (s *sim) block(b *ast.BlockStmt, st state) state {
-	for _, stmt := range b.List {
-		st = s.stmt(stmt, st)
+func (c *checker) simulate(body *ast.BlockStmt, entry locksim.State) {
+	s := &locksim.Sim{
+		Pass: c.pass,
+		Hooks: locksim.Hooks{
+			OnAccess: c.access,
+			OnFuncLit: func(lit *ast.FuncLit, entry locksim.State) {
+				// Fresh-local knowledge does not transfer: by the time a
+				// closure runs, its captured value may be shared.
+				inner := &checker{pass: c.pass, guards: c.guards, fresh: map[string]bool{}, inSetup: c.inSetup}
+				inner.simulate(lit.Body, entry)
+			},
+		},
 	}
-	return st
+	s.Run(body, entry)
 }
 
-func (s *sim) stmt(stmt ast.Stmt, st state) state {
-	switch stmt := stmt.(type) {
-	case nil:
-		return st
-	case *ast.BlockStmt:
-		return s.block(stmt, st.clone())
-	case *ast.ExprStmt:
-		if key, op, ok := lockOp(s.pass, stmt.X); ok {
-			if op == "lock" {
-				st = st.clone()
-				st[key] = true
-			} else {
-				st = st.clone()
-				delete(st, key)
-			}
-			return st
-		}
-		s.check(stmt.X, st, false)
-		return st
-	case *ast.DeferStmt:
-		// A deferred Unlock runs at function exit; it does not change
-		// the state at this point. A deferred closure is simulated with
-		// the current state (it sees the locks held here only if they
-		// are still held at exit — good enough for the tree's
-		// defer-unlock idiom).
-		if _, _, ok := lockOp(s.pass, stmt.Call); ok {
-			return st
-		}
-		if lit, ok := ast.Unparen(stmt.Call.Fun).(*ast.FuncLit); ok {
-			s.funcLit(lit, st.clone())
-			return st
-		}
-		s.check(stmt.Call, st, false)
-		return st
-	case *ast.GoStmt:
-		if lit, ok := ast.Unparen(stmt.Call.Fun).(*ast.FuncLit); ok {
-			s.funcLit(lit, state{}) // runs concurrently: no inherited locks
-			for _, arg := range stmt.Call.Args {
-				s.check(arg, st, false)
-			}
-			return st
-		}
-		s.check(stmt.Call, st, false)
-		return st
-	case *ast.AssignStmt:
-		for _, rhs := range stmt.Rhs {
-			s.check(rhs, st, false)
-		}
-		for _, lhs := range stmt.Lhs {
-			s.check(lhs, st, true)
-		}
-		return st
-	case *ast.IncDecStmt:
-		s.check(stmt.X, st, true)
-		return st
-	case *ast.SendStmt:
-		s.check(stmt.Chan, st, false)
-		s.check(stmt.Value, st, false)
-		return st
-	case *ast.ReturnStmt:
-		for _, r := range stmt.Results {
-			s.check(r, st, false)
-		}
-		return st
-	case *ast.IfStmt:
-		st = s.stmt(stmt.Init, st)
-		s.check(stmt.Cond, st, false)
-		thenEnd := s.block(stmt.Body, st.clone())
-		elseEnd := st
-		if stmt.Else != nil {
-			elseEnd = s.stmt(stmt.Else, st.clone())
-		}
-		thenTerm := terminates(stmt.Body)
-		elseTerm := stmt.Else != nil && terminates(stmt.Else)
-		switch {
-		case thenTerm && elseTerm:
-			return st
-		case thenTerm:
-			return elseEnd
-		case elseTerm:
-			return thenEnd
-		default:
-			return intersect(thenEnd, elseEnd)
-		}
-	case *ast.ForStmt:
-		st = s.stmt(stmt.Init, st)
-		s.check(stmt.Cond, st, false)
-		bodyEnd := s.block(stmt.Body, st.clone())
-		bodyEnd = s.stmt(stmt.Post, bodyEnd)
-		return intersect(st, bodyEnd)
-	case *ast.RangeStmt:
-		s.check(stmt.X, st, false)
-		bodyEnd := s.block(stmt.Body, st.clone())
-		return intersect(st, bodyEnd)
-	case *ast.SwitchStmt:
-		st = s.stmt(stmt.Init, st)
-		s.check(stmt.Tag, st, false)
-		return s.clauses(stmt.Body, st)
-	case *ast.TypeSwitchStmt:
-		st = s.stmt(stmt.Init, st)
-		return s.clauses(stmt.Body, st)
-	case *ast.SelectStmt:
-		return s.clauses(stmt.Body, st)
-	case *ast.LabeledStmt:
-		return s.stmt(stmt.Stmt, st)
-	case *ast.DeclStmt:
-		if gd, ok := stmt.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, v := range vs.Values {
-						s.check(v, st, false)
-					}
-				}
-			}
-		}
-		return st
-	default:
-		return st
-	}
-}
-
-// clauses simulates each case of a switch/select from the entry state
-// and joins with intersection; the entry state itself participates in
-// the join (a switch may match no case).
-func (s *sim) clauses(body *ast.BlockStmt, st state) state {
-	merged := st
-	for _, clause := range body.List {
-		var stmts []ast.Stmt
-		switch c := clause.(type) {
-		case *ast.CaseClause:
-			for _, e := range c.List {
-				s.check(e, st, false)
-			}
-			stmts = c.Body
-		case *ast.CommClause:
-			end := st.clone()
-			end = s.stmt(c.Comm, end)
-			end = s.stmtsFrom(c.Body, end)
-			if !stmtsTerminate(c.Body) {
-				merged = intersect(merged, end)
-			}
-			continue
-		default:
-			continue
-		}
-		end := s.stmtsFrom(stmts, st.clone())
-		if !stmtsTerminate(stmts) {
-			merged = intersect(merged, end)
-		}
-	}
-	return merged
-}
-
-func (s *sim) stmtsFrom(list []ast.Stmt, st state) state {
-	for _, stmt := range list {
-		st = s.stmt(stmt, st)
-	}
-	return st
-}
-
-// funcLit simulates a function literal body under the given entry
-// state. Fresh-local knowledge does not transfer: by the time a closure
-// runs, its captured value may be shared.
-func (s *sim) funcLit(lit *ast.FuncLit, st state) {
-	inner := &sim{pass: s.pass, guards: s.guards, fresh: map[string]bool{}, inSetup: s.inSetup}
-	inner.block(lit.Body, st)
-}
-
-// check inspects an expression for guarded-field accesses under st.
-func (s *sim) check(e ast.Expr, st state, write bool) {
-	if e == nil {
-		return
-	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			s.funcLit(n, state{})
-			return false
-		case *ast.SelectorExpr:
-			s.selector(n, st, write)
-		}
-		return true
-	})
-}
-
-func (s *sim) selector(sel *ast.SelectorExpr, st state, write bool) {
-	selection, ok := s.pass.Info.Selections[sel]
+func (c *checker) access(sel *ast.SelectorExpr, held locksim.State, write bool) {
+	selection, ok := c.pass.Info.Selections[sel]
 	if !ok || selection.Kind() != types.FieldVal {
 		return
 	}
-	g, ok := s.guards[selection.Obj()]
+	g, ok := c.guards[selection.Obj()]
 	if !ok {
 		return
 	}
-	if id := rootIdent(sel.X); id != nil && s.fresh[id.Name] {
+	if id := rootIdent(sel.X); id != nil && c.fresh[id.Name] {
 		return
 	}
 	if g.setup {
-		if write && !s.inSetup {
-			s.pass.Reportf(sel.Sel.Pos(), "write to setup-guarded field %q outside a //lad:setup function: these fields are configure-before-serving", sel.Sel.Name)
+		if write && !c.inSetup {
+			c.pass.Reportf(sel.Sel.Pos(), "write to setup-guarded field %q outside a //lad:setup function: these fields are configure-before-serving", sel.Sel.Name)
 		}
 		return
 	}
-	key := analysis.ExprString(s.pass.Fset, sel.X) + "." + g.mu
-	if !st[key] {
-		s.pass.Reportf(sel.Sel.Pos(), "access to field %q (//lad:guardedby %s) without holding %s", sel.Sel.Name, g.mu, key)
+	key := analysis.ExprString(c.pass.Fset, sel.X) + "." + g.mu
+	if _, ok := held[key]; !ok {
+		c.pass.Reportf(sel.Sel.Pos(), "access to field %q (//lad:guardedby %s) without holding %s", sel.Sel.Name, g.mu, key)
 	}
 }
 
@@ -430,66 +248,4 @@ func rootIdent(e ast.Expr) *ast.Ident {
 			return nil
 		}
 	}
-}
-
-// lockOp recognizes mu.Lock/RLock/Unlock/RUnlock calls on sync mutexes
-// and returns the lock-state key ("<base-expr>" of the mutex selector).
-func lockOp(pass *analysis.Pass, e ast.Expr) (key, op string, ok bool) {
-	call, isCall := ast.Unparen(e).(*ast.CallExpr)
-	if !isCall {
-		return "", "", false
-	}
-	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !isSel {
-		return "", "", false
-	}
-	switch sel.Sel.Name {
-	case "Lock", "RLock":
-		op = "lock"
-	case "Unlock", "RUnlock":
-		op = "unlock"
-	default:
-		return "", "", false
-	}
-	obj := pass.Info.Uses[sel.Sel]
-	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
-		return "", "", false
-	}
-	return analysis.ExprString(pass.Fset, sel.X), op, true
-}
-
-// terminates reports whether control cannot flow past the statement
-// (ends in return, panic-like call, or an unconditional branch).
-func terminates(s ast.Stmt) bool {
-	switch s := s.(type) {
-	case *ast.ReturnStmt:
-		return true
-	case *ast.BranchStmt:
-		return s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO
-	case *ast.ExprStmt:
-		call, ok := ast.Unparen(s.X).(*ast.CallExpr)
-		if !ok {
-			return false
-		}
-		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
-			return true
-		}
-		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-			name := sel.Sel.Name
-			return name == "Exit" || name == "Fatal" || name == "Fatalf"
-		}
-		return false
-	case *ast.BlockStmt:
-		return stmtsTerminate(s.List)
-	case *ast.IfStmt:
-		return s.Else != nil && terminates(s.Body) && terminates(s.Else)
-	}
-	return false
-}
-
-func stmtsTerminate(list []ast.Stmt) bool {
-	if len(list) == 0 {
-		return false
-	}
-	return terminates(list[len(list)-1])
 }

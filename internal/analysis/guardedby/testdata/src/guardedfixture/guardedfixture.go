@@ -70,6 +70,25 @@ func (r *registry) putLocked(k string) {
 	r.items[k] = 3
 }
 
+// dropLocked upgrades the convention to a checked contract: simulated
+// with r.mu held, so the guarded access is clean — but releasing and
+// touching again is caught even inside a requires-annotated helper.
+//
+//lad:requires mu
+func (r *registry) dropLocked(k string) {
+	delete(r.items, k)
+	r.mu.Unlock()
+	r.items[k] = 0 // want `without holding r.mu`
+}
+
+// scrub declares its precondition on a parameter's mutex rather than a
+// receiver's.
+//
+//lad:requires reg.mu
+func scrub(reg *registry, k string) {
+	reg.items[k] = 0
+}
+
 // closures run later: a goroutine body starts with no inherited locks,
 // and a closure that takes the lock itself is fine.
 func (r *registry) closures() {

@@ -101,9 +101,14 @@ func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
 	return os.Open(file)
 }
 
-// Import implements types.Importer: module-internal paths are loaded
-// from source recursively; everything else comes from gc export data.
+// Import implements types.Importer: already-loaded packages (including
+// fixture packages tests pre-register under bare paths via LoadDir) are
+// returned from the cache, module-internal paths are loaded from source
+// recursively, and everything else comes from gc export data.
 func (l *Loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg.Types, nil
+	}
 	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
 		dir := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(path, l.ModPath)))
 		pkg, err := l.LoadDir(dir, path)
@@ -244,6 +249,38 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	}
 	l.pkgs[importPath] = pkg
 	return pkg, nil
+}
+
+// Packages returns every package loaded so far in dependency order:
+// each package appears after everything it imports that this loader
+// loaded. The interprocedural driver iterates this, so by the time an
+// analyzer visits a package, the facts of all its dependencies exist.
+func (l *Loader) Packages() []*Package {
+	paths := make([]string, 0, len(l.pkgs))
+	for path := range l.pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+
+	visited := make(map[string]bool, len(paths))
+	out := make([]*Package, 0, len(paths))
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if visited[p.ImportPath] {
+			return
+		}
+		visited[p.ImportPath] = true
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := l.pkgs[imp.Path()]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, path := range paths {
+		visit(l.pkgs[path])
+	}
+	return out
 }
 
 // goSourceFiles lists the non-test Go files of dir in sorted order.

@@ -1,0 +1,533 @@
+// Package lockorder detects deadlock hazards across the whole program:
+//
+//   - SELF-DEADLOCK: re-acquiring a sync.Mutex (or write-locking an
+//     RWMutex) that the current execution already holds — directly, or
+//     through a static call chain (f holds p.mu and calls g, and g
+//     locks p.mu). RLock-after-RLock is not flagged: recursive read
+//     locks are discouraged but do not deadlock by themselves.
+//   - LOCK-ORDER CYCLES: each simulation records "acquired B while
+//     holding A" pairs between lock CLASSES (the mutex field or
+//     variable declaration — every poolEntry.mu is one class no matter
+//     which entry), call summaries propagate acquisitions up the static
+//     call graph with receiver/parameter remapping, and the Finish hook
+//     reports every cycle in the resulting global class digraph with
+//     the witness positions of each edge.
+//
+// The analyzer reuses the locksim engine guardedby runs on, so its
+// notion of "held" matches the rest of the suite: //lad:requires
+// functions are simulated with their declared precondition held (which
+// also records the ordering edge required-lock → acquired-lock at
+// their acquisition sites), deferred unlocks keep the lock to function
+// exit, and go statements transfer nothing — a spawned callee's
+// acquisitions belong to its own goroutine, not the spawning caller's
+// summary.
+//
+// Function-literal bodies are simulated for their own pairs (a closure
+// that locks two mutexes contributes edges) but are not folded into
+// the enclosing function's summary: whether and when a closure runs is
+// not knowable statically, so attributing its acquisitions to every
+// caller of the encloser would manufacture false edges.
+//
+// Like every interprocedural check in the suite, dynamic dispatch is
+// not chased, and summary remapping is exact only for mutexes reached
+// as <receiver-or-parameter>.<field> — deeper chains still contribute
+// their class edges but are not matched against held keys.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/locksim"
+)
+
+// Analyzer is the lockorder check.
+var Analyzer = &analysis.Analyzer{
+	Name:   "lockorder",
+	Doc:    "mutex acquisitions must be self-consistent: no re-acquisition of a held lock, no global lock-order cycles",
+	Run:    run,
+	Finish: finish,
+}
+
+// AcqOut is one acquisition a function's execution performs, as seen by
+// its callers.
+type AcqOut struct {
+	// Obj is the lock class (mutex field or variable object).
+	Obj types.Object
+	// Read marks RLock.
+	Read bool
+	// Base says how callers remap the instance: -1 the receiver, >= 0
+	// that parameter index (the mutex is exactly base.field), -2 not
+	// remappable (only the class edge is usable).
+	Base int
+	// Field is the mutex field when Base >= -1.
+	Field *types.Var
+	// Pos is the original acquisition site (witness).
+	Pos token.Pos
+}
+
+// global is the run-wide lock-order state, kept in Context.State.
+type global struct {
+	fset      *token.FileSet
+	summaries map[*types.Func][]AcqOut
+	nodes     []types.Object
+	seen      map[types.Object]bool
+	edges     map[types.Object]map[types.Object]token.Pos
+}
+
+func state(ctx *analysis.Context) *global {
+	return ctx.State("lockorder", func() any {
+		return &global{
+			summaries: make(map[*types.Func][]AcqOut),
+			seen:      make(map[types.Object]bool),
+			edges:     make(map[types.Object]map[types.Object]token.Pos),
+		}
+	}).(*global)
+}
+
+func (g *global) edge(from, to types.Object, pos token.Pos) {
+	for _, o := range []types.Object{from, to} {
+		if !g.seen[o] {
+			g.seen[o] = true
+			g.nodes = append(g.nodes, o)
+		}
+	}
+	m := g.edges[from]
+	if m == nil {
+		m = make(map[types.Object]token.Pos)
+		g.edges[from] = m
+	}
+	if _, ok := m[to]; !ok {
+		m[to] = pos
+	}
+}
+
+// acqRec is an acquisition recorded during one function's simulation.
+type acqRec struct {
+	out AcqOut
+}
+
+// callRec is a call site recorded for the post-fixpoint phases: the
+// held snapshot, and the syntactic receiver/arguments for remapping.
+type callRec struct {
+	callee   *types.Func
+	pos      token.Pos
+	held     locksim.State
+	recvStr  string
+	recvBase int
+	argStrs  []string
+	argBases []int
+	diagOnly bool // inside a function literal: check, don't summarize
+}
+
+type funcRec struct {
+	fn    *types.Func
+	acqs  []acqRec
+	calls []callRec
+}
+
+func run(pass *analysis.Pass) error {
+	st := state(pass.Ctx)
+	st.fset = pass.Fset
+
+	var recs []*funcRec
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			entry := locksim.State{}
+			if req, has, err := locksim.ResolveRequires(pass, fd); has && err == nil {
+				entry[req.Key()] = locksim.Lock{Obj: req.Field}
+			}
+			rec := &funcRec{fn: fn}
+			c := &collector{pass: pass, st: st, rec: rec, frame: frameOf(pass, fn)}
+			c.simulate(fd.Body, entry, false)
+			recs = append(recs, rec)
+		}
+	}
+
+	// Fixpoint: fold statically-called callees' summaries into each
+	// function's summary, remapped into its frame. Cross-package callees
+	// already have summaries (dependency order).
+	for _, rec := range recs {
+		st.summaries[rec.fn] = ownSummary(rec)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, rec := range recs {
+			sum := st.summaries[rec.fn]
+			have := make(map[string]bool, len(sum))
+			for _, a := range sum {
+				have[sumKey(a)] = true
+			}
+			for _, cr := range rec.calls {
+				if cr.diagOnly {
+					continue
+				}
+				for _, a := range st.summaries[cr.callee] {
+					r := remap(a, cr)
+					if !have[sumKey(r)] {
+						have[sumKey(r)] = true
+						sum = append(sum, r)
+						changed = true
+					}
+				}
+			}
+			st.summaries[rec.fn] = sum
+		}
+	}
+
+	// Diagnostics: every call made while holding locks contributes the
+	// callee's (transitive) acquisitions as ordering edges, and a
+	// remapped acquisition of an already-held key is a self-deadlock.
+	for _, rec := range recs {
+		for _, cr := range rec.calls {
+			if len(cr.held) == 0 {
+				continue
+			}
+			reported := false
+			for _, a := range st.summaries[cr.callee] {
+				for hkey, hl := range cr.held {
+					if hl.Obj != nil && a.Obj != nil && hl.Obj != a.Obj {
+						st.edge(hl.Obj, a.Obj, cr.pos)
+					}
+					if reported {
+						continue
+					}
+					if key, ok := remapKey(a, cr); ok && key == hkey && !(a.Read && hl.Read) {
+						pass.Reportf(cr.pos, "call to %s acquires %s, which is already held here: self-deadlock (acquired at %s)",
+							cr.callee.Name(), key, st.pos(a.Pos))
+						reported = true
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ownSummary converts a function's direct acquisitions to its base
+// summary.
+func ownSummary(rec *funcRec) []AcqOut {
+	have := map[string]bool{}
+	var out []AcqOut
+	for _, a := range rec.acqs {
+		if a.out.Obj == nil {
+			continue
+		}
+		if k := sumKey(a.out); !have[k] {
+			have[k] = true
+			out = append(out, a.out)
+		}
+	}
+	return out
+}
+
+func sumKey(a AcqOut) string {
+	return fmt.Sprintf("%p/%v/%d", a.Obj, a.Read, a.Base)
+}
+
+// remap translates a callee-frame acquisition into the caller's frame
+// at one call site.
+func remap(a AcqOut, cr callRec) AcqOut {
+	out := a
+	switch {
+	case a.Base == -1:
+		out.Base = cr.recvBase
+	case a.Base >= 0 && a.Base < len(cr.argBases):
+		out.Base = cr.argBases[a.Base]
+	default:
+		out.Base = -2
+	}
+	return out
+}
+
+// remapKey computes the held-state key a callee acquisition corresponds
+// to in the caller, when the acquisition is syntactically remappable.
+func remapKey(a AcqOut, cr callRec) (string, bool) {
+	if a.Field == nil {
+		// Package-level mutex: the key is the variable expression itself,
+		// stable across functions in the same package.
+		if a.Obj != nil && a.Obj.Pkg() != nil && a.Obj.Parent() == a.Obj.Pkg().Scope() {
+			return a.Obj.Name(), true
+		}
+		return "", false
+	}
+	switch {
+	case a.Base == -1 && cr.recvStr != "":
+		return cr.recvStr + "." + a.Field.Name(), true
+	case a.Base >= 0 && a.Base < len(cr.argStrs):
+		return cr.argStrs[a.Base] + "." + a.Field.Name(), true
+	}
+	return "", false
+}
+
+func (g *global) pos(p token.Pos) string {
+	position := g.fset.Position(p)
+	return fmt.Sprintf("%s:%d", filepath.Base(position.Filename), position.Line)
+}
+
+// collector drives one function's simulation.
+type collector struct {
+	pass  *analysis.Pass
+	st    *global
+	rec   *funcRec
+	frame map[types.Object]int // receiver → -1, params → index
+}
+
+func frameOf(pass *analysis.Pass, fn *types.Func) map[types.Object]int {
+	frame := map[types.Object]int{}
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		frame[recv] = -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		frame[sig.Params().At(i)] = i
+	}
+	return frame
+}
+
+func (c *collector) simulate(body *ast.BlockStmt, entry locksim.State, diagOnly bool) {
+	s := &locksim.Sim{
+		Pass: c.pass,
+		Hooks: locksim.Hooks{
+			OnAcquire: func(key string, l locksim.Lock, call *ast.CallExpr, held locksim.State) {
+				c.acquire(key, l, call, held, diagOnly)
+			},
+			OnCall: func(call *ast.CallExpr, held locksim.State) {
+				c.call(call, held, diagOnly)
+			},
+			OnGoCall: func(call *ast.CallExpr) {
+				// Spawned work acquires on its own goroutine: no edges, no
+				// summary contribution. The spawned function's own record
+				// covers its internal pairs.
+			},
+			OnFuncLit: func(lit *ast.FuncLit, entry locksim.State) {
+				c.simulate(lit.Body, entry, true)
+			},
+		},
+	}
+	s.Run(body, entry)
+}
+
+func (c *collector) acquire(key string, l locksim.Lock, call *ast.CallExpr, held locksim.State, diagOnly bool) {
+	for hkey, hl := range held {
+		if hkey == key {
+			if !(l.Read && hl.Read) {
+				c.pass.Reportf(call.Pos(), "acquiring %s while already holding it: guaranteed self-deadlock (sync mutexes are not reentrant)", key)
+			}
+			continue
+		}
+		if hl.Obj != nil && l.Obj != nil && hl.Obj != l.Obj {
+			c.st.edge(hl.Obj, l.Obj, call.Pos())
+		}
+	}
+	if diagOnly || l.Obj == nil {
+		return
+	}
+	base, field := c.acqBase(call)
+	c.rec.acqs = append(c.rec.acqs, acqRec{out: AcqOut{
+		Obj:   l.Obj,
+		Read:  l.Read,
+		Base:  base,
+		Field: field,
+		Pos:   call.Pos(),
+	}})
+}
+
+// acqBase classifies the mutex expression of a lock call: exactly
+// <receiver-or-param>.<field> is remappable; anything else contributes
+// class edges only.
+func (c *collector) acqBase(call *ast.CallExpr) (int, *types.Var) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return -2, nil
+	}
+	mu, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return -2, nil
+	}
+	baseID, ok := ast.Unparen(mu.X).(*ast.Ident)
+	if !ok {
+		return -2, nil
+	}
+	idx, ok := c.frame[c.pass.Info.Uses[baseID]]
+	if !ok {
+		return -2, nil
+	}
+	field, _ := c.pass.Info.Uses[mu.Sel].(*types.Var)
+	if field == nil {
+		return -2, nil
+	}
+	return idx, field
+}
+
+func (c *collector) call(call *ast.CallExpr, held locksim.State, diagOnly bool) {
+	fn, ok := analysis.Callee(c.pass.Info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	cr := callRec{
+		callee:   fn,
+		pos:      call.Pos(),
+		held:     held.Clone(),
+		recvBase: -2,
+		diagOnly: diagOnly,
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isSel := c.pass.Info.Selections[sel]; isSel {
+			cr.recvStr = analysis.ExprString(c.pass.Fset, sel.X)
+			cr.recvBase = c.frameIndex(sel.X)
+		}
+	}
+	for _, arg := range call.Args {
+		cr.argStrs = append(cr.argStrs, analysis.ExprString(c.pass.Fset, arg))
+		cr.argBases = append(cr.argBases, c.frameIndex(arg))
+	}
+	c.rec.calls = append(c.rec.calls, cr)
+}
+
+func (c *collector) frameIndex(e ast.Expr) int {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return -2
+	}
+	if idx, ok := c.frame[c.pass.Info.Uses[id]]; ok {
+		return idx
+	}
+	return -2
+}
+
+// finish reports every cycle in the global lock-class digraph: each
+// strongly connected component of two or more classes (or a self-loop —
+// two instances of one class held together) is one diagnostic carrying
+// the witness position of every internal edge.
+func finish(ctx *analysis.Context) []analysis.Diagnostic {
+	st := state(ctx)
+	if st.fset == nil {
+		return nil
+	}
+	sccs := tarjan(st)
+	var diags []analysis.Diagnostic
+	for _, scc := range sccs {
+		inSCC := map[types.Object]bool{}
+		for _, o := range scc {
+			inSCC[o] = true
+		}
+		type witness struct {
+			from, to types.Object
+			pos      token.Pos
+		}
+		var ws []witness
+		for _, from := range scc {
+			for _, to := range scc {
+				if pos, ok := st.edges[from][to]; ok {
+					ws = append(ws, witness{from, to, pos})
+				}
+			}
+		}
+		if len(scc) == 1 && len(ws) == 0 {
+			continue // single node, no self-loop: not a cycle
+		}
+		sort.Slice(ws, func(i, j int) bool { return ws[i].pos < ws[j].pos })
+		var parts []string
+		for _, w := range ws {
+			parts = append(parts, fmt.Sprintf("%s -> %s at %s", st.describe(w.from), st.describe(w.to), st.pos(w.pos)))
+		}
+		position := st.fset.Position(ws[0].pos)
+		if ctx.SuppressedAt("lockorder", position) {
+			continue
+		}
+		diags = append(diags, analysis.Diagnostic{
+			Pos:      position,
+			Analyzer: "lockorder",
+			Message:  fmt.Sprintf("lock-order cycle: %s; impose one global acquisition order", strings.Join(parts, "; ")),
+		})
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos.Filename != diags[j].Pos.Filename {
+			return diags[i].Pos.Filename < diags[j].Pos.Filename
+		}
+		return diags[i].Pos.Line < diags[j].Pos.Line
+	})
+	return diags
+}
+
+// describe renders a lock class as its declaration: "mu (pool.go:12)".
+func (g *global) describe(o types.Object) string {
+	return fmt.Sprintf("%s (%s)", o.Name(), g.pos(o.Pos()))
+}
+
+// tarjan returns the strongly connected components of the class graph
+// that can participate in cycles: components of size >= 2, plus single
+// nodes with a self-edge. Deterministic: nodes are visited in first-seen
+// order, which run() populates in source order per package.
+func tarjan(g *global) [][]types.Object {
+	index := map[types.Object]int{}
+	low := map[types.Object]int{}
+	onStack := map[types.Object]bool{}
+	var stack []types.Object
+	var sccs [][]types.Object
+	next := 0
+
+	var strongconnect func(v types.Object)
+	strongconnect = func(v types.Object) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		// Deterministic neighbor order.
+		var targets []types.Object
+		for to := range g.edges[v] {
+			targets = append(targets, to)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i].Pos() < targets[j].Pos() })
+		for _, w := range targets {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []types.Object
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) >= 2 {
+				sort.Slice(scc, func(i, j int) bool { return scc[i].Pos() < scc[j].Pos() })
+				sccs = append(sccs, scc)
+			} else if _, self := g.edges[scc[0]][scc[0]]; self {
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, v := range g.nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return sccs
+}

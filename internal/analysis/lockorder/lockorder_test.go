@@ -1,0 +1,15 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockorder"
+)
+
+// RunSuite (not Run) so the Finish hook's whole-program cycle detection
+// executes.
+func TestLockOrder(t *testing.T) {
+	analysistest.RunSuite(t, []*analysis.Analyzer{lockorder.Analyzer}, nil, "lockorderfixture")
+}

@@ -1,0 +1,158 @@
+// Package lockorderfixture exercises the lockorder analyzer: direct
+// and call-mediated re-acquisition of a held mutex fire, opposite-order
+// acquisitions across functions close a class cycle reported at the
+// first witness, read-read recursion and go-spawned reversals do not.
+package lockorderfixture
+
+import "sync"
+
+type alpha struct {
+	mu   sync.Mutex
+	peer *beta
+}
+
+type beta struct {
+	mu   sync.Mutex
+	peer *alpha
+}
+
+// forward acquires beta's lock while holding alpha's; backward does the
+// opposite. Neither is wrong alone — the cycle is a whole-program fact,
+// reported once at the first witness edge.
+func (a *alpha) forward() {
+	a.mu.Lock()
+	a.peer.mu.Lock() // want `lock-order cycle: mu \(lockorderfixture\.go:\d+\) -> mu \(lockorderfixture\.go:\d+\)`
+	a.peer.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func (b *beta) backward() {
+	b.mu.Lock()
+	b.peer.mu.Lock()
+	b.peer.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// relock deadlocks immediately: sync.Mutex is not reentrant.
+func (c *counter) relock() {
+	c.mu.Lock()
+	c.mu.Lock() // want `guaranteed self-deadlock`
+	c.n++
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// bump locks internally; doubleBump calls it with the lock already
+// held — the helper loophole the call-summary propagation closes.
+func (c *counter) bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) doubleBump() {
+	c.mu.Lock()
+	c.bump() // want `call to bump acquires c\.mu, which is already held here: self-deadlock`
+	c.mu.Unlock()
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[int]int
+}
+
+// readMore re-read-locks under a read lock: discouraged, but not a
+// deadlock by itself — not flagged.
+func (t *table) readTwice() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.readMore()
+}
+
+func (t *table) readMore() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.m)
+}
+
+// upgrade write-locks under its own read lock: writers wait for
+// readers, so this deadlocks.
+func (t *table) upgrade() {
+	t.mu.RLock()
+	t.mu.Lock() // want `guaranteed self-deadlock`
+	t.m[0] = 1
+	t.mu.Unlock()
+	t.mu.RUnlock()
+}
+
+type gamma struct {
+	mu sync.Mutex
+	d  *delta
+}
+
+type delta struct {
+	mu sync.Mutex
+	g  *gamma
+}
+
+// forward's edge comes from the callee's summary (lockSelf acquires
+// delta.mu during the call), not from any syntactic Lock here.
+func (g *gamma) forward() {
+	g.mu.Lock()
+	g.d.lockSelf()
+	g.mu.Unlock()
+}
+
+func (d *delta) lockSelf() {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+// spawn acquires gamma.mu on a NEW goroutine while holding delta.mu:
+// the spawned work imposes no ordering on this caller, so no cycle
+// closes and nothing fires.
+func (d *delta) spawn() {
+	d.mu.Lock()
+	go d.g.lockMine()
+	d.mu.Unlock()
+}
+
+func (g *gamma) lockMine() {
+	g.mu.Lock()
+	g.mu.Unlock()
+}
+
+type eps struct {
+	mu sync.Mutex
+	z  *zeta
+}
+
+type zeta struct {
+	mu sync.Mutex
+	e  *eps
+}
+
+// viaClosure's ordering pair lives inside a function literal — closure
+// bodies contribute their own pairs even though they are not folded
+// into the enclosing function's summary.
+func (e *eps) viaClosure() {
+	f := func() {
+		e.mu.Lock()
+		e.z.mu.Lock() // want `lock-order cycle: mu \(lockorderfixture\.go:\d+\) -> mu \(lockorderfixture\.go:\d+\)`
+		e.z.mu.Unlock()
+		e.mu.Unlock()
+	}
+	f()
+}
+
+func (z *zeta) zBackward() {
+	z.mu.Lock()
+	z.e.mu.Lock()
+	z.e.mu.Unlock()
+	z.mu.Unlock()
+}

@@ -1,0 +1,394 @@
+// Package locksim is the shared lock-state simulation engine behind
+// guardedby, lockorder, and requiresheld. It walks one function body
+// sequentially, tracking which mutexes are provably held at every
+// point — Lock/RLock/Unlock/RUnlock calls, defer'd unlocks, if/else
+// joins (a branch that cannot fall through does not constrain the code
+// after the join), loops (entry ∩ body-end), switch/select clauses —
+// and invokes analyzer-supplied hooks at the interesting events:
+// acquisitions, releases, field accesses, calls, and function-literal
+// boundaries.
+//
+// Lock identity is two-level, and the distinction is what makes the
+// interprocedural analyzers sound:
+//
+//   - the KEY is the printed base expression plus the mutex field
+//     ("p.mu", "c.shards[i].mu") — instance identity within one
+//     function, used for held/not-held checks;
+//   - the Lock's Obj is the mutex field or variable *types.Object* —
+//     class identity across functions, used for the global lock-order
+//     graph (every poolEntry.mu is one class no matter which entry).
+package locksim
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Lock describes one held mutex.
+type Lock struct {
+	// Obj is the mutex field or package/local variable object — the lock
+	// class. Nil when the base expression is too dynamic to resolve.
+	Obj types.Object
+	// Read marks RLock acquisitions.
+	Read bool
+}
+
+// State maps held-lock keys (e.g. "p.mu") to their lock descriptions.
+type State map[string]Lock
+
+// Clone copies the state.
+func (st State) Clone() State {
+	c := make(State, len(st))
+	for k, v := range st {
+		c[k] = v
+	}
+	return c
+}
+
+// Intersect keeps only keys held in both states.
+func Intersect(a, b State) State {
+	out := State{}
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Hooks are the analyzer's event callbacks. Any hook may be nil.
+type Hooks struct {
+	// OnAcquire fires at a Lock/RLock call site, with the state as it was
+	// BEFORE the acquisition takes effect (so held still excludes key —
+	// unless it is a re-acquisition, which is exactly what lockorder
+	// checks for).
+	OnAcquire func(key string, l Lock, call *ast.CallExpr, held State)
+	// OnRelease fires at an Unlock/RUnlock call site, before key is
+	// removed. Deferred unlocks do not fire it: they change the state at
+	// function exit, which the simulation does not model.
+	OnRelease func(key string, call *ast.CallExpr, held State)
+	// OnAccess fires for every selector expression evaluated under held.
+	OnAccess func(sel *ast.SelectorExpr, held State, write bool)
+	// OnCall fires for every call expression that is not a lock
+	// operation, with the held state at the call. Calls spawned by a go
+	// statement fire with an EMPTY state: they run later, on a goroutine
+	// that holds nothing.
+	OnCall func(call *ast.CallExpr, held State)
+	// OnGoCall, when set, receives go-spawned named calls INSTEAD of
+	// OnCall. Analyzers that summarize what a function's execution
+	// acquires (lockorder) set it so spawned work is not attributed to
+	// the caller; analyzers that only care what state the callee will
+	// see (requiresheld) leave it nil and get the empty-state OnCall.
+	OnGoCall func(call *ast.CallExpr)
+	// OnFuncLit fires for every function literal instead of descending
+	// into it; entry is the state the literal's body should be simulated
+	// under (the current state for deferred literals — the defer-unlock
+	// idiom — and empty otherwise, since a closure generally runs after
+	// the locks of its creation site are gone). The hook re-enters the
+	// simulation itself if it wants the body walked.
+	OnFuncLit func(lit *ast.FuncLit, entry State)
+}
+
+// Sim simulates one function body.
+type Sim struct {
+	Pass  *analysis.Pass
+	Hooks Hooks
+}
+
+// Run simulates body from the given entry state (nil means no locks
+// held — pass the //lad:requires entry state for annotated helpers).
+func (s *Sim) Run(body *ast.BlockStmt, entry State) {
+	if entry == nil {
+		entry = State{}
+	}
+	s.block(body, entry)
+}
+
+func (s *Sim) block(b *ast.BlockStmt, st State) State {
+	for _, stmt := range b.List {
+		st = s.stmt(stmt, st)
+	}
+	return st
+}
+
+func (s *Sim) stmt(stmt ast.Stmt, st State) State {
+	switch stmt := stmt.(type) {
+	case nil:
+		return st
+	case *ast.BlockStmt:
+		return s.block(stmt, st.Clone())
+	case *ast.ExprStmt:
+		if key, l, op, ok := LockOp(s.Pass, stmt.X); ok {
+			call := ast.Unparen(stmt.X).(*ast.CallExpr)
+			st = st.Clone()
+			if op == "lock" {
+				if s.Hooks.OnAcquire != nil {
+					s.Hooks.OnAcquire(key, l, call, st)
+				}
+				st[key] = l
+			} else {
+				if s.Hooks.OnRelease != nil {
+					s.Hooks.OnRelease(key, call, st)
+				}
+				delete(st, key)
+			}
+			return st
+		}
+		s.check(stmt.X, st, false)
+		return st
+	case *ast.DeferStmt:
+		// A deferred Unlock runs at function exit; it does not change
+		// the state at this point. A deferred closure is simulated with
+		// the current state (it sees the locks held here only if they
+		// are still held at exit — good enough for the tree's
+		// defer-unlock idiom).
+		if _, _, _, ok := LockOp(s.Pass, stmt.Call); ok {
+			return st
+		}
+		if lit, ok := ast.Unparen(stmt.Call.Fun).(*ast.FuncLit); ok {
+			s.funcLit(lit, st.Clone())
+			return st
+		}
+		s.check(stmt.Call, st, false)
+		return st
+	case *ast.GoStmt:
+		if lit, ok := ast.Unparen(stmt.Call.Fun).(*ast.FuncLit); ok {
+			s.funcLit(lit, State{}) // runs concurrently: no inherited locks
+			for _, arg := range stmt.Call.Args {
+				s.check(arg, st, false)
+			}
+			return st
+		}
+		// A spawned named call runs with nothing held; its argument
+		// expressions are still evaluated here, under the current state.
+		if s.Hooks.OnGoCall != nil {
+			s.Hooks.OnGoCall(stmt.Call)
+		} else if s.Hooks.OnCall != nil {
+			s.Hooks.OnCall(stmt.Call, State{})
+		}
+		for _, arg := range stmt.Call.Args {
+			s.check(arg, st, false)
+		}
+		return st
+	case *ast.AssignStmt:
+		for _, rhs := range stmt.Rhs {
+			s.check(rhs, st, false)
+		}
+		for _, lhs := range stmt.Lhs {
+			s.check(lhs, st, true)
+		}
+		return st
+	case *ast.IncDecStmt:
+		s.check(stmt.X, st, true)
+		return st
+	case *ast.SendStmt:
+		s.check(stmt.Chan, st, false)
+		s.check(stmt.Value, st, false)
+		return st
+	case *ast.ReturnStmt:
+		for _, r := range stmt.Results {
+			s.check(r, st, false)
+		}
+		return st
+	case *ast.IfStmt:
+		st = s.stmt(stmt.Init, st)
+		s.check(stmt.Cond, st, false)
+		thenEnd := s.block(stmt.Body, st.Clone())
+		elseEnd := st
+		if stmt.Else != nil {
+			elseEnd = s.stmt(stmt.Else, st.Clone())
+		}
+		thenTerm := Terminates(stmt.Body)
+		elseTerm := stmt.Else != nil && Terminates(stmt.Else)
+		switch {
+		case thenTerm && elseTerm:
+			return st
+		case thenTerm:
+			return elseEnd
+		case elseTerm:
+			return thenEnd
+		default:
+			return Intersect(thenEnd, elseEnd)
+		}
+	case *ast.ForStmt:
+		st = s.stmt(stmt.Init, st)
+		s.check(stmt.Cond, st, false)
+		bodyEnd := s.block(stmt.Body, st.Clone())
+		bodyEnd = s.stmt(stmt.Post, bodyEnd)
+		return Intersect(st, bodyEnd)
+	case *ast.RangeStmt:
+		s.check(stmt.X, st, false)
+		bodyEnd := s.block(stmt.Body, st.Clone())
+		return Intersect(st, bodyEnd)
+	case *ast.SwitchStmt:
+		st = s.stmt(stmt.Init, st)
+		s.check(stmt.Tag, st, false)
+		return s.clauses(stmt.Body, st)
+	case *ast.TypeSwitchStmt:
+		st = s.stmt(stmt.Init, st)
+		return s.clauses(stmt.Body, st)
+	case *ast.SelectStmt:
+		return s.clauses(stmt.Body, st)
+	case *ast.LabeledStmt:
+		return s.stmt(stmt.Stmt, st)
+	case *ast.DeclStmt:
+		if gd, ok := stmt.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.check(v, st, false)
+					}
+				}
+			}
+		}
+		return st
+	default:
+		return st
+	}
+}
+
+// clauses simulates each case of a switch/select from the entry state
+// and joins with intersection; the entry state itself participates in
+// the join (a switch may match no case).
+func (s *Sim) clauses(body *ast.BlockStmt, st State) State {
+	merged := st
+	for _, clause := range body.List {
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				s.check(e, st, false)
+			}
+			end := s.stmtsFrom(c.Body, st.Clone())
+			if !stmtsTerminate(c.Body) {
+				merged = Intersect(merged, end)
+			}
+		case *ast.CommClause:
+			end := st.Clone()
+			end = s.stmt(c.Comm, end)
+			end = s.stmtsFrom(c.Body, end)
+			if !stmtsTerminate(c.Body) {
+				merged = Intersect(merged, end)
+			}
+		}
+	}
+	return merged
+}
+
+func (s *Sim) stmtsFrom(list []ast.Stmt, st State) State {
+	for _, stmt := range list {
+		st = s.stmt(stmt, st)
+	}
+	return st
+}
+
+func (s *Sim) funcLit(lit *ast.FuncLit, entry State) {
+	if s.Hooks.OnFuncLit != nil {
+		s.Hooks.OnFuncLit(lit, entry)
+	}
+}
+
+// check inspects an expression for accesses and calls under st.
+func (s *Sim) check(e ast.Expr, st State, write bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			s.funcLit(n, State{})
+			return false
+		case *ast.SelectorExpr:
+			if s.Hooks.OnAccess != nil {
+				s.Hooks.OnAccess(n, st, write)
+			}
+		case *ast.CallExpr:
+			if _, _, _, ok := LockOp(s.Pass, n); !ok && s.Hooks.OnCall != nil {
+				s.Hooks.OnCall(n, st)
+			}
+		}
+		return true
+	})
+}
+
+// LockOp recognizes mu.Lock/RLock/Unlock/RUnlock calls on sync mutexes
+// and returns the lock-state key ("<base-expr>.<field>"), the lock
+// description (class object + read mode), and "lock" or "unlock".
+func LockOp(pass *analysis.Pass, e ast.Expr) (key string, l Lock, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", Lock{}, "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", Lock{}, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return "", Lock{}, "", false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", Lock{}, "", false
+	}
+	l = Lock{Obj: lockClass(pass, sel.X), Read: strings.HasPrefix(sel.Sel.Name, "R")}
+	return analysis.ExprString(pass.Fset, sel.X), l, op, true
+}
+
+// lockClass resolves the mutex expression (the receiver of the
+// Lock/Unlock call) to the field or variable object that declares it.
+func lockClass(pass *analysis.Pass, mu ast.Expr) types.Object {
+	switch x := ast.Unparen(mu).(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[x]
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[x]; ok {
+			return sel.Obj()
+		}
+		return pass.Info.Uses[x.Sel] // package-qualified variable
+	}
+	return nil
+}
+
+// Terminates reports whether control cannot flow past the statement
+// (ends in return, panic-like call, or an unconditional branch).
+func Terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			name := sel.Sel.Name
+			return name == "Exit" || name == "Fatal" || name == "Fatalf"
+		}
+		return false
+	case *ast.BlockStmt:
+		return stmtsTerminate(s.List)
+	case *ast.IfStmt:
+		return s.Else != nil && Terminates(s.Body) && Terminates(s.Else)
+	}
+	return false
+}
+
+func stmtsTerminate(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	return Terminates(list[len(list)-1])
+}

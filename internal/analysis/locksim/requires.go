@@ -1,0 +1,116 @@
+package locksim
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Req is a resolved //lad:requires annotation: the function must be
+// called with <BaseName>.<Field> held.
+type Req struct {
+	// BaseName is the receiver or parameter name the mutex hangs off.
+	BaseName string
+	// BaseIndex is the parameter index, or -1 for the receiver.
+	BaseIndex int
+	// Field is the sync.Mutex / sync.RWMutex field object — the lock
+	// class, comparable across functions.
+	Field *types.Var
+}
+
+// Key returns the lock-state key the requirement corresponds to inside
+// the annotated function's own body (e.g. "p.mu"). It matches the keys
+// LockOp produces, so a Req can seed a simulation's entry State.
+func (r Req) Key() string { return r.BaseName + "." + r.Field.Name() }
+
+// ResolveRequires reads fd's //lad:requires directive, if any, and
+// resolves its argument against the function's receiver and parameters.
+// The argument forms are "mu" (a mutex field of the receiver) and
+// "s.mu" (a mutex field of the receiver or parameter named s). The
+// second result reports whether the directive is present; when it is
+// present but malformed, the error describes why (requiresheld reports
+// it; guardedby just skips the entry-state seeding).
+func ResolveRequires(pass *analysis.Pass, fd *ast.FuncDecl) (Req, bool, error) {
+	arg, ok := analysis.FuncDirective(fd, "requires")
+	if !ok {
+		return Req{}, false, nil
+	}
+	if arg == "" {
+		return Req{}, true, fmt.Errorf("//lad:requires needs a mutex argument, e.g. %q or %q", "mu", "s.mu")
+	}
+	base, field := "", arg
+	if i := strings.IndexByte(arg, '.'); i >= 0 {
+		base, field = arg[:i], arg[i+1:]
+		if base == "" || field == "" || strings.Contains(field, ".") {
+			return Req{}, true, fmt.Errorf("//lad:requires %s: argument must be %q or %q", arg, "mu", "base.mu")
+		}
+	}
+	fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return Req{}, true, fmt.Errorf("//lad:requires %s: function did not type-check", arg)
+	}
+	sig := fn.Type().(*types.Signature)
+
+	type candidate struct {
+		name string
+		idx  int
+		v    *types.Var
+	}
+	var cands []candidate
+	if recv := sig.Recv(); recv != nil {
+		cands = append(cands, candidate{recv.Name(), -1, recv})
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		cands = append(cands, candidate{p.Name(), i, p})
+	}
+
+	for _, c := range cands {
+		if base == "" {
+			if c.idx != -1 {
+				continue // bare "mu" resolves against the receiver only
+			}
+		} else if c.name != base {
+			continue
+		}
+		mu := lookupMutexField(c.v.Type(), field)
+		if mu == nil {
+			return Req{}, true, fmt.Errorf("//lad:requires %s: %s has no sync.Mutex/RWMutex field %q", arg, c.name, field)
+		}
+		return Req{BaseName: c.name, BaseIndex: c.idx, Field: mu}, true, nil
+	}
+	if base == "" {
+		return Req{}, true, fmt.Errorf("//lad:requires %s: function has no receiver (name the parameter: %q)", arg, "param."+field)
+	}
+	return Req{}, true, fmt.Errorf("//lad:requires %s: no receiver or parameter named %q", arg, base)
+}
+
+// lookupMutexField finds the named direct struct field of t (pointers
+// stripped) if it is a sync mutex type.
+func lookupMutexField(t types.Type, name string) *types.Var {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != name {
+			continue
+		}
+		if analysis.IsNamedType(f.Type(), "sync", "Mutex") || analysis.IsNamedType(f.Type(), "sync", "RWMutex") {
+			return f
+		}
+		return nil
+	}
+	return nil
+}

@@ -22,6 +22,28 @@
 //     arguments (the ... slice is allocated per call)
 //   - closure creation and go statements
 //
+// The check is TRANSITIVE over the static call graph: an annotated
+// function may not reach an allocating function through any chain of
+// statically resolved calls. Every declared function — annotated or
+// not — gets a silent allocation summary (an AllocFact on its
+// *types.Func), helpers propagate summaries through in-package
+// recursion by fixpoint and across packages through the run's fact
+// store (the driver analyzes packages in dependency order), and each
+// call site inside a //lad:noalloc body whose callee carries a fact is
+// reported with the full witness chain. The escape hatches compose the
+// same way as direct findings:
+//
+//   - a callee that is itself //lad:noalloc is trusted clean — its own
+//     body is checked at its own definition, so chains of annotated
+//     hot-path helpers do not re-report
+//   - a reasoned //lint:ignore on an allocating line sanctions the
+//     allocation for fact purposes too: the helper is summarized clean,
+//     so no caller up the chain re-reports the accepted allocation
+//   - dynamically dispatched sites (interface methods, func values) are
+//     NOT chased — the ladbench 0 allocs/op gate covers dynamic
+//     dispatch at runtime — and neither are standard-library callees
+//     (fmt.*, the realistic offender, is flagged directly)
+//
 // The analyzer is deliberately a lint, not an escape analysis: the few
 // annotated functions that make a justified amortized allocation (e.g.
 // the per-chunk dedup map in Detector.checkRange) document it with a
@@ -30,35 +52,172 @@
 package noalloc
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
 )
 
 // Analyzer is the noalloc check.
 var Analyzer = &analysis.Analyzer{
 	Name: "noalloc",
-	Doc:  "//lad:noalloc function bodies must not contain allocation-forcing constructs",
+	Doc:  "//lad:noalloc function bodies must not reach allocation-forcing constructs through any static call chain",
 	Run:  run,
 }
 
+// AllocFact marks a function that allocates, directly or through a
+// static call chain; Why is the human-readable witness ("allocates:
+// slice literal at probe.go:42" or "calls atN4, which ...").
+type AllocFact struct{ Why string }
+
+func (*AllocFact) AFact() {}
+
+// NoallocFact marks a //lad:noalloc-annotated function: trusted clean
+// by callers (its own body is checked at its definition).
+type NoallocFact struct{}
+
+func (*NoallocFact) AFact() {}
+
 func run(pass *analysis.Pass) error {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	annotated := map[*types.Func]bool{}
+	var order []*types.Func
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !analysis.FuncAnnotated(fd, "noalloc") {
+			if !ok || fd.Body == nil {
 				continue
 			}
-			c := &checker{pass: pass}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			order = append(order, fn)
+			if analysis.FuncAnnotated(fd, "noalloc") {
+				annotated[fn] = true
+				pass.ExportObjectFact(fn, &NoallocFact{})
+			}
+		}
+	}
+
+	// Phase 1: per-body direct analysis. Annotated bodies report their
+	// violations; every other body is silently summarized (suppression
+	// honored: a reasoned //lint:ignore keeps the helper's summary
+	// clean, sanctioning the allocation transitively).
+	for _, fn := range order {
+		fd := decls[fn]
+		if annotated[fn] {
+			c := &checker{pass: pass, report: pass.Reportf}
 			c.stmt(fd.Body, false)
+			continue
+		}
+		rec := &recorder{pass: pass}
+		c := &checker{pass: pass, report: rec.record}
+		c.stmt(fd.Body, false)
+		if rec.why != "" {
+			pass.ExportObjectFact(fn, &AllocFact{Why: rec.why})
+		}
+	}
+
+	// Phase 2: propagate summaries through in-package static calls to a
+	// fixpoint (handles helpers defined after their callers and
+	// recursion). Cross-package callees already carry facts: the driver
+	// visits packages in dependency order.
+	g := callgraph.BuildInfo(pass.Info, pass.Files)
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range order {
+			if annotated[fn] {
+				continue
+			}
+			var have AllocFact
+			if pass.ImportObjectFact(fn, &have) {
+				continue
+			}
+			if why, ok := reachesAlloc(pass, g, fn); ok {
+				pass.ExportObjectFact(fn, &AllocFact{Why: why})
+				changed = true
+			}
+		}
+	}
+
+	// Phase 3: report call sites inside annotated bodies whose callee
+	// carries an allocation summary, with the witness chain.
+	for _, fn := range order {
+		if !annotated[fn] {
+			continue
+		}
+		for _, e := range g.Calls(fn) {
+			if e.Callee == nil || e.InGo {
+				continue // dynamic / go-spawned: not chased (see package doc)
+			}
+			var trusted NoallocFact
+			if pass.ImportObjectFact(e.Callee, &trusted) {
+				continue
+			}
+			var af AllocFact
+			if !pass.ImportObjectFact(e.Callee, &af) {
+				continue
+			}
+			pass.Reportf(e.Pos, "call to %s in //lad:noalloc function reaches an allocation: %s %s",
+				e.Callee.Name(), e.Callee.Name(), af.Why)
 		}
 	}
 	return nil
 }
 
-type checker struct {
+// reachesAlloc looks for one static callee of fn that carries an
+// AllocFact, skipping trusted (annotated) callees and call sites the
+// author sanctioned with a reasoned //lint:ignore.
+func reachesAlloc(pass *analysis.Pass, g *callgraph.Graph, fn *types.Func) (string, bool) {
+	for _, e := range g.Calls(fn) {
+		if e.Callee == nil || e.InGo {
+			continue
+		}
+		var trusted NoallocFact
+		if pass.ImportObjectFact(e.Callee, &trusted) {
+			continue
+		}
+		var af AllocFact
+		if !pass.ImportObjectFact(e.Callee, &af) {
+			continue
+		}
+		if pass.SuppressedAt(e.Pos) {
+			continue
+		}
+		return fmt.Sprintf("calls %s, which %s", e.Callee.Name(), af.Why), true
+	}
+	return "", false
+}
+
+// recorder captures the first unsuppressed direct finding of a helper
+// body as a fact witness instead of a diagnostic.
+type recorder struct {
 	pass *analysis.Pass
+	why  string
+}
+
+func (r *recorder) record(pos token.Pos, format string, args ...any) {
+	if r.why != "" || r.pass.SuppressedAt(pos) {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	// The checker phrases findings for annotated bodies; a helper's
+	// summary drops the annotation clause and pins the position.
+	msg = strings.Replace(msg, " in //lad:noalloc function", "", 1)
+	p := r.pass.Fset.Position(pos)
+	r.why = fmt.Sprintf("allocates at %s:%d (%s)", filepath.Base(p.Filename), p.Line, msg)
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	report func(pos token.Pos, format string, args ...any)
 }
 
 // stmt walks statements, threading capGuarded: true while inside an if
@@ -109,7 +268,7 @@ func (c *checker) stmt(s ast.Stmt, capGuarded bool) {
 	case *ast.LabeledStmt:
 		c.stmt(s.Stmt, capGuarded)
 	case *ast.GoStmt:
-		c.pass.Reportf(s.Pos(), "go statement in //lad:noalloc function allocates a goroutine")
+		c.report(s.Pos(), "go statement in //lad:noalloc function allocates a goroutine")
 		c.expr(s.Call, capGuarded)
 	case *ast.DeferStmt:
 		c.expr(s.Call, capGuarded)
@@ -143,7 +302,7 @@ func (c *checker) assign(s *ast.AssignStmt, capGuarded bool) {
 	// String += concatenation allocates just like explicit concat.
 	if s.Tok.String() == "+=" && len(s.Lhs) == 1 {
 		if tv, ok := c.pass.Info.Types[s.Lhs[0]]; ok && isString(tv.Type) {
-			c.pass.Reportf(s.Pos(), "string concatenation in //lad:noalloc function allocates")
+			c.report(s.Pos(), "string concatenation in //lad:noalloc function allocates")
 		}
 	}
 	for _, e := range s.Rhs {
@@ -164,20 +323,20 @@ func (c *checker) expr(e ast.Expr, capGuarded bool) {
 	ast.Inspect(e, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			c.pass.Reportf(n.Pos(), "closure creation in //lad:noalloc function allocates")
+			c.report(n.Pos(), "closure creation in //lad:noalloc function allocates")
 			return false // the closure body runs under its own rules
 		case *ast.CompositeLit:
 			c.compositeLit(n)
 		case *ast.UnaryExpr:
 			if n.Op.String() == "&" {
 				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
-					c.pass.Reportf(n.Pos(), "&composite{...} in //lad:noalloc function escapes to the heap")
+					c.report(n.Pos(), "&composite{...} in //lad:noalloc function escapes to the heap")
 				}
 			}
 		case *ast.BinaryExpr:
 			if n.Op.String() == "+" {
 				if tv, ok := c.pass.Info.Types[n.X]; ok && isString(tv.Type) && !isConstExpr(c.pass, n) {
-					c.pass.Reportf(n.Pos(), "string concatenation in //lad:noalloc function allocates")
+					c.report(n.Pos(), "string concatenation in //lad:noalloc function allocates")
 				}
 			}
 		case *ast.CallExpr:
@@ -194,9 +353,9 @@ func (c *checker) compositeLit(lit *ast.CompositeLit) {
 	}
 	switch tv.Type.Underlying().(type) {
 	case *types.Slice:
-		c.pass.Reportf(lit.Pos(), "slice literal in //lad:noalloc function allocates")
+		c.report(lit.Pos(), "slice literal in //lad:noalloc function allocates")
 	case *types.Map:
-		c.pass.Reportf(lit.Pos(), "map literal in //lad:noalloc function allocates")
+		c.report(lit.Pos(), "map literal in //lad:noalloc function allocates")
 	}
 	// Struct and array values stay on the stack unless address-taken,
 	// which the &composite check catches.
@@ -206,11 +365,11 @@ func (c *checker) call(call *ast.CallExpr, capGuarded bool) {
 	// Builtins.
 	switch {
 	case analysis.IsBuiltinCall(c.pass.Info, call, "new"):
-		c.pass.Reportf(call.Pos(), "new(...) in //lad:noalloc function allocates")
+		c.report(call.Pos(), "new(...) in //lad:noalloc function allocates")
 		return
 	case analysis.IsBuiltinCall(c.pass.Info, call, "make"):
 		if !capGuarded {
-			c.pass.Reportf(call.Pos(), "make(...) in //lad:noalloc function allocates (amortized first-touch sizing must sit under an `if cap(buf) < n` guard)")
+			c.report(call.Pos(), "make(...) in //lad:noalloc function allocates (amortized first-touch sizing must sit under an `if cap(buf) < n` guard)")
 		}
 		return
 	case analysis.IsBuiltinCall(c.pass.Info, call, "append"):
@@ -222,7 +381,7 @@ func (c *checker) call(call *ast.CallExpr, capGuarded bool) {
 	if tv, ok := c.pass.Info.Types[call.Fun]; ok && tv.IsType() {
 		if isString(tv.Type) && len(call.Args) == 1 {
 			if atv, ok := c.pass.Info.Types[call.Args[0]]; ok && !isString(atv.Type) && atv.Value == nil {
-				c.pass.Reportf(call.Pos(), "string conversion in //lad:noalloc function allocates")
+				c.report(call.Pos(), "string conversion in //lad:noalloc function allocates")
 			}
 		}
 		return
@@ -230,7 +389,7 @@ func (c *checker) call(call *ast.CallExpr, capGuarded bool) {
 
 	obj := analysis.Callee(c.pass.Info, call)
 	if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
-		c.pass.Reportf(call.Pos(), "fmt.%s in //lad:noalloc function allocates (boxing + buffering)", obj.Name())
+		c.report(call.Pos(), "fmt.%s in //lad:noalloc function allocates (boxing + buffering)", obj.Name())
 		return
 	}
 	c.boxing(call, obj)
@@ -246,7 +405,7 @@ func (c *checker) append(call *ast.CallExpr) {
 	if _, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
 		return
 	}
-	c.pass.Reportf(call.Pos(), "append to non-struct-owned slice in //lad:noalloc function risks per-call growth; reuse a struct-owned buffer")
+	c.report(call.Pos(), "append to non-struct-owned slice in //lad:noalloc function risks per-call growth; reuse a struct-owned buffer")
 }
 
 // boxing flags non-pointer-shaped, non-constant arguments passed to
@@ -273,7 +432,7 @@ func (c *checker) boxing(call *ast.CallExpr, obj types.Object) {
 			if call.Ellipsis.IsValid() {
 				continue // spread of an existing slice: no new backing array here
 			}
-			c.pass.Reportf(arg.Pos(), "loose variadic argument to %s in //lad:noalloc function allocates the ... slice", name)
+			c.report(arg.Pos(), "loose variadic argument to %s in //lad:noalloc function allocates the ... slice", name)
 			continue
 		case i < params.Len():
 			pt = params.At(i).Type()
@@ -291,7 +450,7 @@ func (c *checker) boxing(call *ast.CallExpr, obj types.Object) {
 			continue
 		}
 		if !pointerShaped(atv.Type) {
-			c.pass.Reportf(arg.Pos(), "passing %s by value to interface parameter of %s in //lad:noalloc function boxes it", atv.Type, name)
+			c.report(arg.Pos(), "passing %s by value to interface parameter of %s in //lad:noalloc function boxes it", atv.Type, name)
 		}
 	}
 }

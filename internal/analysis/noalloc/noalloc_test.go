@@ -3,10 +3,15 @@ package noalloc_test
 import (
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/analysis/analysistest"
 	"repro/internal/analysis/noalloc"
 )
 
 func TestNoAlloc(t *testing.T) {
 	analysistest.Run(t, noalloc.Analyzer, "noallocfixture")
+}
+
+func TestNoAllocCrossPackage(t *testing.T) {
+	analysistest.RunSuite(t, []*analysis.Analyzer{noalloc.Analyzer}, []string{"noallochelpers"}, "noalloccross")
 }

@@ -1,0 +1,18 @@
+// Package noalloccross proves transitive noalloc works across package
+// boundaries: the allocating helper lives in the imported dependency
+// fixture, whose facts were exported when the suite analyzed it first.
+package noalloccross
+
+import "noallochelpers"
+
+//lad:noalloc
+func reaches(xs []int) []int {
+	return grow(xs) // want `reaches an allocation: grow calls Grow, which allocates at noallochelpers\.go:\d+`
+}
+
+func grow(xs []int) []int { return noallochelpers.Grow(xs) }
+
+//lad:noalloc
+func clean(xs []int) int {
+	return noallochelpers.Sum(xs)
+}

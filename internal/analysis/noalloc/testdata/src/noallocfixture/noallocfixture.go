@@ -85,3 +85,99 @@ func cold() []int {
 	xs = append(xs, 5)
 	return xs
 }
+
+// scale allocates only through a helper — the loophole the transitive
+// check closes.
+//
+//lad:noalloc
+func scale(xs []float64) []float64 {
+	return helperAlloc(xs) // want `reaches an allocation: helperAlloc allocates at noallocfixture\.go:\d+`
+}
+
+func helperAlloc(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	return out
+}
+
+// deep reaches the same allocation two hops away; the witness chain
+// names every intermediate helper.
+//
+//lad:noalloc
+func deep(xs []float64) []float64 {
+	return middle(xs) // want `reaches an allocation: middle calls helperAlloc, which allocates`
+}
+
+func middle(xs []float64) []float64 { return helperAlloc(xs) }
+
+// trustedChain calls an annotated helper: trusted clean by contract
+// (hot's own body is checked at hot's definition).
+//
+//lad:noalloc
+func trustedChain(b *buffers, xs []float64) float64 { return hot(b, xs) }
+
+// sanctionedHelper documents its amortized allocation with a reasoned
+// ignore, so its summary stays clean and callers do not re-report it.
+//
+//lad:noalloc
+func sanctioned(xs []float64) int { return sanctionedHelper(xs) }
+
+func sanctionedHelper(xs []float64) int {
+	//lint:ignore noalloc amortized scratch map, rebuilt once per batch
+	m := map[int]int{}
+	for i := range xs {
+		m[i] = i
+	}
+	return len(m)
+}
+
+// Mutually recursive allocation-free helpers stay clean through the
+// fixpoint.
+//
+//lad:noalloc
+func viaEven(n int) bool { return even(n) }
+
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+// Dynamically dispatched sites are not chased (the ladbench 0 allocs/op
+// gate covers them at runtime), even when the value could allocate.
+//
+//lad:noalloc
+func viaFuncValue(f func() []int) int { return len(f()) }
+
+// The pool-miss pattern: the helper's CALL EDGE to an allocating
+// constructor carries the reasoned ignore (the constructor keeps its
+// allocation fact for other callers), so the annotated caller is clean.
+//
+//lad:noalloc
+func viaEdge() int { return edgeHelper() }
+
+func edgeHelper() int {
+	//lint:ignore noalloc pool-miss path: constructed once, recycled thereafter
+	return construct()
+}
+
+func construct() int {
+	p := new(int)
+	return *p
+}
+
+// directToConstruct proves the sanction above is edge-scoped: a
+// different caller of the same constructor still reports.
+//
+//lad:noalloc
+func directToConstruct() int {
+	return construct() // want `call to construct in //lad:noalloc function reaches an allocation: construct allocates at noallocfixture\.go:\d+`
+}

@@ -1,0 +1,20 @@
+// Package noallochelpers is a dependency fixture: its allocation
+// summaries must be visible to packages that import it when the suite
+// analyzes packages in dependency order.
+package noallochelpers
+
+// Grow allocates; importers that are //lad:noalloc must not reach it.
+func Grow(xs []int) []int {
+	out := make([]int, len(xs)+1)
+	copy(out, xs)
+	return out
+}
+
+// Sum is allocation-free.
+func Sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

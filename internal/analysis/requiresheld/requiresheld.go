@@ -1,0 +1,159 @@
+// Package requiresheld checks declared lock preconditions. A function
+// annotated
+//
+//	//lad:requires mu
+//	//lad:requires s.mu
+//
+// declares that it must only be called with the named mutex held — "mu"
+// resolves to a sync.Mutex/RWMutex field of the receiver, "s.mu" to a
+// field of the receiver or parameter named s. The analyzer:
+//
+//   - validates the annotation (the named base and mutex field must
+//     exist) and exports a RequiresFact on the function, visible to
+//     callers in other packages (the driver analyzes packages in
+//     dependency order) and to the lockorder analyzer;
+//   - simulates lock state through every function body (the shared
+//     locksim engine) and reports any call to a requires-annotated
+//     function at a point where the caller does not provably hold the
+//     callee's mutex, remapped to the caller's own expression for it
+//     (calling (*pool).purgeLocked as p.entries[k].purgeLocked requires
+//     p.entries[k].mu);
+//   - seeds annotated functions' own simulations with their declared
+//     precondition, so helper-calls-helper chains check out.
+//
+// The annotation upgrades the repository's "*Locked suffix means caller
+// holds the lock" naming convention into a checked contract: guardedby
+// simulates annotated bodies instead of skipping them, and this
+// analyzer checks every call site. Un-annotated *Locked functions keep
+// the legacy behavior (skipped bodies, unchecked call sites).
+//
+// Dynamically dispatched calls (interface methods, func values) cannot
+// be checked and are skipped, as are method-expression invocations
+// whose receiver is not syntactic.
+package requiresheld
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/locksim"
+)
+
+// Analyzer is the requiresheld check.
+var Analyzer = &analysis.Analyzer{
+	Name: "requiresheld",
+	Doc:  "functions annotated //lad:requires <mu> must be called with that mutex held",
+	Run:  run,
+}
+
+// RequiresFact is the exported form of a //lad:requires annotation.
+type RequiresFact struct {
+	// BaseIndex is the parameter carrying the mutex, -1 for the receiver.
+	BaseIndex int
+	// BaseName is the base's name in the callee's own scope (messages).
+	BaseName string
+	// Field is the mutex field object — the lock class.
+	Field *types.Var
+}
+
+func (*RequiresFact) AFact() {}
+
+func run(pass *analysis.Pass) error {
+	// Phase 1: validate and export every annotation in the package, so
+	// in-package forward calls resolve during phase 2.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			req, has, err := locksim.ResolveRequires(pass, fd)
+			if !has {
+				continue
+			}
+			if err != nil {
+				pass.Reportf(fd.Pos(), "%v", err)
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				pass.ExportObjectFact(fn, &RequiresFact{
+					BaseIndex: req.BaseIndex,
+					BaseName:  req.BaseName,
+					Field:     req.Field,
+				})
+			}
+		}
+	}
+
+	// Phase 2: simulate every body and check call sites.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			entry := locksim.State{}
+			req, has, err := locksim.ResolveRequires(pass, fd)
+			switch {
+			case has && err == nil:
+				entry[req.Key()] = locksim.Lock{Obj: req.Field}
+			case has:
+				continue // malformed: reported in phase 1
+			case strings.HasSuffix(fd.Name.Name, "Locked"):
+				continue // legacy convention: entry state unknown
+			}
+			c := &checker{pass: pass}
+			c.simulate(fd.Body, entry)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+func (c *checker) simulate(body *ast.BlockStmt, entry locksim.State) {
+	s := &locksim.Sim{
+		Pass: c.pass,
+		Hooks: locksim.Hooks{
+			OnCall: c.call,
+			OnFuncLit: func(lit *ast.FuncLit, entry locksim.State) {
+				c.simulate(lit.Body, entry)
+			},
+		},
+	}
+	s.Run(body, entry)
+}
+
+// call checks one call site against the callee's RequiresFact, if any.
+func (c *checker) call(call *ast.CallExpr, held locksim.State) {
+	fn, ok := analysis.Callee(c.pass.Info, call).(*types.Func)
+	if !ok {
+		return
+	}
+	var rf RequiresFact
+	if !c.pass.ImportObjectFact(fn, &rf) {
+		return
+	}
+	var base ast.Expr
+	if rf.BaseIndex == -1 {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return // method expression / non-syntactic receiver
+		}
+		base = sel.X
+	} else {
+		if rf.BaseIndex >= len(call.Args) {
+			return
+		}
+		base = call.Args[rf.BaseIndex]
+	}
+	key := analysis.ExprString(c.pass.Fset, base) + "." + rf.Field.Name()
+	if _, ok := held[key]; !ok {
+		c.pass.Reportf(call.Pos(), "call to %s (//lad:requires %s.%s) without holding %s",
+			fn.Name(), rf.BaseName, rf.Field.Name(), key)
+	}
+}

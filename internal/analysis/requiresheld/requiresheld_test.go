@@ -1,0 +1,12 @@
+package requiresheld_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/requiresheld"
+)
+
+func TestRequiresHeld(t *testing.T) {
+	analysistest.Run(t, requiresheld.Analyzer, "requiresfixture")
+}

@@ -1,0 +1,85 @@
+// Package requiresfixture exercises the requiresheld analyzer:
+// unprotected calls to //lad:requires functions fire, lock-dominated
+// calls and helper-to-helper chains do not, and malformed annotations
+// are diagnosed at the function.
+package requiresfixture
+
+import "sync"
+
+type pool struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bumpLocked declares its precondition on the receiver's mutex.
+//
+//lad:requires mu
+func (p *pool) bumpLocked() { p.n++ }
+
+// purgeLocked chains to another requires-annotated helper: its own
+// entry state satisfies the callee's precondition.
+//
+//lad:requires mu
+func (p *pool) purgeLocked() {
+	p.bumpLocked()
+}
+
+// drain declares the precondition on a parameter instead.
+//
+//lad:requires s.mu
+func drain(s *pool) { s.n = 0 }
+
+// Bump holds the lock across the helper call.
+func (p *pool) Bump() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.bumpLocked()
+	drain(p)
+}
+
+// Race calls the helpers with nothing held.
+func (p *pool) Race() {
+	p.bumpLocked() // want `call to bumpLocked \(//lad:requires p\.mu\) without holding p\.mu`
+	drain(p)       // want `call to drain \(//lad:requires s\.mu\) without holding p\.mu`
+}
+
+// Early releases the lock before the helper call.
+func (p *pool) Early() {
+	p.mu.Lock()
+	p.n = 1
+	p.mu.Unlock()
+	p.bumpLocked() // want `without holding p\.mu`
+}
+
+// closures run later: a goroutine body starts with nothing held, while
+// a deferred closure inherits the current (defer-unlock idiom) state.
+func (p *pool) Closures() {
+	p.mu.Lock()
+	defer func() {
+		p.bumpLocked()
+		p.mu.Unlock()
+	}()
+	go func() {
+		p.bumpLocked() // want `without holding p\.mu`
+	}()
+}
+
+// legacyLocked keeps the unchecked naming convention: body skipped.
+func (p *pool) legacyLocked() {
+	p.bumpLocked()
+}
+
+// badField names a mutex field that does not exist.
+//
+//lad:requires zz
+func (p *pool) badField() {} // want `//lad:requires zz: p has no sync.Mutex/RWMutex field "zz"`
+
+// badBase names a base that is neither receiver nor parameter.
+//
+//lad:requires q.mu
+func badBase(p *pool) {} // want `no receiver or parameter named "q"`
+
+// noReceiver uses the bare form without a receiver to hang it off.
+//
+//lad:requires mu
+func noReceiver() {} // want `function has no receiver`

@@ -1,0 +1,67 @@
+// Package suppressions audits the //lint:ignore directives themselves.
+// The suppression mechanism only keeps its meaning if every directive
+// is (a) justified, (b) names a check that exists, and (c) actually
+// absorbs a diagnostic — a directive failing any of these is stale
+// documentation that silently licenses future regressions.
+//
+// The analyzer is Finish-only: its per-package Run does nothing except
+// let the runner register the package's files (which is how directives
+// enter the Context), and the audit happens once at the end of the run,
+// after every other analyzer has had the chance to mark directives
+// used. The driver must therefore run it in the same Context as the
+// analyzers whose suppressions it audits.
+package suppressions
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer reports unjustified, unknown-check, and unused //lint:ignore
+// directives.
+var Analyzer = &analysis.Analyzer{
+	Name:   "suppressions",
+	Doc:    "every //lint:ignore directive must be reasoned, name a real check, and suppress something",
+	Run:    func(*analysis.Pass) error { return nil },
+	Finish: finish,
+}
+
+func finish(ctx *analysis.Context) []analysis.Diagnostic {
+	const name = "suppressions"
+	var diags []analysis.Diagnostic
+	report := func(d analysis.Directive, format string, args ...any) {
+		if ctx.SuppressedAt(name, d.Pos) {
+			return
+		}
+		diags = append(diags, analysis.Diagnostic{
+			Pos:      d.Pos,
+			Analyzer: name,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, d := range ctx.Directives() {
+		if !d.Reason {
+			report(d, "//lint:ignore %s is not honored: a justification must follow the check names",
+				strings.Join(d.Names, ","))
+			continue
+		}
+		knownAll := true
+		for _, name := range d.Names {
+			bare := strings.TrimPrefix(name, "ladvet/")
+			if ctx.KnownAnalyzers != nil && !ctx.KnownAnalyzers[bare] {
+				report(d, "//lint:ignore names unknown analyzer %q", name)
+				knownAll = false
+			}
+		}
+		if !knownAll {
+			continue
+		}
+		if !ctx.DirectiveUsed(d.Pos.Filename, d.Pos.Line) {
+			report(d, "unused //lint:ignore %s: no diagnostic here to suppress",
+				strings.Join(d.Names, ","))
+		}
+	}
+	return diags
+}

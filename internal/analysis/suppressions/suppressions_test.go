@@ -1,0 +1,85 @@
+package suppressions_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/noalloc"
+	"repro/internal/analysis/suppressions"
+)
+
+// The suite pairs the audit with a real producer (noalloc) so the
+// fixture can hold a genuinely used directive next to the stale ones.
+func TestSuppressions(t *testing.T) {
+	analysistest.RunSuite(t,
+		[]*analysis.Analyzer{noalloc.Analyzer, suppressions.Analyzer},
+		nil, "suppressfixture")
+}
+
+// A reasonless directive cannot carry a want comment (any trailing text
+// would count as its reason), so this case bypasses the fixture
+// matcher: the directive must NOT absorb the finding, and the audit
+// must call it out.
+func TestReasonlessDirectiveNotHonored(t *testing.T) {
+	dir := t.TempDir()
+	src := `package bare
+
+//lad:noalloc
+func hot() *int {
+	//lint:ignore noalloc
+	return new(int)
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "bare.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	root := moduleRoot(t)
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, "bare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := analysis.NewContext(loader)
+	ctx.KnownAnalyzers = map[string]bool{"noalloc": true, "suppressions": true}
+
+	diags, err := analysis.RunPass(pkg, noalloc.Analyzer, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "new(...)") {
+		t.Errorf("reasonless directive should not absorb the finding; got %v", diags)
+	}
+
+	if _, err := analysis.RunPass(pkg, suppressions.Analyzer, ctx); err != nil {
+		t.Fatal(err)
+	}
+	audit := suppressions.Analyzer.Finish(ctx)
+	if len(audit) != 1 || !strings.Contains(audit[0].Message, "a justification must follow") {
+		t.Errorf("expected one missing-justification finding, got %v", audit)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,30 @@
+// Package suppressfixture exercises the suppressions audit alongside a
+// real producer (noalloc): a directive that absorbs a finding is clean,
+// one naming a nonexistent check or sitting on a non-firing line is
+// reported. (The want expectations ride inside the directive comments
+// themselves, which conveniently also makes them reasoned.)
+package suppressfixture
+
+// sanctioned's directive absorbs a real noalloc finding — the audit has
+// nothing to say about it.
+//
+//lad:noalloc
+func sanctioned() map[int]int {
+	//lint:ignore noalloc amortized scratch, rebuilt once per epoch
+	return map[int]int{}
+}
+
+// typoed names a check that is not registered; the directive can never
+// fire, which is worse than no directive at all.
+//
+//lad:noalloc
+func typoed() []int {
+	//lint:ignore noallocs allocation is amortized // want `names unknown analyzer "noallocs"`
+	return make([]int, 4) // want `make\(\.\.\.\) in //lad:noalloc function allocates`
+}
+
+// stale sits on a line where noalloc has nothing to report.
+func stale() int {
+	//lint:ignore noalloc left over from an old refactor // want `unused //lint:ignore noalloc: no diagnostic here to suppress`
+	return 1
+}

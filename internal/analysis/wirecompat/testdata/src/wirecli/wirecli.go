@@ -1,0 +1,28 @@
+// Package wirecli is the client side of the wirecompat fixture pair.
+// Point mirrors wiresrv.PointJSON exactly; Verdict drifts from
+// wiresrv.Resp in every way the analyzer distinguishes, and the Code*
+// constants drift from wiresrv.ErrorCode in both directions.
+package wirecli
+
+// Point matches wiresrv.PointJSON field for field — no diagnostics.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Verdict drifts from wiresrv.Resp four ways: score's value shape
+// narrowed to float32, note lost its omitempty, loc was renamed to
+// where (one missing field + one extra), all reported on the type name.
+type Verdict struct { // want `field "loc": present in serve, missing in client` `field "note": omitempty differs: client false vs serve true` `field "score": shape differs: client float32 vs serve float64` `field "where": present in client, missing in serve`
+	Score float32 `json:"score"`
+	Note  string  `json:"note"`
+	Where Point   `json:"where"`
+}
+
+// CodeBad matches wiresrv.ErrBad; the missing-serve-code diagnostic for
+// "gone" anchors here because it is the first Code* constant. CodeExtra
+// matches nothing on the serve side.
+const (
+	CodeBad   = "bad"   // want `error code "gone" \(wiresrv\.ErrorCode\) has no client Code\* constant`
+	CodeExtra = "extra" // want `client constant CodeExtra = "extra" matches no wiresrv\.ErrorCode value`
+)

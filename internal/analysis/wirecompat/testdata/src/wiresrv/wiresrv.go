@@ -1,0 +1,28 @@
+// Package wiresrv is the serve side of the wirecompat fixture pair: a
+// typed error-code set and two JSON response structs for wirecli to
+// drift from.
+package wiresrv
+
+// ErrorCode mirrors serve.ErrorCode's shape: a named string with typed
+// constants.
+type ErrorCode string
+
+const (
+	ErrBad  ErrorCode = "bad"
+	ErrGone ErrorCode = "gone"
+)
+
+type PointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+type Resp struct {
+	Score float64   `json:"score"`
+	Note  string    `json:"note,omitempty"`
+	Loc   PointJSON `json:"loc"`
+	debug string    // unexported: invisible on the wire
+}
+
+// keep the unexported field referenced so the fixture compiles clean.
+func (r Resp) String() string { return r.debug }

@@ -1,0 +1,347 @@
+// Package wirecompat structurally compares the typed client's wire
+// structs (repro/client, which deliberately imports no server package)
+// against the server's JSON request/response structs, and the client's
+// error-code string constants against serve.ErrorCode's values. The two
+// sides are developed apart by design; this analyzer is the static
+// complement to the marshal-and-compare golden tests, and it fires on
+// the drift classes those tests can miss when a case is forgotten:
+//
+//   - a field present on one side and absent on the other (compared by
+//     effective JSON name: the json tag's name, or the Go field name
+//     when untagged; json:"-" fields are invisible on both sides)
+//   - a field whose value SHAPE differs — shapes are canonical
+//     recursive descriptions (basic kind, pointer, slice, map, nested
+//     struct by sorted JSON name) so renames of Go types that keep the
+//     same wire form stay legal
+//   - omitempty present on one side only
+//   - an error-code constant value present on one side's set and
+//     missing from the other's
+//
+// The comparison is purely types-level (types.Struct tags via the
+// loader), so the analyzer needs the run Context's Loader to pull in
+// the server packages the client does not import; under the plain
+// single-package runner it reports nothing.
+//
+// NewAnalyzer exists so tests can point the same comparison at fixture
+// packages; the package-level Analyzer carries the real pair table.
+package wirecompat
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Pair names one client type and the serve-side type it must mirror.
+type Pair struct {
+	ClientType string
+	ServePath  string
+	ServeType  string
+}
+
+// Codes configures the error-code set comparison.
+type Codes struct {
+	// ClientPrefix selects the client's code constants (untyped strings
+	// named e.g. Code*).
+	ClientPrefix string
+	// ServePath/ServeType name the server's typed string constants
+	// (serve.ErrorCode).
+	ServePath string
+	ServeType string
+}
+
+// Config is the full comparison table.
+type Config struct {
+	ClientPath string
+	Pairs      []Pair
+	Codes      *Codes
+}
+
+// DefaultConfig is the real client↔serve table.
+var DefaultConfig = Config{
+	ClientPath: "repro/client",
+	Pairs: []Pair{
+		{"Point", "repro/internal/serve", "PointJSON"},
+		{"Deployment", "repro/internal/deploy", "Config"},
+		{"TrainSpec", "repro/internal/serve", "TrainSpec"},
+		{"DetectorSpec", "repro/internal/serve", "DetectorSpec"},
+		{"TrainInfo", "repro/internal/serve", "TrainInfoJSON"},
+		{"Detector", "repro/internal/serve", "DetectorJSON"},
+		{"Verdict", "repro/internal/serve", "CheckResponse"},
+		{"Item", "repro/internal/serve", "BatchItemJSON"},
+		{"Correction", "repro/internal/serve", "CorrectResponse"},
+		{"APIError", "repro/internal/serve", "APIError"},
+	},
+	Codes: &Codes{
+		ClientPrefix: "Code",
+		ServePath:    "repro/internal/serve",
+		ServeType:    "ErrorCode",
+	},
+}
+
+// Analyzer is the wirecompat check over the real packages.
+var Analyzer = NewAnalyzer(DefaultConfig)
+
+// NewAnalyzer builds a wirecompat analyzer for the given table.
+func NewAnalyzer(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "wirecompat",
+		Doc:  "client wire types and error codes must structurally match the server's JSON structs",
+		Run:  func(pass *analysis.Pass) error { return run(pass, cfg) },
+	}
+}
+
+func run(pass *analysis.Pass, cfg Config) error {
+	if pass.Pkg.Path() != cfg.ClientPath || pass.Ctx.Loader == nil {
+		return nil
+	}
+	for _, pair := range cfg.Pairs {
+		servePkg, err := pass.Ctx.Loader.Import(pair.ServePath)
+		if err != nil {
+			return fmt.Errorf("wirecompat: loading %s: %w", pair.ServePath, err)
+		}
+		clientObj := pass.Pkg.Scope().Lookup(pair.ClientType)
+		if clientObj == nil {
+			pass.Reportf(pass.Files[0].Pos(), "wire pair %s<->%s.%s: client type %s not found",
+				pair.ClientType, servePkg.Name(), pair.ServeType, pair.ClientType)
+			continue
+		}
+		serveObj := servePkg.Scope().Lookup(pair.ServeType)
+		if serveObj == nil {
+			pass.Reportf(clientObj.Pos(), "wire pair %s<->%s.%s: serve type %s not found in %s",
+				pair.ClientType, servePkg.Name(), pair.ServeType, pair.ServeType, pair.ServePath)
+			continue
+		}
+		cs, cok := clientObj.Type().Underlying().(*types.Struct)
+		ss, sok := serveObj.Type().Underlying().(*types.Struct)
+		if !cok || !sok {
+			pass.Reportf(clientObj.Pos(), "wire pair %s<->%s.%s: both sides must be structs",
+				pair.ClientType, servePkg.Name(), pair.ServeType)
+			continue
+		}
+		label := fmt.Sprintf("%s<->%s.%s", pair.ClientType, servePkg.Name(), pair.ServeType)
+		for _, diff := range compareStructs(cs, ss) {
+			pass.Reportf(clientObj.Pos(), "wire mismatch %s: %s", label, diff)
+		}
+	}
+	if cfg.Codes != nil {
+		checkCodes(pass, cfg)
+	}
+	return nil
+}
+
+// field is one side's view of a wire field.
+type field struct {
+	shape     string
+	omitempty bool
+}
+
+// compareStructs diffs two structs by effective JSON field name.
+func compareStructs(client, serve *types.Struct) []string {
+	cf := wireFields(client)
+	sf := wireFields(serve)
+	names := map[string]bool{}
+	for n := range cf {
+		names[n] = true
+	}
+	for n := range sf {
+		names[n] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+
+	var diffs []string
+	for _, n := range ordered {
+		c, inC := cf[n]
+		s, inS := sf[n]
+		switch {
+		case !inS:
+			diffs = append(diffs, fmt.Sprintf("field %q: present in client, missing in serve", n))
+		case !inC:
+			diffs = append(diffs, fmt.Sprintf("field %q: present in serve, missing in client", n))
+		case c.shape != s.shape:
+			diffs = append(diffs, fmt.Sprintf("field %q: shape differs: client %s vs serve %s", n, c.shape, s.shape))
+		case c.omitempty != s.omitempty:
+			diffs = append(diffs, fmt.Sprintf("field %q: omitempty differs: client %v vs serve %v", n, c.omitempty, s.omitempty))
+		}
+	}
+	return diffs
+}
+
+// wireFields maps a struct's effective JSON names to field shapes,
+// skipping unexported and json:"-" fields.
+func wireFields(st *types.Struct) map[string]field {
+	out := map[string]field{}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		name, omitempty, skip := jsonTag(st.Tag(i), f.Name())
+		if skip {
+			continue
+		}
+		out[name] = field{shape: shape(f.Type(), map[types.Type]bool{}), omitempty: omitempty}
+	}
+	return out
+}
+
+func jsonTag(tag, fieldName string) (name string, omitempty, skip bool) {
+	jt := reflect.StructTag(tag).Get("json")
+	if jt == "-" {
+		return "", false, true
+	}
+	parts := strings.Split(jt, ",")
+	name = parts[0]
+	if name == "" {
+		name = fieldName
+	}
+	for _, opt := range parts[1:] {
+		if opt == "omitempty" {
+			omitempty = true
+		}
+	}
+	return name, omitempty, false
+}
+
+// shape renders a type's canonical wire form: named types reduce to
+// their underlying structure, so either side may rename Go types freely
+// as long as the JSON stays identical.
+func shape(t types.Type, seen map[types.Type]bool) string {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return types.Typ[u.Kind()].Name()
+	case *types.Pointer:
+		return "*" + shape(u.Elem(), seen)
+	case *types.Slice:
+		return "[]" + shape(u.Elem(), seen)
+	case *types.Array:
+		return fmt.Sprintf("[%d]%s", u.Len(), shape(u.Elem(), seen))
+	case *types.Map:
+		return "map[" + shape(u.Key(), seen) + "]" + shape(u.Elem(), seen)
+	case *types.Interface:
+		return "any"
+	case *types.Struct:
+		if seen[t] {
+			return "<cycle>"
+		}
+		seen[t] = true
+		type entry struct {
+			name string
+			f    field
+		}
+		var entries []entry
+		for n, f := range wireFieldsSeen(u, seen) {
+			entries = append(entries, entry{n, f})
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+		var parts []string
+		for _, e := range entries {
+			opt := ""
+			if e.f.omitempty {
+				opt = "?"
+			}
+			parts = append(parts, e.name+opt+":"+e.f.shape)
+		}
+		return "{" + strings.Join(parts, ",") + "}"
+	default:
+		return u.String()
+	}
+}
+
+func wireFieldsSeen(st *types.Struct, seen map[types.Type]bool) map[string]field {
+	out := map[string]field{}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		name, omitempty, skip := jsonTag(st.Tag(i), f.Name())
+		if skip {
+			continue
+		}
+		out[name] = field{shape: shape(f.Type(), seen), omitempty: omitempty}
+	}
+	return out
+}
+
+// checkCodes compares the client's code-constant VALUES against the
+// serve ErrorCode constant values, both directions.
+func checkCodes(pass *analysis.Pass, cfg Config) {
+	servePkg, err := pass.Ctx.Loader.Import(cfg.Codes.ServePath)
+	if err != nil {
+		pass.Reportf(pass.Files[0].Pos(), "wirecompat: loading %s: %v", cfg.Codes.ServePath, err)
+		return
+	}
+	serveVals := map[string]bool{}
+	scope := servePkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if !analysis.IsNamedType(c.Type(), cfg.Codes.ServePath, cfg.Codes.ServeType) {
+			continue
+		}
+		serveVals[constString(c)] = true
+	}
+
+	clientVals := map[string]types.Object{}
+	var anchor types.Object
+	cscope := pass.Pkg.Scope()
+	for _, name := range cscope.Names() {
+		if !strings.HasPrefix(name, cfg.Codes.ClientPrefix) {
+			continue
+		}
+		c, ok := cscope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		b, ok := c.Type().Underlying().(*types.Basic)
+		if !ok || b.Info()&types.IsString == 0 {
+			continue
+		}
+		clientVals[constString(c)] = c
+		if anchor == nil || c.Pos() < anchor.Pos() {
+			anchor = c
+		}
+	}
+
+	for _, v := range sortedKeys(serveVals) {
+		if _, ok := clientVals[v]; !ok {
+			pos := pass.Files[0].Pos()
+			if anchor != nil {
+				pos = anchor.Pos()
+			}
+			pass.Reportf(pos, "error code %q (%s.%s) has no client %s* constant",
+				v, servePkg.Name(), cfg.Codes.ServeType, cfg.Codes.ClientPrefix)
+		}
+	}
+	for v, obj := range clientVals {
+		if !serveVals[v] {
+			pass.Reportf(obj.Pos(), "client constant %s = %q matches no %s.%s value",
+				obj.Name(), v, servePkg.Name(), cfg.Codes.ServeType)
+		}
+	}
+}
+
+func constString(c *types.Const) string {
+	s := c.Val().String()
+	return strings.Trim(s, `"`)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,118 @@
+package wirecompat_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wirecompat"
+)
+
+// fixtureAnalyzer points the comparison at the fixture pair instead of
+// the real client/serve table.
+var fixtureAnalyzer = wirecompat.NewAnalyzer(wirecompat.Config{
+	ClientPath: "wirecli",
+	Pairs: []wirecompat.Pair{
+		{ClientType: "Point", ServePath: "wiresrv", ServeType: "PointJSON"},
+		{ClientType: "Verdict", ServePath: "wiresrv", ServeType: "Resp"},
+	},
+	Codes: &wirecompat.Codes{
+		ClientPrefix: "Code",
+		ServePath:    "wiresrv",
+		ServeType:    "ErrorCode",
+	},
+})
+
+func TestWireCompat(t *testing.T) {
+	analysistest.RunSuite(t, []*analysis.Analyzer{fixtureAnalyzer}, []string{"wiresrv"}, "wirecli")
+}
+
+// TestRealClientClean runs the production pair table over the real
+// repro/client package: any diagnostic means the typed client has
+// drifted from the server's wire structs.
+func TestRealClientClean(t *testing.T) {
+	root := moduleRoot(t)
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join(root, "client"), "repro/client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunPass(pkg, wirecompat.Analyzer, analysis.NewContext(loader))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected wire drift: %s", d)
+	}
+}
+
+// TestRealClientTagMutation is the acceptance check for the analyzer
+// itself: a single json-tag rename in a copy of client/types.go must
+// produce diagnostics. client/types.go is deliberately self-contained
+// (no imports), so the copy type-checks standalone.
+func TestRealClientTagMutation(t *testing.T) {
+	root := moduleRoot(t)
+	src, err := os.ReadFile(filepath.Join(root, "client", "types.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := strings.Replace(string(src), "`json:\"score\"`", "`json:\"points\"`", 1)
+	if mutated == string(src) {
+		t.Fatal(`client/types.go no longer contains a json:"score" tag; pick a new mutation target`)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "types.go"), []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(dir, "clientmutated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := wirecompat.DefaultConfig
+	cfg.ClientPath = "clientmutated"
+	diags, err := analysis.RunPass(pkg, wirecompat.NewAnalyzer(cfg), analysis.NewContext(loader))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawMissing, sawExtra bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, `field "score": present in serve, missing in client`) {
+			sawMissing = true
+		}
+		if strings.Contains(d.Message, `field "points": present in client, missing in serve`) {
+			sawExtra = true
+		}
+	}
+	if !sawMissing || !sawExtra {
+		t.Errorf("tag rename not detected (missing=%v extra=%v); diagnostics: %v", sawMissing, sawExtra, diags)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

@@ -185,6 +185,8 @@ func (c *expCache) get(model *deploy.Model, le geom.Point) *Expectation {
 
 	// Build outside the lock: the g-table evaluation is the expensive
 	// part, and other locations on this shard must not queue behind it.
+	//
+	//lint:ignore noalloc cache-miss path: the expectation is built once and amortized across resident hits
 	e := NewExpectation(model, le)
 
 	s.mu.Lock()
@@ -255,6 +257,8 @@ func (c *expCache) get(model *deploy.Model, le geom.Point) *Expectation {
 
 // evictTailLocked removes s's least-recently-used entry, crediting its
 // budget charges back; false when the shard is empty. Caller holds s.mu.
+//
+//lad:requires s.mu
 func (c *expCache) evictTailLocked(s *expShard) bool {
 	oldest := s.lru.Back()
 	if oldest == nil {
@@ -307,6 +311,7 @@ func (c *expCache) tryArmPMF(e *Expectation) {
 		return
 	}
 	e.pmfCharged = true
+	//lint:ignore noalloc armed once per residency on the first reuse; table hits amortize the build
 	e.EnablePMFTable()
 }
 

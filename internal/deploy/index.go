@@ -122,6 +122,8 @@ func (gi *groupIndex) appendNear(dst []int32, loc geom.Point, radius float64) []
 		row := cy * gi.nx
 		// Cells of one row are contiguous in CSR, so the whole x-range is
 		// a single append.
+		//
+		//lint:ignore noalloc Into-style append into the caller's pooled buffer; growth is first-touch only
 		dst = append(dst, gi.ids[gi.start[row+x0]:gi.start[row+x1+1]]...)
 	}
 	// Grid/hex layouts enumerate groups in the same row-major order as the
@@ -142,6 +144,7 @@ func (s *scratchPool) get() *[]int32 {
 	if v := s.p.Get(); v != nil {
 		return v.(*[]int32)
 	}
+	//lint:ignore noalloc pool-miss path: the buffer is recycled via put thereafter
 	buf := make([]int32, 0, 64)
 	return &buf
 }

@@ -264,6 +264,7 @@ func (m *Model) SpatialIndexEnabled() bool { return m.index != nil }
 func (m *Model) NearGroupsInto(dst []int32, loc geom.Point, radius float64) []int32 {
 	if m.index == nil {
 		for i := range m.points {
+			//lint:ignore noalloc Into-style append into the caller's reusable buffer; growth is first-touch only
 			dst = append(dst, int32(i))
 		}
 		return dst

@@ -101,6 +101,7 @@ func (b *Beaconless) session() *Session {
 	if s, ok := b.sessions.Get().(*Session); ok {
 		return s
 	}
+	//lint:ignore noalloc pool-miss path: one Session per worker, recycled via Put thereafter
 	return b.NewSession()
 }
 

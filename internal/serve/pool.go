@@ -518,6 +518,8 @@ func (p *DetectorPool) admit(spec DetectorSpec) (*poolEntry, bool, error) {
 }
 
 // liveCountLocked counts entries holding limit slots (all but failed).
+//
+//lad:requires mu
 func (p *DetectorPool) liveCountLocked() int {
 	n := 0
 	for _, e := range p.entries {
@@ -533,6 +535,8 @@ func (p *DetectorPool) liveCountLocked() int {
 // purgeFailedLocked evicts failed residents to make room for new specs —
 // failed resources are kept for inspection only as long as the pool has
 // slack, so a burst of bad specs can never brick admission.
+//
+//lad:requires mu
 func (p *DetectorPool) purgeFailedLocked() {
 	for key, e := range p.entries {
 		e.mu.Lock()
