@@ -32,6 +32,12 @@
 // scalar probe path (SetProbeBatch(false) / TrainConfig.ScalarProbes),
 // for steady-state single localization and full training runs.
 //
+// Snapshot section — the durability layer: canonical snapshot encode
+// and strict decode (both gated to zero allocs/op), plus the full
+// adopt-from-disk path (checksummed store read + decode + detector
+// rebuild) — the restart latency a daemon with -store-dir pays per
+// detector instead of retraining.
+//
 // Equality is asserted before timing: scoring paths must produce
 // verdicts bit-identical to fresh Check, the indexed training path must
 // produce thresholds bit-identical to the full-scan path, the probe
@@ -63,6 +69,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -77,6 +84,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/localize"
 	"repro/internal/rng"
+	"repro/internal/store"
 )
 
 // result is one timed scoring configuration.
@@ -188,6 +196,12 @@ type report struct {
 	SpeedupProbeLocalize map[string]float64 `json:"speedup_probe_localize"`
 	// SpeedupProbeTrain is the same ratio for full training runs.
 	SpeedupProbeTrain map[string]float64 `json:"speedup_probe_train"`
+	// Snapshot holds the durability section: canonical snapshot encode,
+	// strict decode (0 allocs/op gated — the adoption and persistence
+	// hot path), and the full adopt-from-disk path (checksummed store
+	// read + decode + model rebuild), which is the restart latency a
+	// booting node pays per detector instead of retraining.
+	Snapshot []trainResult `json:"snapshot"`
 }
 
 func main() {
@@ -212,7 +226,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:               5,
+		Schema:               6,
 		Runs:                 *runs,
 		GoVersion:            runtime.Version(),
 		GOMAXPROCS:           runtime.GOMAXPROCS(0),
@@ -230,6 +244,7 @@ func main() {
 	scoringSection(&rep, model, *batch, *locations, *trials)
 	trainingSection(&rep, *trials)
 	probeBatchSection(&rep, *trials)
+	snapshotSection(&rep, model, *trials)
 
 	enc := json.NewEncoder(os.Stdout)
 	if *out != "" {
@@ -628,6 +643,144 @@ func probeBatchSection(rep *report, trials int) {
 	}
 }
 
+// snapshotSection measures the durability layer on the paper
+// deployment. Three rows:
+//
+//   - encode: Snapshot.AppendBinary into a reused buffer — what the
+//     pool's async persist goroutine pays per save.
+//   - decode: Snapshot.UnmarshalBinary into a reused receiver — the
+//     integrity-checked parse that runs on every adoption; gated to
+//     zero allocs/op so a booting daemon's cost is bounded by parsing,
+//     not garbage.
+//   - adopt: store Get + decode + RestoreDetector against a real FS
+//     store — the per-detector restart latency a daemon with -store-dir
+//     pays instead of a retraining run (compare trials_per_sec in the
+//     training section for the alternative).
+//
+// Gates come before timing: the encoded snapshot must decode and
+// re-encode bit-identically, and the restored detector must carry the
+// trained threshold. A fast wrong answer is not a benchmark result.
+func snapshotSection(rep *report, model *deploy.Model, trials int) {
+	runtime.GC()
+	cfg := core.TrainConfig{Trials: trials, Percentile: 99, Seed: 41, KeepInField: true}
+	det, scores, err := core.Train(model, core.DiffMetric{}, cfg)
+	if err != nil {
+		log.Fatalf("ladbench: snapshot train: %v", err)
+	}
+	sort.Float64s(scores)
+	snap := det.Snapshot()
+	snap.SpecKey = snap.DeploymentHash
+	snap.Trials = cfg.Trials
+	snap.TrainPercentile = cfg.Percentile
+	snap.Seed = cfg.Seed
+	snap.KeepInField = cfg.KeepInField
+	snap.Percentile = cfg.Percentile
+	snap.BenignSample = scores
+	if err := snap.Validate(); err != nil {
+		log.Fatalf("ladbench: snapshot invalid before timing: %v", err)
+	}
+	data := snap.Encode()
+
+	// Canonical-form and fidelity gates.
+	back, err := core.DecodeSnapshot(data)
+	if err != nil {
+		log.Fatalf("ladbench: snapshot decode: %v", err)
+	}
+	if re := back.Encode(); !bytes.Equal(re, data) {
+		log.Fatalf("ladbench: snapshot does not re-encode bit-identically (%d vs %d bytes)", len(re), len(data))
+	}
+	restored, err := core.RestoreDetector(back)
+	if err != nil {
+		log.Fatalf("ladbench: snapshot restore: %v", err)
+	}
+	if restored.Threshold() != det.Threshold() {
+		log.Fatalf("ladbench: restored threshold %v != trained %v — refusing to time a wrong answer",
+			restored.Threshold(), det.Threshold())
+	}
+
+	buf := make([]byte, 0, len(data))
+	encB := benchMedian(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = snap.AppendBinary(buf[:0])
+		}
+	})
+	var dst core.Snapshot
+	if err := dst.UnmarshalBinary(data); err != nil { // warm the reused receiver's capacity
+		log.Fatalf("ladbench: snapshot decode: %v", err)
+	}
+	decB := benchMedian(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := dst.UnmarshalBinary(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Allocation gates: persistence must never add GC pressure to the
+	// serving process, and adoption cost must be parse-bound.
+	if a := encB.AllocsPerOp(); a != 0 {
+		log.Fatalf("ladbench: snapshot encode allocates %d/op, want 0", a)
+	}
+	if a := decB.AllocsPerOp(); a != 0 {
+		log.Fatalf("ladbench: snapshot decode allocates %d/op, want 0", a)
+	}
+
+	dir, err := os.MkdirTemp("", "ladbench-store-*")
+	if err != nil {
+		log.Fatalf("ladbench: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	fs, err := store.OpenFS(dir)
+	if err != nil {
+		log.Fatalf("ladbench: %v", err)
+	}
+	const id = "paper-bench"
+	if err := fs.Put(id, data); err != nil {
+		log.Fatalf("ladbench: %v", err)
+	}
+	adoptB := benchMedian(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			raw, err := fs.Get(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := core.DecodeSnapshot(raw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.RestoreDetector(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	groups := model.NumGroups()
+	for _, tr := range []struct {
+		path string
+		res  testing.BenchmarkResult
+	}{
+		{"encode", encB},
+		{"decode", decB},
+		{"adopt", adoptB},
+	} {
+		rep.Snapshot = append(rep.Snapshot, trainResult{
+			Name:        "paper/snapshot/" + tr.path,
+			Deployment:  "paper",
+			Groups:      groups,
+			Kind:        "snapshot",
+			Path:        tr.path,
+			Iterations:  tr.res.N,
+			NsPerOp:     float64(tr.res.NsPerOp()),
+			BytesPerOp:  tr.res.AllocedBytesPerOp(),
+			AllocsPerOp: tr.res.AllocsPerOp(),
+		})
+	}
+	fmt.Fprintf(os.Stderr, "ladbench: snapshot (%d bytes): encode %d ns/op, decode %d ns/op, adopt-from-disk %d ns/op\n",
+		len(data), encB.NsPerOp(), decB.NsPerOp(), adoptB.NsPerOp())
+}
+
 // compareBaseline prints, for every result name present in both the
 // baseline snapshot and this run, the old/new ns_per_op ratio — the CI
 // job runs it against the committed BENCH_PR*.json so the log shows
@@ -673,6 +826,9 @@ func compareBaseline(path string, rep report, maxRegressPct float64) {
 	for _, r := range base.ProbeBatch {
 		old[r.Name] = r.NsPerOp
 	}
+	for _, r := range base.Snapshot {
+		old[r.Name] = r.NsPerOp
+	}
 	var regressions []string
 	report := func(name string, ns float64) {
 		prev, ok := old[name]
@@ -695,6 +851,9 @@ func compareBaseline(path string, rep report, maxRegressPct float64) {
 		report(r.Name, r.NsPerOp)
 	}
 	for _, r := range rep.ProbeBatch {
+		report(r.Name, r.NsPerOp)
+	}
+	for _, r := range rep.Snapshot {
 		report(r.Name, r.NsPerOp)
 	}
 	if len(regressions) > 0 {

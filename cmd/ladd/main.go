@@ -23,6 +23,7 @@
 //	ladd -addr :9090 -metric probability -trials 8000
 //	ladd -spec deployment.json            # full DetectorSpec from a file
 //	ladd -api-token-file token.txt        # gate register/delete/rethreshold
+//	ladd -store-dir /var/lib/ladd         # durable detectors: persist on ready, adopt on restart
 //
 // Checks against a still-training v2 resource answer 202 + Retry-After;
 // the v1 endpoints instead block until training completes. Both surfaces
@@ -47,6 +48,7 @@ import (
 
 	"repro/internal/deploy"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -63,6 +65,7 @@ func main() {
 		expCache    = flag.Int("exp-cache", 0, "per-detector expectation-cache capacity in claimed locations (0 = core default, negative disables)")
 		expBudget   = flag.Int64("exp-cache-budget", 0, "pool-wide expectation-cache admission budget in bytes, shared across all detectors (0 = unlimited)")
 		tokenFile   = flag.String("api-token-file", "", "file holding the bearer token that gates mutating v2 endpoints (register/delete/rethreshold); empty leaves them open")
+		storeDir    = flag.String("store-dir", "", "directory for durable detector snapshots; ready detectors are persisted there and adopted on restart instead of retrained (empty disables persistence)")
 		warmupOnly  = flag.Bool("warmup-only", false, "train the default detector, print its threshold, and exit")
 	)
 	flag.Parse()
@@ -114,6 +117,24 @@ func main() {
 	}, nil)
 	if err != nil {
 		log.Fatalf("ladd: %v", err)
+	}
+
+	if *storeDir != "" {
+		snapStore, err := store.OpenFS(*storeDir)
+		if err != nil {
+			log.Fatalf("ladd: opening -store-dir: %v", err)
+		}
+		srv.Pool().SetStore(snapStore)
+		start := time.Now()
+		stats, err := srv.Pool().AdoptSnapshots()
+		if err != nil {
+			// The store is unusable for listing; keep booting — persistence
+			// of new trainings may still work, and the daemon must not stay
+			// down over a snapshot directory.
+			log.Printf("ladd: snapshot adoption failed (continuing without adopted detectors): %v", err)
+		} else {
+			log.Printf("ladd: snapshot store %s: %s in %s", *storeDir, stats, time.Since(start).Round(time.Millisecond))
+		}
 	}
 
 	warmup := func() (*time.Duration, error) {

@@ -206,5 +206,13 @@ func reportCacheGauges(ctx context.Context, c *client.Client) {
 			strings.HasPrefix(line, "ladd_train_last_seconds") {
 			fmt.Printf("loadgen: %s\n", line)
 		}
+		// Durability: whether this daemon adopted its detectors from
+		// snapshots (train_seconds_count 0 + adopted > 0 = restart served
+		// with zero retraining) and whether saves are landing.
+		if strings.HasPrefix(line, "ladd_snapshot_") ||
+			strings.HasPrefix(line, "ladd_snapshots_adopted_total") ||
+			strings.HasPrefix(line, "ladd_store_errors_total") {
+			fmt.Printf("loadgen: %s\n", line)
+		}
 	}
 }

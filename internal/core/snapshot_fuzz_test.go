@@ -1,0 +1,61 @@
+package core
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"repro/internal/deploy"
+)
+
+// FuzzSnapshotDecode drives the strict decoder with arbitrary bytes.
+// The contract under fuzz: never panic, and every accepted input
+// re-encodes bit-identically (the canonical-form property the
+// adoption path's integrity story rests on — if two byte strings
+// decoded to the same snapshot, a checksum could be "repaired" by
+// re-encoding and corruption would become invisible).
+func FuzzSnapshotDecode(f *testing.F) {
+	// Seed corpus: a real trained snapshot, a handful of structured
+	// mutations of it, and degenerate inputs.
+	model := deploy.MustNew(deploy.Config{GroupsX: 2, GroupsY: 2, GroupSize: 12,
+		Sigma: 40, Range: 120, Layout: deploy.LayoutGrid,
+		Field: deploy.PaperConfig().Field})
+	det, scores, err := Train(model, ProbMetric{}, TrainConfig{Trials: 16, Percentile: 90, Seed: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	sort.Float64s(scores)
+	s := det.Snapshot()
+	s.SpecKey = "0123456789abcdef0123456789abcdef"
+	s.Trials = 16
+	s.TrainPercentile = 90
+	s.Seed = 2
+	s.Percentile = 90
+	s.BenignSample = scores
+	valid := s.Encode()
+	f.Add(valid)
+	for _, mut := range []int{0, 7, 8, len(valid) / 2, len(valid) - 5, len(valid) - 1} {
+		m := append([]byte(nil), valid...)
+		m[mut] ^= 0x40
+		f.Add(m)
+	}
+	f.Add(valid[:len(valid)-9])
+	f.Add([]byte(nil))
+	f.Add([]byte("LADSNAP\x01"))
+	f.Add(bytes.Repeat([]byte{0}, 256))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeSnapshot(data)
+		if err != nil {
+			return // rejected cleanly; nothing else to hold
+		}
+		if got := snap.Encode(); !bytes.Equal(got, data) {
+			t.Fatalf("accepted %d-byte input does not re-encode bit-identically (got %d bytes)", len(data), len(got))
+		}
+		// Accepted snapshots must also survive their own validator — the
+		// decoder promises structural validity, not just parseability.
+		if err := snap.Validate(); err != nil {
+			t.Fatalf("accepted snapshot fails Validate: %v", err)
+		}
+	})
+}

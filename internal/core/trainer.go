@@ -44,7 +44,20 @@ type TrainConfig struct {
 	// both ways and hard-fails if they ever differ — and this knob exists
 	// exactly so that comparison stays runnable.
 	ScalarProbes bool
+	// Cancel, when non-nil, aborts the Monte-Carlo run: the trial pump
+	// checks it between trials, stops dispatching once it is closed, and
+	// Train/BenignScores return ErrTrainingCanceled after in-flight
+	// trials drain. The serving pool closes it when a mid-training
+	// detector is deleted, so detached flights stop burning cores
+	// instead of finishing a run nobody will read.
+	Cancel <-chan struct{}
 }
+
+// ErrTrainingCanceled is returned by Train and BenignScores when
+// TrainConfig.Cancel is closed before the trial budget completes. The
+// partial score sample is discarded — a threshold cut from fewer trials
+// than configured would silently move the operating point.
+var ErrTrainingCanceled = errors.New("core: training canceled")
 
 func (c *TrainConfig) normalize() error {
 	if c.Trials <= 0 {
@@ -129,7 +142,7 @@ func BenignScores(model *deploy.Model, metrics []Metric, cfg TrainConfig) ([][]f
 			sess := loc.NewSession()
 			e := &Expectation{G: make([]float64, n), Mu: make([]float64, n)}
 			r := rng.New(0)
-			//lint:ignore ladvet/ctxcheck bounded in practice: the producer sends exactly cfg.Trials indices and closes next; cancellable training is a ROADMAP item
+			//lint:ignore ladvet/ctxcheck bounded in practice: the producer sends at most cfg.Trials indices and closes next early when TrainConfig.Cancel trips; context plumbing proper is the ROADMAP scheduler item
 			for t := range next {
 				r.Reseed(seeds[t])
 				group, la := model.SampleLocation(r)
@@ -159,11 +172,26 @@ func BenignScores(model *deploy.Model, metrics []Metric, cfg TrainConfig) ([][]f
 			}
 		}()
 	}
+	canceled := false
 	for t := 0; t < cfg.Trials; t++ {
-		next <- t
+		// With a nil Cancel the second case can never fire and the select
+		// degenerates to the plain send. Cancellation is checked between
+		// trial dispatches only: in-flight trials run to completion, which
+		// bounds the abort latency at one trial per worker.
+		select {
+		case next <- t:
+		case <-cfg.Cancel:
+			canceled = true
+		}
+		if canceled {
+			break
+		}
 	}
 	close(next)
 	wg.Wait()
+	if canceled {
+		return nil, nil, ErrTrainingCanceled
+	}
 	return scores, locErrs, nil
 }
 

@@ -216,6 +216,24 @@ func (m *Metrics) Render(pool *DetectorPool) string {
 		}
 		fmt.Fprintf(&b, "ladd_expectation_cache_hit_rate %g\n", expRate)
 
+		snaps := pool.SnapshotCounters()
+		b.WriteString("# HELP ladd_snapshot_saves_total Detector snapshot saves, by outcome (error = abandoned after retries; the detector keeps serving from memory).\n")
+		b.WriteString("# TYPE ladd_snapshot_saves_total counter\n")
+		fmt.Fprintf(&b, "ladd_snapshot_saves_total{outcome=\"ok\"} %d\n", snaps.SavesOK)
+		fmt.Fprintf(&b, "ladd_snapshot_saves_total{outcome=\"error\"} %d\n", snaps.SavesErr)
+		b.WriteString("# HELP ladd_snapshot_loads_total Boot-time snapshot loads, by outcome (corrupt/stale/mismatch are quarantined and retrained).\n")
+		b.WriteString("# TYPE ladd_snapshot_loads_total counter\n")
+		fmt.Fprintf(&b, "ladd_snapshot_loads_total{outcome=\"ok\"} %d\n", snaps.LoadsOK)
+		fmt.Fprintf(&b, "ladd_snapshot_loads_total{outcome=\"corrupt\"} %d\n", snaps.LoadsCorrupt)
+		fmt.Fprintf(&b, "ladd_snapshot_loads_total{outcome=\"stale\"} %d\n", snaps.LoadsStale)
+		fmt.Fprintf(&b, "ladd_snapshot_loads_total{outcome=\"mismatch\"} %d\n", snaps.LoadsMismatch)
+		b.WriteString("# HELP ladd_snapshots_adopted_total Detectors installed ready from snapshots at boot (restarts served with zero retraining).\n")
+		b.WriteString("# TYPE ladd_snapshots_adopted_total counter\n")
+		fmt.Fprintf(&b, "ladd_snapshots_adopted_total %d\n", snaps.Adopted)
+		b.WriteString("# HELP ladd_store_errors_total Snapshot store operations that failed (put/get/delete/quarantine, each attempt counted).\n")
+		b.WriteString("# TYPE ladd_store_errors_total counter\n")
+		fmt.Fprintf(&b, "ladd_store_errors_total %d\n", snaps.StoreErrors)
+
 		budgetCap, budgetInUse := pool.ExpCacheBudgetStats()
 		b.WriteString("# HELP ladd_expectation_cache_budget_bytes Pool-wide expectation-cache admission budget (0 = unlimited).\n")
 		b.WriteString("# TYPE ladd_expectation_cache_budget_bytes gauge\n")

@@ -1,0 +1,514 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/store"
+)
+
+// waitSaves blocks until the pool has durably saved want snapshots
+// (saves are asynchronous so trainings never block on the disk).
+func waitSaves(t *testing.T, p *DetectorPool, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.SnapshotCounters().SavesOK >= want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("snapshot saves stuck at %d, want %d", p.SnapshotCounters().SavesOK, want)
+}
+
+// waitSaveErrs blocks until want saves have been abandoned.
+func waitSaveErrs(t *testing.T, p *DetectorPool, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.SnapshotCounters().SavesErr >= want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("abandoned saves stuck at %d, want %d", p.SnapshotCounters().SavesErr, want)
+}
+
+// fixedVerdict scores one deterministic observation so verdicts can be
+// compared bit-for-bit across restarts.
+func fixedVerdict(det *core.Detector) core.Verdict {
+	model := det.Model()
+	r := rng.New(1234)
+	group, la := model.SampleLocation(r)
+	o := make([]int, model.NumGroups())
+	model.SampleObservationInto(o, la, group, r)
+	return det.Check(o, la)
+}
+
+func TestPersistAndAdoptRoundTrip(t *testing.T) {
+	fs, err := store.OpenFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec()
+
+	p1 := NewDetectorPool(0)
+	p1.SetStore(fs)
+	det1, err := p1.Get(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSaves(t, p1, 1)
+	v1 := fixedVerdict(det1)
+
+	// "Restart": a fresh pool over the same store adopts the snapshot.
+	p2 := NewDetectorPool(0)
+	p2.SetStore(fs)
+	stats, err := p2.AdoptSnapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Adopted != 1 || stats.Corrupt+stats.Stale+stats.Mismatch+stats.Errors+stats.Skipped != 0 {
+		t.Fatalf("AdoptSnapshots = %v, want 1 clean adoption", stats)
+	}
+	st, ok := p2.Lookup(spec.ID())
+	if !ok || st.State != StateReady {
+		t.Fatalf("adopted resource = %+v (ok=%v), want StateReady immediately", st, ok)
+	}
+	if st.BenignScores != spec.Train.Trials {
+		t.Fatalf("adopted sample size %d, want %d", st.BenignScores, spec.Train.Trials)
+	}
+	det2, _, ok := p2.Detector(spec.ID())
+	if !ok {
+		t.Fatal("adopted detector not servable")
+	}
+	v2 := fixedVerdict(det2)
+	if v1 != v2 {
+		t.Fatalf("verdict across restart = %+v, want bit-identical %+v", v2, v1)
+	}
+	// Zero retraining: the adopted pool never started a training flight.
+	if started, _, _ := p2.JobStats(); started != 0 {
+		t.Fatalf("adoption started %d training flights, want 0", started)
+	}
+	if count, _, _, _ := p2.TrainStats(); count != 0 {
+		t.Fatalf("adoption moved the train counter to %d", count)
+	}
+
+	// The adopted benign sample supports rethresholding: both pools must
+	// cut the exact same threshold from their retained samples.
+	r1, err := p1.Rethreshold(spec.ID(), 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p2.Rethreshold(spec.ID(), 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Threshold != r2.Threshold {
+		t.Fatalf("rethreshold after adoption = %v, want %v", r2.Threshold, r1.Threshold)
+	}
+}
+
+func TestRethresholdSurvivesRestart(t *testing.T) {
+	fs, err := store.OpenFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec()
+	p1 := NewDetectorPool(0)
+	p1.SetStore(fs)
+	if _, err := p1.Get(spec); err != nil {
+		t.Fatal(err)
+	}
+	waitSaves(t, p1, 1)
+	moved, err := p1.Rethreshold(spec.ID(), 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSaves(t, p1, 2)
+
+	p2 := NewDetectorPool(0)
+	p2.SetStore(fs)
+	if _, err := p2.AdoptSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := p2.Lookup(spec.ID())
+	if !ok {
+		t.Fatal("resource not adopted")
+	}
+	if st.Percentile != 90 || st.Threshold != moved.Threshold {
+		t.Fatalf("adopted operating point (τ=%v, th=%v), want (90, %v)", st.Percentile, st.Threshold, moved.Threshold)
+	}
+}
+
+func TestDeleteRemovesSnapshot(t *testing.T) {
+	fs, err := store.OpenFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec()
+	p := NewDetectorPool(0)
+	p.SetStore(fs)
+	if _, err := p.Get(spec); err != nil {
+		t.Fatal(err)
+	}
+	waitSaves(t, p, 1)
+	if !p.Delete(spec.ID()) {
+		t.Fatal("Delete returned false")
+	}
+	if _, err := fs.Get(spec.ID()); !errors.Is(err, store.ErrNotFound) {
+		t.Fatalf("snapshot after Delete: %v, want ErrNotFound", err)
+	}
+}
+
+// A store that cannot write must never fail a training run: the
+// detector serves from memory and the failure is counted.
+func TestSaveFailureServesFromMemory(t *testing.T) {
+	fs, err := store.OpenFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := store.NewFaulty(fs)
+	faulty.SetPutError(errors.New("injected: disk full"))
+	spec := tinySpec()
+	p := NewDetectorPool(0)
+	p.SetStore(faulty)
+	det, err := p.Get(spec)
+	if err != nil {
+		t.Fatalf("training failed because the store did: %v", err)
+	}
+	waitSaveErrs(t, p, 1)
+	c := p.SnapshotCounters()
+	if c.SavesOK != 0 {
+		t.Fatalf("SavesOK = %d with a dead store", c.SavesOK)
+	}
+	if c.StoreErrors < 2 {
+		t.Fatalf("StoreErrors = %d, want one per retry attempt", c.StoreErrors)
+	}
+	if faulty.Puts() < 2 {
+		t.Fatalf("store saw %d puts, want capped-backoff retries", faulty.Puts())
+	}
+	// The resource itself is untouched by the storage failure.
+	st, ok := p.Lookup(spec.ID())
+	if !ok || st.State != StateReady {
+		t.Fatalf("resource = %+v, want ready", st)
+	}
+	if v := fixedVerdict(det); v.Threshold != st.Threshold {
+		t.Fatalf("verdict threshold %v, status %v", v.Threshold, st.Threshold)
+	}
+}
+
+// Delete of a mid-training resource must trip the flight's cancel
+// channel so the detached Monte-Carlo run aborts instead of burning
+// cores to completion.
+func TestDeleteCancelsTrainingFlight(t *testing.T) {
+	started := make(chan struct{})
+	outcome := make(chan error, 1)
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int, cancel <-chan struct{}) (*core.Detector, []float64, error) {
+		close(started)
+		select {
+		case <-cancel:
+			outcome <- core.ErrTrainingCanceled
+			return nil, nil, core.ErrTrainingCanceled
+		case <-time.After(10 * time.Second):
+			outcome <- errors.New("cancel never fired")
+			return nil, nil, errors.New("cancel never fired")
+		}
+	})
+	st, created, err := pool.Register(tinySpec())
+	if err != nil || !created {
+		t.Fatalf("Register = %+v, %v, %v", st, created, err)
+	}
+	<-started
+	if !pool.Delete(st.ID) {
+		t.Fatal("Delete returned false")
+	}
+	select {
+	case err := <-outcome:
+		if !errors.Is(err, core.ErrTrainingCanceled) {
+			t.Fatalf("flight finished with %v, want cancellation", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("detached flight still running")
+	}
+	// The detached, canceled flight is invisible in the failure counters.
+	if _, _, failures := pool.JobStats(); failures != 0 {
+		t.Fatalf("canceled detached flight counted as %d failures", failures)
+	}
+}
+
+// validSnapshot trains one real detector through a persisting pool and
+// returns the stored snapshot bytes plus the spec.
+func validSnapshot(t *testing.T) ([]byte, DetectorSpec) {
+	t.Helper()
+	fs, err := store.OpenFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec()
+	p := NewDetectorPool(0)
+	p.SetStore(fs)
+	if _, err := p.Get(spec); err != nil {
+		t.Fatal(err)
+	}
+	waitSaves(t, p, 1)
+	data, err := fs.Get(spec.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, spec
+}
+
+// TestAdoptFaultInjection is the degradation matrix: for every injected
+// fault the pool must boot, classify and (where the bytes themselves
+// are bad) quarantine the snapshot, then retrain the spec on demand and
+// serve — no panic, no wedged resource, and a fresh snapshot written.
+func TestAdoptFaultInjection(t *testing.T) {
+	valid, spec := validSnapshot(t)
+	id := spec.ID()
+
+	type tally struct{ corrupt, stale, mismatch, errs int }
+	cases := []struct {
+		name string
+		// arrange plants the (possibly damaged) snapshot and returns the
+		// store the pool should boot from.
+		arrange    func(t *testing.T, fs *store.FS) store.Store
+		want       tally
+		quarantine bool // the .snap file must be renamed aside
+	}{
+		{
+			name: "torn write",
+			arrange: func(t *testing.T, fs *store.FS) store.Store {
+				// A crash mid-save through a non-atomic store: the envelope is
+				// rewritten (valid) around a truncated payload, so the
+				// snapshot codec's own checksum is the only defense.
+				if err := fs.Put(id, valid[:len(valid)-24]); err != nil {
+					t.Fatal(err)
+				}
+				return fs
+			},
+			want:       tally{corrupt: 1},
+			quarantine: true,
+		},
+		{
+			name: "bit flip on read",
+			arrange: func(t *testing.T, fs *store.FS) store.Store {
+				if err := fs.Put(id, valid); err != nil {
+					t.Fatal(err)
+				}
+				f := store.NewFaulty(fs)
+				f.SetGetTransform(store.FlipBit(len(valid) / 2))
+				return f
+			},
+			want:       tally{corrupt: 1},
+			quarantine: true,
+		},
+		{
+			name: "envelope checksum mismatch",
+			arrange: func(t *testing.T, fs *store.FS) store.Store {
+				if err := fs.Put(id, valid); err != nil {
+					t.Fatal(err)
+				}
+				// Rot the raw file under the store: Get fails the envelope.
+				path := filepath.Join(fs.Dir(), id+".snap")
+				raw, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				raw[len(raw)-1] ^= 0x20
+				if err := os.WriteFile(path, raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return fs
+			},
+			want:       tally{corrupt: 1},
+			quarantine: true,
+		},
+		{
+			name: "version skew",
+			arrange: func(t *testing.T, fs *store.FS) store.Store {
+				skewed := append([]byte(nil), valid...)
+				skewed[7] = 9 // the byte after the "LADSNAP" magic is the version
+				if err := fs.Put(id, skewed); err != nil {
+					t.Fatal(err)
+				}
+				return fs
+			},
+			want:       tally{stale: 1},
+			quarantine: true,
+		},
+		{
+			name: "transient EIO",
+			arrange: func(t *testing.T, fs *store.FS) store.Store {
+				if err := fs.Put(id, valid); err != nil {
+					t.Fatal(err)
+				}
+				f := store.NewFaulty(fs)
+				f.SetGetError(errors.New("injected: input/output error"))
+				f.SetReadDelay(5 * time.Millisecond)
+				return f
+			},
+			want:       tally{errs: 1},
+			quarantine: false, // the bytes may be fine; keep them for next boot
+		},
+		{
+			name: "deployment hash mismatch",
+			arrange: func(t *testing.T, fs *store.FS) store.Store {
+				snap, err := core.DecodeSnapshot(valid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Same length, different content: structurally valid, but the
+				// recomputed hash disagrees — a tampered or cross-epoch file.
+				snap.DeploymentHash = "f" + snap.DeploymentHash[1:]
+				if snap.DeploymentHash == "" {
+					t.Fatal("empty hash")
+				}
+				if err := fs.Put(id, snap.Encode()); err != nil {
+					t.Fatal(err)
+				}
+				return fs
+			},
+			want:       tally{mismatch: 1},
+			quarantine: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs, err := store.OpenFS(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := tc.arrange(t, fs)
+			p := NewDetectorPool(0)
+			p.SetStore(s)
+			stats, err := p.AdoptSnapshots()
+			if err != nil {
+				t.Fatalf("AdoptSnapshots must not fail on a bad snapshot: %v", err)
+			}
+			got := tally{corrupt: stats.Corrupt, stale: stats.Stale, mismatch: stats.Mismatch, errs: stats.Errors}
+			if got != tc.want {
+				t.Fatalf("adoption tally = %+v, want %+v (full stats %v)", got, tc.want, stats)
+			}
+			if stats.Adopted != 0 {
+				t.Fatalf("bad snapshot was adopted: %v", stats)
+			}
+			if _, ok := p.Lookup(id); ok {
+				t.Fatal("bad snapshot produced a resident resource")
+			}
+			if tc.quarantine {
+				if _, err := os.Stat(filepath.Join(fs.Dir(), id+".snap.quarantined")); err != nil {
+					t.Fatalf("no quarantined file: %v", err)
+				}
+				ids, err := fs.List()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(ids) != 0 {
+					t.Fatalf("store still lists %v after quarantine", ids)
+				}
+			} else {
+				// Transient failure: the snapshot must survive untouched for
+				// the next boot to retry.
+				if f, ok := s.(*store.Faulty); ok {
+					f.SetGetError(nil)
+				}
+				if _, err := fs.Get(id); err != nil {
+					t.Fatalf("snapshot removed after transient error: %v", err)
+				}
+			}
+
+			// The spec falls through to normal retraining and serves.
+			det, err := p.Get(spec)
+			if err != nil {
+				t.Fatalf("retraining after fault: %v", err)
+			}
+			if v := fixedVerdict(det); v.Threshold == 0 && v.Score == 0 {
+				t.Fatal("retrained detector served a zero verdict")
+			}
+			waitSaves(t, p, 1) // and the retrained detector persists again
+		})
+	}
+}
+
+// Adopting into a pool that already has the resource (or one at its
+// entry limit) skips the snapshot without quarantining it.
+func TestAdoptSkipsResidentAndOverLimit(t *testing.T) {
+	fs, err := store.OpenFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec()
+	p1 := NewDetectorPool(0)
+	p1.SetStore(fs)
+	if _, err := p1.Get(spec); err != nil {
+		t.Fatal(err)
+	}
+	waitSaves(t, p1, 1)
+
+	// Same pool adopts again: the resource is already resident.
+	stats, err := p1.AdoptSnapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped != 1 || stats.Adopted != 0 {
+		t.Fatalf("re-adopt on live pool = %v, want 1 skipped", stats)
+	}
+	if _, err := fs.Get(spec.ID()); err != nil {
+		t.Fatalf("skipped snapshot was removed: %v", err)
+	}
+
+	// A full pool leaves the valid snapshot in the store too.
+	p2 := NewDetectorPool(1)
+	p2.SetStore(fs)
+	other := tinySpec()
+	other.Train.Seed++
+	if _, err := p2.Get(other); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = p2.AdoptSnapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped != 1 || stats.Adopted != 0 {
+		t.Fatalf("adopt into full pool = %v, want 1 skipped", stats)
+	}
+	if _, err := fs.Get(spec.ID()); err != nil {
+		t.Fatalf("skipped snapshot was removed: %v", err)
+	}
+}
+
+// The snapshot metric families render with their outcomes.
+func TestMetricsRenderSnapshotFamilies(t *testing.T) {
+	fs, err := store.OpenFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewDetectorPool(0)
+	p.SetStore(fs)
+	if _, err := p.Get(tinySpec()); err != nil {
+		t.Fatal(err)
+	}
+	waitSaves(t, p, 1)
+	out := NewMetrics().Render(p)
+	for _, want := range []string{
+		`ladd_snapshot_saves_total{outcome="ok"} 1`,
+		`ladd_snapshot_saves_total{outcome="error"} 0`,
+		`ladd_snapshot_loads_total{outcome="ok"} 0`,
+		`ladd_snapshot_loads_total{outcome="corrupt"} 0`,
+		`ladd_snapshot_loads_total{outcome="stale"} 0`,
+		`ladd_snapshot_loads_total{outcome="mismatch"} 0`,
+		"ladd_snapshots_adopted_total 0",
+		"ladd_store_errors_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/deploy"
 	"repro/internal/mathx"
+	"repro/internal/store"
 )
 
 // TrainSpec is the JSON-facing subset of core.TrainConfig a client may
@@ -114,7 +115,7 @@ var ErrInvalidSpec = errors.New("serve: invalid detector spec")
 // workers caps the training worker pool; it is assigned by the pool so
 // concurrent cold starts share the machine instead of each claiming
 // GOMAXPROCS.
-func trainDetector(spec DetectorSpec, workers int) (*core.Detector, []float64, error) {
+func trainDetector(spec DetectorSpec, workers int, cancel <-chan struct{}) (*core.Detector, []float64, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
 	}
@@ -128,6 +129,7 @@ func trainDetector(spec DetectorSpec, workers int) (*core.Detector, []float64, e
 	}
 	cfg := spec.Train.TrainConfig()
 	cfg.Workers = workers
+	cfg.Cancel = cancel
 	return core.Train(model, metric, cfg)
 }
 
@@ -202,6 +204,21 @@ type poolEntry struct {
 	// failed). Re-registration after a failure installs a fresh channel.
 	//lad:guardedby mu
 	done chan struct{}
+
+	// cancel aborts the current flight's Monte-Carlo run: Delete closes
+	// it when detaching a mid-training resource, so the detached flight
+	// stops burning cores instead of finishing a run nobody will read.
+	// Re-arming installs a fresh channel alongside done; nil on adopted
+	// entries (no flight ever ran).
+	//lad:guardedby mu
+	cancel chan struct{}
+
+	// saveMu serializes snapshot saves for this entry so an initial save
+	// and a racing rethreshold save cannot land on disk out of order (the
+	// snapshot is rebuilt from live state under saveMu, so the last
+	// writer always persists the newest operating point). Never held
+	// together with mu.
+	saveMu sync.Mutex
 }
 
 // status snapshots the entry.
@@ -300,9 +317,15 @@ type DetectorPool struct {
 	// /metrics); SetExpCacheByteBudget arms the cap.
 	//lad:guardedby setup
 	expBudget *core.ExpCacheBudget
-	// trainer is swappable for tests; nil means trainDetector.
+	// trainer is swappable for tests; nil means trainDetector. The third
+	// parameter is the flight's cancel channel (may be nil).
 	//lad:guardedby setup
-	trainer func(DetectorSpec, int) (*core.Detector, []float64, error)
+	trainer func(DetectorSpec, int, <-chan struct{}) (*core.Detector, []float64, error)
+	// snapStore, when set, persists ready detectors across restarts and
+	// feeds boot-time adoption; nil (the default) keeps the pool purely
+	// in-memory. See persist.go.
+	//lad:guardedby setup
+	snapStore store.Store
 
 	// Training-duration accounting: cold starts are the pool's dominant
 	// latency (seconds of Monte-Carlo per new spec vs microseconds per
@@ -313,6 +336,17 @@ type DetectorPool struct {
 	trainNanos atomic.Int64
 	trainLast  atomic.Int64
 	trainHist  [numTrainBuckets]atomic.Uint64
+
+	// Snapshot persistence accounting (persist.go): saves by outcome,
+	// boot-time loads by outcome, adoptions, and store-operation errors.
+	snapSaveOK       atomic.Uint64
+	snapSaveErr      atomic.Uint64
+	snapLoadOK       atomic.Uint64
+	snapLoadCorrupt  atomic.Uint64
+	snapLoadStale    atomic.Uint64
+	snapLoadMismatch atomic.Uint64
+	snapAdopted      atomic.Uint64
+	storeErrors      atomic.Uint64
 }
 
 // trainBuckets are the ladd_train_seconds histogram upper bounds,
@@ -386,7 +420,7 @@ func NewDetectorPool(limit int) *DetectorPool {
 }
 
 // newDetectorPoolWithTrainer is the test seam.
-func newDetectorPoolWithTrainer(trainer func(DetectorSpec, int) (*core.Detector, []float64, error)) *DetectorPool {
+func newDetectorPoolWithTrainer(trainer func(DetectorSpec, int, <-chan struct{}) (*core.Detector, []float64, error)) *DetectorPool {
 	p := &DetectorPool{
 		entries:   make(map[string]*poolEntry),
 		byID:      make(map[string]*poolEntry),
@@ -490,6 +524,7 @@ func (p *DetectorPool) admit(spec DetectorSpec) (*poolEntry, bool, error) {
 			e.state = StatePending
 			e.err = nil
 			e.done = make(chan struct{})
+			e.cancel = make(chan struct{})
 			e.mu.Unlock()
 			p.startTraining(e)
 		}
@@ -509,6 +544,7 @@ func (p *DetectorPool) admit(spec DetectorSpec) (*poolEntry, bool, error) {
 		state:      StatePending,
 		percentile: spec.Train.Percentile,
 		done:       make(chan struct{}),
+		cancel:     make(chan struct{}),
 	}
 	p.entries[key] = e
 	p.byID[e.id] = e
@@ -592,8 +628,11 @@ func (p *DetectorPool) runTraining(e *poolEntry, semHeld bool) {
 	if train == nil {
 		train = trainDetector
 	}
+	e.mu.Lock()
+	cancel := e.cancel
+	e.mu.Unlock()
 	start := time.Now()
-	det, scores, err := train(e.spec, p.trainWorkers)
+	det, scores, err := train(e.spec, p.trainWorkers, cancel)
 	took := time.Since(start)
 
 	if err != nil {
@@ -640,7 +679,9 @@ func (p *DetectorPool) runTraining(e *poolEntry, semHeld bool) {
 		// Deleted between the budget install and publish: Delete cannot
 		// have seen e.det, so the retire duty falls on this flight.
 		det.RetireExpCache()
+		return
 	}
+	p.persistEntry(e)
 }
 
 // Get returns the trained detector for spec, registering it and blocking
@@ -747,9 +788,12 @@ func (p *DetectorPool) List() []DetectorStatus {
 // cache is retired so its reservations return to the shared byte budget
 // (in-flight checks keep scoring; their admissions are simply
 // uncharged). A mid-training resource is removed from the maps
-// immediately — its flight runs to completion detached (core training
-// is not cancellable), skips the job/duration counters, and discards
-// its result. Returns false for unknown ids.
+// immediately and its flight's cancel channel is closed, so the
+// Monte-Carlo run aborts between trial dispatches instead of burning
+// cores to completion; the detached flight publishes its (canceled)
+// outcome for waiters that joined before the delete and skips the
+// job/duration counters. Any persisted snapshot is removed from the
+// store. Returns false for unknown ids.
 func (p *DetectorPool) Delete(id string) bool {
 	p.mu.Lock()
 	e := p.byID[id]
@@ -763,10 +807,17 @@ func (p *DetectorPool) Delete(id string) bool {
 	e.mu.Lock()
 	e.evicted = true
 	det := e.det
+	if e.cancel != nil {
+		// Closing is safe exactly once: the entry just left the maps, so
+		// no second Delete or re-arm can reach this channel again.
+		close(e.cancel)
+		e.cancel = nil
+	}
 	e.mu.Unlock()
 	if det != nil {
 		det.RetireExpCache()
 	}
+	p.deleteSnapshot(id)
 	return true
 }
 
@@ -802,6 +853,9 @@ func (p *DetectorPool) Rethreshold(id string, tau float64) (DetectorStatus, erro
 	e.det.SetThreshold(th)
 	e.percentile = tau
 	e.mu.Unlock()
+	// Persist the moved operating point so /rethreshold survives a
+	// restart; asynchronous and best-effort like the post-training save.
+	p.persistEntry(e)
 	return e.status(), nil
 }
 

@@ -58,9 +58,9 @@ func TestDetectorSpecKey(t *testing.T) {
 
 func TestDetectorPoolHitMiss(t *testing.T) {
 	var trained atomic.Int32
-	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, []float64, error) {
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int, _ <-chan struct{}) (*core.Detector, []float64, error) {
 		trained.Add(1)
-		return trainDetector(spec, workers)
+		return trainDetector(spec, workers, nil)
 	})
 	specA := tinySpec()
 	specB := tinySpec()
@@ -92,9 +92,9 @@ func TestDetectorPoolHitMiss(t *testing.T) {
 
 func TestDetectorPoolSingleFlightUnderRace(t *testing.T) {
 	var trained atomic.Int32
-	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, []float64, error) {
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int, _ <-chan struct{}) (*core.Detector, []float64, error) {
 		trained.Add(1)
-		return trainDetector(spec, workers)
+		return trainDetector(spec, workers, nil)
 	})
 	spec := tinySpec()
 	const goroutines = 32
@@ -127,12 +127,12 @@ func TestFailedTrainingStaysInspectableAndRetries(t *testing.T) {
 	var trained atomic.Int32
 	fail := atomic.Bool{}
 	fail.Store(true)
-	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, []float64, error) {
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int, _ <-chan struct{}) (*core.Detector, []float64, error) {
 		trained.Add(1)
 		if fail.Load() {
 			return nil, nil, fmt.Errorf("boom")
 		}
-		return trainDetector(spec, workers)
+		return trainDetector(spec, workers, nil)
 	})
 	spec := tinySpec()
 	if _, err := pool.Get(spec); err == nil {
@@ -167,11 +167,11 @@ func TestFailedTrainingStaysInspectableAndRetries(t *testing.T) {
 // burst of distinct bad specs used to occupy limit slots forever and
 // turn every later lookup into ErrPoolFull.
 func TestFailedTrainingDoesNotBrickPool(t *testing.T) {
-	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, []float64, error) {
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int, _ <-chan struct{}) (*core.Detector, []float64, error) {
 		if spec.Train.Seed >= 100 {
 			return nil, nil, fmt.Errorf("bad spec %d", spec.Train.Seed)
 		}
-		return trainDetector(spec, workers)
+		return trainDetector(spec, workers, nil)
 	})
 	pool.limit = 2
 	bad := tinySpec()
@@ -197,7 +197,7 @@ func TestTrainingConcurrencyCap(t *testing.T) {
 	var active, peak atomic.Int32
 	var badWorkers atomic.Int32
 	release := make(chan struct{})
-	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, []float64, error) {
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int, _ <-chan struct{}) (*core.Detector, []float64, error) {
 		if workers < 1 || workers > max(1, runtime.GOMAXPROCS(0)/2) {
 			badWorkers.Store(int32(workers))
 		}
@@ -553,13 +553,13 @@ func TestTrainDurationMetrics(t *testing.T) {
 	// Training duration is the pool's dominant cold-start cost; it must
 	// be recorded per successful run and exported as ladd_train_seconds.
 	var trained atomic.Int32
-	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, []float64, error) {
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int, _ <-chan struct{}) (*core.Detector, []float64, error) {
 		trained.Add(1)
 		if spec.Train.Seed == 666 {
 			return nil, nil, fmt.Errorf("synthetic failure")
 		}
 		time.Sleep(5 * time.Millisecond)
-		return trainDetector(spec, workers)
+		return trainDetector(spec, workers, nil)
 	})
 
 	spec := tinySpec()

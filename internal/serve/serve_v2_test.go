@@ -26,11 +26,11 @@ const slowSeed = 7777
 func newLifecycleServer(t *testing.T, cfg ServerConfig) (*httptest.Server, *Server, chan struct{}) {
 	t.Helper()
 	release := make(chan struct{})
-	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, []float64, error) {
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int, _ <-chan struct{}) (*core.Detector, []float64, error) {
 		if spec.Train.Seed == slowSeed {
 			<-release
 		}
-		return trainDetector(spec, workers)
+		return trainDetector(spec, workers, nil)
 	})
 	srv, err := NewServer(cfg, pool)
 	if err != nil {
@@ -257,11 +257,11 @@ func TestV2EvictWhileTraining(t *testing.T) {
 func TestV2FailedStateMachine(t *testing.T) {
 	var failNext atomic.Bool
 	failNext.Store(true)
-	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, []float64, error) {
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int, _ <-chan struct{}) (*core.Detector, []float64, error) {
 		if spec.Train.Seed == 999 && failNext.Load() {
 			return nil, nil, fmt.Errorf("synthetic trainer failure")
 		}
-		return trainDetector(spec, workers)
+		return trainDetector(spec, workers, nil)
 	})
 	srv, err := NewServer(ServerConfig{Default: tinySpec()}, pool)
 	if err != nil {
@@ -742,11 +742,11 @@ func TestDeleteReturnsExpCacheBudget(t *testing.T) {
 // TestFailedRearmRespectsLimit: re-arming a failed resource makes it
 // live, so it must fit the live-entry limit like any fresh admission.
 func TestFailedRearmRespectsLimit(t *testing.T) {
-	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int) (*core.Detector, []float64, error) {
+	pool := newDetectorPoolWithTrainer(func(spec DetectorSpec, workers int, _ <-chan struct{}) (*core.Detector, []float64, error) {
 		if spec.Train.Seed == 999 {
 			return nil, nil, fmt.Errorf("boom")
 		}
-		return trainDetector(spec, workers)
+		return trainDetector(spec, workers, nil)
 	})
 	pool.limit = 1
 	bad := tinySpec()

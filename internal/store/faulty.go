@@ -1,0 +1,213 @@
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// Faulty wraps a Store and injects configured faults: forced errors per
+// operation, byte transforms on the payload path (torn writes, bit
+// flips, version skew), and read delays. Tests use it to prove the
+// serving layer's degradation story — quarantine and retrain on bad
+// bytes, serve from memory on write failure — without reaching around
+// the Store interface to corrupt files directly.
+//
+// The zero fault configuration is fully transparent. Knobs may be
+// flipped at any time from any goroutine.
+type Faulty struct {
+	inner Store
+
+	mu sync.Mutex
+	//lad:guardedby mu
+	putErr error
+	//lad:guardedby mu
+	getErr error
+	//lad:guardedby mu
+	listErr error
+	//lad:guardedby mu
+	deleteErr error
+	//lad:guardedby mu
+	putTransform func([]byte) []byte
+	//lad:guardedby mu
+	getTransform func([]byte) []byte
+	//lad:guardedby mu
+	readDelay time.Duration
+	//lad:guardedby mu
+	puts int
+	//lad:guardedby mu
+	gets int
+}
+
+// NewFaulty wraps inner with no faults armed.
+func NewFaulty(inner Store) *Faulty {
+	return &Faulty{inner: inner}
+}
+
+// SetPutError makes every Put fail with err (nil disarms). The inner
+// store is not touched while armed — simulating a dead disk, not a
+// partial write; use SetPutTransform for partial writes.
+func (f *Faulty) SetPutError(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.putErr = err
+}
+
+// SetGetError makes every Get fail with err (nil disarms).
+func (f *Faulty) SetGetError(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.getErr = err
+}
+
+// SetListError makes every List fail with err (nil disarms).
+func (f *Faulty) SetListError(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.listErr = err
+}
+
+// SetDeleteError makes every Delete fail with err (nil disarms).
+func (f *Faulty) SetDeleteError(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.deleteErr = err
+}
+
+// SetPutTransform mangles every stored payload with fn before it
+// reaches the inner store (nil disarms). Torn writes are
+// SetPutTransform(Truncate(n)); note the FS envelope is computed by the
+// inner store *after* the transform, so a mangled payload is stored
+// with a valid envelope — exactly the case the snapshot codec's own
+// checksum exists to catch.
+func (f *Faulty) SetPutTransform(fn func([]byte) []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.putTransform = fn
+}
+
+// SetGetTransform mangles every payload read from the inner store with
+// fn before the caller sees it (nil disarms).
+func (f *Faulty) SetGetTransform(fn func([]byte) []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.getTransform = fn
+}
+
+// SetReadDelay makes every Get sleep for d first (0 disarms),
+// simulating a slow or contended disk.
+func (f *Faulty) SetReadDelay(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.readDelay = d
+}
+
+// Puts reports how many Put calls reached the wrapper (including ones
+// that failed via an armed error).
+func (f *Faulty) Puts() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.puts
+}
+
+// Gets reports how many Get calls reached the wrapper.
+func (f *Faulty) Gets() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.gets
+}
+
+func (f *Faulty) Put(id string, data []byte) error {
+	f.mu.Lock()
+	f.puts++
+	err := f.putErr
+	transform := f.putTransform
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if transform != nil {
+		data = transform(data)
+	}
+	return f.inner.Put(id, data)
+}
+
+func (f *Faulty) Get(id string) ([]byte, error) {
+	f.mu.Lock()
+	f.gets++
+	err := f.getErr
+	transform := f.getTransform
+	delay := f.readDelay
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
+		return nil, err
+	}
+	data, gerr := f.inner.Get(id)
+	if gerr != nil {
+		return nil, gerr
+	}
+	if transform != nil {
+		data = transform(data)
+	}
+	return data, nil
+}
+
+func (f *Faulty) List() ([]string, error) {
+	f.mu.Lock()
+	err := f.listErr
+	f.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return f.inner.List()
+}
+
+func (f *Faulty) Delete(id string) error {
+	f.mu.Lock()
+	err := f.deleteErr
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.Delete(id)
+}
+
+func (f *Faulty) Quarantine(id string) error {
+	return f.inner.Quarantine(id)
+}
+
+// Truncate returns a transform that drops the payload to at most n
+// bytes — a torn write when used with SetPutTransform.
+func Truncate(n int) func([]byte) []byte {
+	return func(b []byte) []byte {
+		if n >= len(b) {
+			return b
+		}
+		out := make([]byte, n)
+		copy(out, b[:n])
+		return out
+	}
+}
+
+// FlipBit returns a transform that flips one bit at byte offset i
+// (clamped into range) — silent bit rot.
+func FlipBit(i int) func([]byte) []byte {
+	return func(b []byte) []byte {
+		if len(b) == 0 {
+			return b
+		}
+		out := make([]byte, len(b))
+		copy(out, b)
+		j := i
+		if j < 0 {
+			j = 0
+		}
+		if j >= len(out) {
+			j = len(out) - 1
+		}
+		out[j] ^= 1 << 3
+		return out
+	}
+}

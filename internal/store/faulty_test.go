@@ -1,0 +1,133 @@
+package store
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func newFaultyFS(t *testing.T) (*Faulty, *FS) {
+	t.Helper()
+	fs, err := OpenFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewFaulty(fs), fs
+}
+
+func TestFaultyTransparentByDefault(t *testing.T) {
+	f, _ := newFaultyFS(t)
+	if err := f.Put("da", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Get("da")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	ids, err := f.List()
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("List = %v, %v", ids, err)
+	}
+	if err := f.Delete("da"); err != nil {
+		t.Fatal(err)
+	}
+	if f.Puts() != 1 || f.Gets() != 1 {
+		t.Fatalf("counters = %d puts, %d gets", f.Puts(), f.Gets())
+	}
+}
+
+func TestFaultyErrorInjection(t *testing.T) {
+	f, inner := newFaultyFS(t)
+	boom := errors.New("injected EIO")
+
+	f.SetPutError(boom)
+	if err := f.Put("da", []byte("x")); !errors.Is(err, boom) {
+		t.Fatalf("Put = %v, want injected error", err)
+	}
+	// The inner store was never touched: a dead disk, not a torn write.
+	if _, err := inner.Get("da"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("inner Get = %v, want ErrNotFound", err)
+	}
+	f.SetPutError(nil)
+	if err := f.Put("da", []byte("x")); err != nil {
+		t.Fatalf("Put after disarm: %v", err)
+	}
+
+	f.SetGetError(boom)
+	if _, err := f.Get("da"); !errors.Is(err, boom) {
+		t.Fatalf("Get = %v, want injected error", err)
+	}
+	f.SetGetError(nil)
+
+	f.SetListError(boom)
+	if _, err := f.List(); !errors.Is(err, boom) {
+		t.Fatalf("List = %v, want injected error", err)
+	}
+	f.SetListError(nil)
+
+	f.SetDeleteError(boom)
+	if err := f.Delete("da"); !errors.Is(err, boom) {
+		t.Fatalf("Delete = %v, want injected error", err)
+	}
+}
+
+// A torn write (truncating put transform) stores a short payload under a
+// valid envelope: the store-level read succeeds and it is the snapshot
+// codec's job to reject the bytes. The wrapper must deliver the mangled
+// payload, not hide it.
+func TestFaultyPutTransform(t *testing.T) {
+	f, _ := newFaultyFS(t)
+	f.SetPutTransform(Truncate(4))
+	if err := f.Put("da", []byte("longer than four")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Get("da")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "long" {
+		t.Fatalf("Get = %q, want truncated payload", got)
+	}
+}
+
+func TestFaultyGetTransform(t *testing.T) {
+	f, _ := newFaultyFS(t)
+	if err := f.Put("da", []byte{0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	f.SetGetTransform(FlipBit(0))
+	got, err := f.Get("da")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] == 0x00 {
+		t.Fatalf("Get = %v, want bit-flipped first byte", got)
+	}
+}
+
+func TestFaultyReadDelay(t *testing.T) {
+	f, _ := newFaultyFS(t)
+	if err := f.Put("da", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	f.SetReadDelay(30 * time.Millisecond)
+	start := time.Now()
+	if _, err := f.Get("da"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("Get returned after %v, want >= 30ms", elapsed)
+	}
+}
+
+func TestTransforms(t *testing.T) {
+	if got := Truncate(10)([]byte("short")); string(got) != "short" {
+		t.Fatalf("Truncate beyond length = %q", got)
+	}
+	if got := FlipBit(99)([]byte{0xff}); got[0] == 0xff {
+		t.Fatal("FlipBit out of range did not clamp and flip")
+	}
+	if got := FlipBit(0)(nil); got != nil {
+		t.Fatalf("FlipBit on empty = %v", got)
+	}
+}

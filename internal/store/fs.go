@@ -1,0 +1,228 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// File layout: each snapshot lives at <dir>/<id>.snap wrapped in a
+// small envelope so the store can tell a torn or rotted file from a
+// valid one without understanding the payload:
+//
+//	offset  size  field
+//	0       8     magic "LADSTOR1"
+//	8       4     payload length, big-endian uint32
+//	12      4     CRC-32 (IEEE) of the payload, big-endian
+//	16      n     payload (opaque snapshot bytes)
+//
+// Anything that fails the envelope — short file, wrong magic, length
+// disagreeing with the file size, checksum mismatch — is ErrCorrupt.
+// The snapshot codec carries its own checksum too; the envelope exists
+// so corruption is caught at the storage boundary with a storage error,
+// before the codec's stricter structural checks run.
+const (
+	fsMagic      = "LADSTOR1"
+	fsHeaderSize = len(fsMagic) + 4 + 4
+	fsSuffix     = ".snap"
+	// fsQuarantineSuffix marks entries moved aside by Quarantine: still
+	// on disk for inspection, invisible to Get/List.
+	fsQuarantineSuffix = ".snap.quarantined"
+	// fsMaxPayload bounds a single snapshot file. Real snapshots are a
+	// few KiB (the benign sample dominates at 8 bytes per trial); 64 MiB
+	// leaves three orders of magnitude of headroom while keeping a
+	// corrupted length field from driving a giant allocation.
+	fsMaxPayload = 64 << 20
+)
+
+// FS is the crash-safe filesystem Store. Writes are atomic
+// (temp file + fsync + rename + directory fsync), so a crash at any
+// point leaves either the old payload or the new one, never a mix;
+// reads verify the envelope checksum, so damage surfaces as ErrCorrupt.
+type FS struct {
+	// mu serializes mutations per store. Put's temp-file dance is
+	// already safe against concurrent Puts of different ids; the lock
+	// makes Put/Delete/Quarantine races on the *same* id sequential so
+	// a rename never lands on a file another operation just moved.
+	mu sync.Mutex
+	//lad:guardedby setup
+	dir string
+}
+
+// OpenFS opens (creating if needed) dir as a snapshot store.
+//
+//lad:setup
+func OpenFS(dir string) (*FS, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	return &FS{dir: dir}, nil
+}
+
+// Dir returns the directory backing the store.
+func (s *FS) Dir() string { return s.dir }
+
+func (s *FS) path(id string) string { return filepath.Join(s.dir, id+fsSuffix) }
+
+// Put durably writes data under id: envelope + payload go to a temp
+// file in the same directory, the file is fsynced and atomically
+// renamed over the destination, and the directory is fsynced so the
+// rename itself survives a crash.
+func (s *FS) Put(id string, data []byte) error {
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	if len(data) > fsMaxPayload {
+		return fmt.Errorf("store: snapshot %s is %d bytes, limit %d", id, len(data), fsMaxPayload)
+	}
+	buf := make([]byte, 0, fsHeaderSize+len(data))
+	buf = append(buf, fsMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(data)))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(data))
+	buf = append(buf, data...)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp, err := os.CreateTemp(s.dir, id+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: temp file for %s: %w", id, err)
+	}
+	tmpName := tmp.Name()
+	// Any failure past this point abandons the temp file; removing it is
+	// best-effort cleanup (List ignores temp names regardless).
+	fail := func(op string, err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %s %s: %w", op, id, err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		return fail("write", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail("fsync", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: close %s: %w", id, err)
+	}
+	if err := os.Rename(tmpName, s.path(id)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: rename %s: %w", id, err)
+	}
+	return s.syncDir()
+}
+
+// syncDir fsyncs the store directory so a completed rename is durable.
+func (s *FS) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: fsync dir: %w", err)
+	}
+	return nil
+}
+
+// Get returns id's payload after verifying the envelope. Missing file →
+// ErrNotFound; anything structurally wrong with the stored bytes →
+// ErrCorrupt (wrapped with detail).
+func (s *FS) Get(id string) ([]byte, error) {
+	if err := ValidateID(id); err != nil {
+		return nil, err
+	}
+	raw, err := os.ReadFile(s.path(id))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("store: %s: %w", id, ErrNotFound)
+		}
+		return nil, fmt.Errorf("store: read %s: %w", id, err)
+	}
+	if len(raw) < fsHeaderSize {
+		return nil, fmt.Errorf("store: %s: %d-byte file shorter than envelope header: %w", id, len(raw), ErrCorrupt)
+	}
+	if string(raw[:len(fsMagic)]) != fsMagic {
+		return nil, fmt.Errorf("store: %s: bad envelope magic: %w", id, ErrCorrupt)
+	}
+	n := binary.BigEndian.Uint32(raw[len(fsMagic):])
+	payload := raw[fsHeaderSize:]
+	if uint64(n) != uint64(len(payload)) {
+		return nil, fmt.Errorf("store: %s: envelope claims %d payload bytes, file has %d: %w", id, n, len(payload), ErrCorrupt)
+	}
+	want := binary.BigEndian.Uint32(raw[len(fsMagic)+4:])
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, fmt.Errorf("store: %s: envelope checksum mismatch: %w", id, ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// List returns the sorted ids of every stored snapshot. Temp files and
+// quarantined entries are skipped.
+func (s *FS) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, fsSuffix) || strings.HasSuffix(name, fsQuarantineSuffix) {
+			continue
+		}
+		id := strings.TrimSuffix(name, fsSuffix)
+		if ValidateID(id) != nil {
+			continue // foreign file that happens to end in .snap
+		}
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Delete removes id's snapshot and its quarantined twin, if either
+// exists. Deleting a missing id is a no-op, not an error.
+func (s *FS) Delete(id string) error {
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range []string{s.path(id), filepath.Join(s.dir, id+fsQuarantineSuffix)} {
+		if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("store: delete %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Quarantine renames id's snapshot to <id>.snap.quarantined — out of
+// Get/List reach, preserved for post-mortem. A subsequent Put of the
+// same id (after retraining) writes a fresh .snap alongside it; a
+// second Quarantine overwrites the previous quarantined file, keeping
+// at most one aside per id. Quarantining a missing id is a no-op.
+func (s *FS) Quarantine(id string) error {
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := os.Rename(s.path(id), filepath.Join(s.dir, id+fsQuarantineSuffix))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: quarantine %s: %w", id, err)
+	}
+	if err != nil {
+		return nil // nothing to quarantine
+	}
+	return s.syncDir()
+}

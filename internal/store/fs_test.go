@@ -1,0 +1,231 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFSRoundTrip(t *testing.T) {
+	s, err := OpenFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("hello detector")
+	if err := s.Put("d0123456789abcdef", payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := s.Get("d0123456789abcdef")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("Get = %q, want %q", got, payload)
+	}
+	ids, err := s.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(ids) != 1 || ids[0] != "d0123456789abcdef" {
+		t.Fatalf("List = %v", ids)
+	}
+}
+
+func TestFSPutReplaces(t *testing.T) {
+	s, err := OpenFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("dx", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("dx", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("dx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new" {
+		t.Fatalf("Get = %q, want new", got)
+	}
+}
+
+func TestFSGetMissing(t *testing.T) {
+	s, err := OpenFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("dmissing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing = %v, want ErrNotFound", err)
+	}
+}
+
+// Corruption applied directly to the file — below the Store interface,
+// as a crashing kernel or rotting disk would — must surface as
+// ErrCorrupt, never as garbage payload bytes.
+func TestFSGetCorrupt(t *testing.T) {
+	cases := []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"empty file", func(b []byte) []byte { return nil }},
+		{"short header", func(b []byte) []byte { return b[:fsHeaderSize-3] }},
+		{"torn payload", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"bit flip in payload", func(b []byte) []byte { b[len(b)-1] ^= 0x10; return b }},
+		{"bit flip in length", func(b []byte) []byte { b[len(fsMagic)+3] ^= 0x01; return b }},
+		{"trailing junk", func(b []byte) []byte { return append(b, 0xaa) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := OpenFS(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("dd", []byte("payload bytes here")); err != nil {
+				t.Fatal(err)
+			}
+			p := filepath.Join(s.Dir(), "dd"+fsSuffix)
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, tc.mangle(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Get("dd"); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Get after %s = %v, want ErrCorrupt", tc.name, err)
+			}
+		})
+	}
+}
+
+// A crash mid-Put leaves a temp file behind; it must not shadow the
+// committed payload or show up in listings.
+func TestFSIgnoresTempLitter(t *testing.T) {
+	s, err := OpenFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("dlive", []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	for _, litter := range []string{"dlive.tmp-123456", "dother.tmp-9"} {
+		if err := os.WriteFile(filepath.Join(s.Dir(), litter), []byte("partial junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "dlive" {
+		t.Fatalf("List with temp litter = %v, want [dlive]", ids)
+	}
+	got, err := s.Get("dlive")
+	if err != nil || string(got) != "committed" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+}
+
+func TestFSQuarantine(t *testing.T) {
+	s, err := OpenFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("dq", []byte("bad apple")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quarantine("dq"); err != nil {
+		t.Fatalf("Quarantine: %v", err)
+	}
+	if _, err := s.Get("dq"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after quarantine = %v, want ErrNotFound", err)
+	}
+	ids, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("List after quarantine = %v, want empty", ids)
+	}
+	// The bytes survive aside for inspection.
+	if _, err := os.Stat(filepath.Join(s.Dir(), "dq"+fsQuarantineSuffix)); err != nil {
+		t.Fatalf("quarantined file: %v", err)
+	}
+	// Quarantining an id with no snapshot is a no-op.
+	if err := s.Quarantine("dq"); err != nil {
+		t.Fatalf("second Quarantine: %v", err)
+	}
+	// A fresh Put (post-retrain) coexists with the quarantined twin;
+	// Delete removes both.
+	if err := s.Put("dq", []byte("retrained")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("dq"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "dq") {
+			t.Fatalf("Delete left %s behind", e.Name())
+		}
+	}
+}
+
+func TestFSDeleteMissing(t *testing.T) {
+	s, err := OpenFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("dnothing"); err != nil {
+		t.Fatalf("Delete missing = %v, want nil", err)
+	}
+}
+
+func TestValidateID(t *testing.T) {
+	good := []string{"d0123456789abcdef", "D-under_score", "a"}
+	for _, id := range good {
+		if err := ValidateID(id); err != nil {
+			t.Errorf("ValidateID(%q) = %v, want nil", id, err)
+		}
+	}
+	bad := []string{"", ".", "..", "../escape", "a/b", `a\b`, "a.snap", "id with space", "nul\x00byte", strings.Repeat("x", 129)}
+	for _, id := range bad {
+		if err := ValidateID(id); err == nil {
+			t.Errorf("ValidateID(%q) = nil, want error", id)
+		}
+	}
+}
+
+// Every FS entry point rejects a hostile id before touching the
+// filesystem.
+func TestFSRejectsHostileIDs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outside := filepath.Join(dir, "..", "escaped")
+	if err := s.Put("../escaped", []byte("x")); err == nil {
+		t.Fatal("Put with traversal id succeeded")
+	}
+	if _, err := os.Stat(outside + fsSuffix); err == nil {
+		t.Fatal("traversal Put escaped the store directory")
+	}
+	if _, err := s.Get("../escaped"); err == nil {
+		t.Fatal("Get with traversal id succeeded")
+	}
+	if err := s.Delete("../escaped"); err == nil {
+		t.Fatal("Delete with traversal id succeeded")
+	}
+	if err := s.Quarantine("../escaped"); err == nil {
+		t.Fatal("Quarantine with traversal id succeeded")
+	}
+}

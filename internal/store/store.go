@@ -1,0 +1,76 @@
+// Package store persists detector snapshots so a restarting ladd node
+// adopts its trained detectors instead of retraining them. The Store
+// interface is deliberately byte-oriented — it moves opaque snapshot
+// payloads keyed by detector resource id and knows nothing about the
+// codec (repro/internal/core owns the snapshot format and its
+// checksum). Implementations:
+//
+//   - FS: a crash-safe filesystem store — writes go to a temp file,
+//     are fsynced, and atomically renamed into place; every payload is
+//     wrapped in a checksummed envelope verified on read, so torn
+//     writes and bit rot surface as ErrCorrupt instead of garbage.
+//   - Faulty: a fault-injecting wrapper used by tests to prove the
+//     serving layer degrades gracefully under torn writes, bit flips,
+//     EIO, version skew, and slow reads.
+//
+// The ROADMAP's SQL-backed store slots in behind the same interface.
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotFound is returned by Get for ids with no stored snapshot.
+var ErrNotFound = errors.New("store: snapshot not found")
+
+// ErrCorrupt is returned by Get when the stored bytes fail the store's
+// own integrity envelope (truncation, checksum mismatch) — damage
+// detected before the snapshot codec ever sees the payload.
+var ErrCorrupt = errors.New("store: snapshot corrupt")
+
+// Store persists opaque snapshot payloads by detector resource id.
+// Implementations must be safe for concurrent use.
+type Store interface {
+	// Put durably stores data under id, replacing any previous payload.
+	// A successful Put survives a crash of the process (and, for the
+	// filesystem store, of the machine, modulo disk honesty).
+	Put(id string, data []byte) error
+	// Get returns the payload stored under id: ErrNotFound when there is
+	// none, ErrCorrupt when the stored bytes fail integrity checks.
+	Get(id string) ([]byte, error)
+	// List returns every stored id, sorted. Quarantined entries are not
+	// listed.
+	List() ([]string, error)
+	// Delete removes id's payload. Deleting an id that has none is not
+	// an error — callers delete on detector eviction without caring
+	// whether a snapshot was ever written.
+	Delete(id string) error
+	// Quarantine moves id's payload aside — out of List/Get reach but
+	// preserved for inspection — so a bad snapshot is consulted exactly
+	// once and never blocks the same boot path again. Quarantining a
+	// missing id is not an error.
+	Quarantine(id string) error
+}
+
+// ValidateID rejects ids that could escape a flat keyspace: empty
+// strings, path separators, dots and other specials. Detector resource
+// ids ("d" + 16 hex chars) pass; anything an attacker might smuggle in
+// does not. Every FS operation validates before touching the
+// filesystem.
+func ValidateID(id string) error {
+	if id == "" {
+		return errors.New("store: empty snapshot id")
+	}
+	if len(id) > 128 {
+		return fmt.Errorf("store: snapshot id longer than 128 bytes")
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return fmt.Errorf("store: snapshot id contains %q", c)
+		}
+	}
+	return nil
+}
