@@ -57,6 +57,12 @@ type TrainSpec struct {
 	Percentile  float64 `json:"percentile"`
 	Seed        uint64  `json:"seed"`
 	KeepInField bool    `json:"keep_in_field"`
+	// SimEpoch selects the server's simulation epoch: 0 or 1 train on
+	// the bit-identity contract (identical results across server builds
+	// back to the scalar seed), 2 on the fast table-sampler path whose
+	// results are equivalent at the distribution level only. Omitted for
+	// the default, so existing clients' requests are unchanged.
+	SimEpoch int `json:"sim_epoch,omitempty"`
 }
 
 // DetectorSpec fully determines a detector resource: deployment
@@ -117,6 +123,14 @@ func (s DetectorSpec) WithPercentile(tau float64) DetectorSpec {
 // WithSeed returns the spec trained with a different RNG seed.
 func (s DetectorSpec) WithSeed(seed uint64) DetectorSpec {
 	s.Train.Seed = seed
+	return s
+}
+
+// WithSimEpoch returns the spec trained under the given simulation
+// epoch (0/1 = bit-identity contract, 2 = fast distribution-level
+// path).
+func (s DetectorSpec) WithSimEpoch(epoch int) DetectorSpec {
+	s.Train.SimEpoch = epoch
 	return s
 }
 

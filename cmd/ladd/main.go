@@ -60,6 +60,7 @@ func main() {
 		percentile  = flag.Float64("percentile", 99, "default training percentile τ")
 		seed        = flag.Uint64("seed", 1, "default training seed")
 		keepInField = flag.Bool("keep-in-field", true, "train on in-field victims only")
+		simEpoch    = flag.Int("sim-epoch", 0, "default training simulation epoch: 0/1 = bit-identical reference, 2 = fast table-sampler path (distribution-level equivalent)")
 		maxBatch    = flag.Int("max-batch", serve.DefaultMaxBatch, "max items per batch request")
 		trainConc   = flag.Int("train-concurrency", serve.DefaultTrainConcurrency, "max detector trainings in flight (each gets GOMAXPROCS/n workers)")
 		expCache    = flag.Int("exp-cache", 0, "per-detector expectation-cache capacity in claimed locations (0 = core default, negative disables)")
@@ -90,6 +91,7 @@ func main() {
 			Percentile:  *percentile,
 			Seed:        *seed,
 			KeepInField: *keepInField,
+			SimEpoch:    *simEpoch,
 		},
 	}
 	if *specFile != "" {

@@ -31,6 +31,7 @@ func main() {
 		figure = flag.String("figure", "all", "experiment id or 'all'")
 		quick  = flag.Bool("quick", false, "reduced trial counts (fast smoke run)")
 		benign = flag.Int("benign", 0, "override benign trials per configuration")
+		epoch  = flag.Int("sim-epoch", 0, "simulation epoch for benign trials: 0/1 = bit-identical reference, 2 = fast table-sampler path (distribution-level equivalent)")
 		att    = flag.Int("attack", 0, "override attacked trials per point")
 		seed   = flag.Uint64("seed", 0, "override master seed")
 		csvDir = flag.String("csv", "", "directory to write per-panel CSV files")
@@ -81,6 +82,7 @@ func main() {
 	if *seed != 0 {
 		opts.Seed = *seed
 	}
+	opts.SimEpoch = *epoch
 
 	ids := []string{*figure}
 	if *figure == "all" {

@@ -21,9 +21,11 @@ import (
 // rethresholding survives restarts). Expectation caches and PMF tables
 // are deliberately NOT captured: they are rebuilt lazily on first use.
 //
-// The wire encoding is versioned, canonical (every accepted byte string
-// re-encodes bit-identically — the FuzzSnapshotDecode property), and
-// checksummed, and decoding never panics on hostile bytes.
+// The wire encoding is versioned, canonical (every accepted
+// current-version byte string re-encodes bit-identically — the
+// FuzzSnapshotDecode property; accepted older versions re-encode in the
+// current form), and checksummed, and decoding never panics on hostile
+// bytes.
 type Snapshot struct {
 	// Deployment is the full deployment configuration; the model is
 	// rebuilt from it on restore.
@@ -45,6 +47,13 @@ type Snapshot struct {
 	TrainPercentile float64
 	Seed            uint64
 	KeepInField     bool
+	// SimEpoch is the simulation epoch the benign sample was generated
+	// under (core.TrainConfig.SimEpoch): 1 for the bit-identity contract,
+	// 2 for the table-sampler/full-poll fast path. Version-1 snapshots
+	// predate the field and decode as epoch 1 — exactly what every
+	// pre-epoch build trained. Adopted detectors carry it so operators
+	// can tell which contract produced a stored threshold.
+	SimEpoch int
 	// Threshold and Percentile are the current operating point — they
 	// track /rethreshold, so they may differ from the τ the detector was
 	// originally trained at.
@@ -75,10 +84,13 @@ var (
 const snapshotMagic = "LADSNAP"
 
 // snapshotVersion is the current encoding epoch. Bump it when the field
-// layout changes; decoders reject other versions with
+// layout changes; decoders reject versions they do not speak with
 // ErrSnapshotVersion so stale snapshots fall through to retraining
-// instead of being misread.
-const snapshotVersion = 1
+// instead of being misread. Version 2 added the simulation-epoch field;
+// version-1 snapshots still decode (as epoch 1) but re-encode in the
+// current form — the canonical bit-identical re-encode property holds
+// for current-version inputs only.
+const snapshotVersion = 2
 
 // maxSnapshotString bounds the length of encoded string fields (the
 // hex digests are 64 bytes; metric names shorter). Anything larger in a
@@ -176,6 +188,9 @@ func (s *Snapshot) Validate() error {
 	if !(s.Percentile > 0 && s.Percentile < 100) {
 		return fmt.Errorf("%w: percentile %g", ErrSnapshotCorrupt, s.Percentile)
 	}
+	if s.SimEpoch < 1 || s.SimEpoch > 2 {
+		return fmt.Errorf("%w: simulation epoch %d", ErrSnapshotCorrupt, s.SimEpoch)
+	}
 	if math.IsNaN(s.Threshold) {
 		return fmt.Errorf("%w: NaN threshold", ErrSnapshotCorrupt)
 	}
@@ -233,6 +248,7 @@ func (s *Snapshot) AppendBinary(dst []byte) []byte {
 	} else {
 		dst = appendU64(dst, 0)
 	}
+	dst = appendU64(dst, uint64(s.SimEpoch))
 	dst = appendF64(dst, s.Threshold)
 	dst = appendF64(dst, s.Percentile)
 	dst = appendF64(dst, s.TrainSeconds)
@@ -269,8 +285,9 @@ func (s *Snapshot) UnmarshalBinary(data []byte) error {
 	if string(data[:len(snapshotMagic)]) != snapshotMagic {
 		return fmt.Errorf("%w: bad magic", ErrSnapshotCorrupt)
 	}
-	if v := data[len(snapshotMagic)]; v != snapshotVersion {
-		return fmt.Errorf("%w: version %d, this build speaks %d", ErrSnapshotVersion, v, snapshotVersion)
+	version := data[len(snapshotMagic)]
+	if version != 1 && version != snapshotVersion {
+		return fmt.Errorf("%w: version %d, this build speaks 1..%d", ErrSnapshotVersion, version, snapshotVersion)
 	}
 	body, crcBytes := data[:len(data)-4], data[len(data)-4:]
 	if got, want := crc32.ChecksumIEEE(body), binary.BigEndian.Uint32(crcBytes); got != want {
@@ -306,6 +323,13 @@ func (s *Snapshot) UnmarshalBinary(data []byte) error {
 		s.KeepInField = true
 	default:
 		r.fail("keep-in-field flag is not 0 or 1")
+	}
+	if version >= 2 {
+		s.SimEpoch = r.nonNegInt()
+	} else {
+		// Version-1 snapshots predate simulation epochs; everything they
+		// trained was the bit-identity path.
+		s.SimEpoch = 1
 	}
 	s.Threshold = r.f64()
 	s.Percentile = r.f64()

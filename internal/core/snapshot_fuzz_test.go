@@ -30,10 +30,12 @@ func FuzzSnapshotDecode(f *testing.F) {
 	s.Trials = 16
 	s.TrainPercentile = 90
 	s.Seed = 2
+	s.SimEpoch = 1
 	s.Percentile = 90
 	s.BenignSample = scores
 	valid := s.Encode()
 	f.Add(valid)
+	f.Add(encodeSnapshotV1(s))
 	for _, mut := range []int{0, 7, 8, len(valid) / 2, len(valid) - 5, len(valid) - 1} {
 		m := append([]byte(nil), valid...)
 		m[mut] ^= 0x40
@@ -49,8 +51,25 @@ func FuzzSnapshotDecode(f *testing.F) {
 		if err != nil {
 			return // rejected cleanly; nothing else to hold
 		}
-		if got := snap.Encode(); !bytes.Equal(got, data) {
-			t.Fatalf("accepted %d-byte input does not re-encode bit-identically (got %d bytes)", len(data), len(got))
+		got := snap.Encode()
+		if data[len(snapshotMagic)] == snapshotVersion {
+			if !bytes.Equal(got, data) {
+				t.Fatalf("accepted %d-byte input does not re-encode bit-identically (got %d bytes)", len(data), len(got))
+			}
+		} else {
+			// Older accepted versions upgrade on re-encode; the canonical
+			// property then holds of the upgraded form: it must round-trip
+			// to an identical snapshot and identical bytes.
+			again, err := DecodeSnapshot(got)
+			if err != nil {
+				t.Fatalf("upgraded re-encode rejected: %v", err)
+			}
+			if !bytes.Equal(again.Encode(), got) {
+				t.Fatalf("upgraded form is not canonical")
+			}
+			if again.SimEpoch != 1 {
+				t.Fatalf("version-1 input decoded with SimEpoch %d, want 1", again.SimEpoch)
+			}
 		}
 		// Accepted snapshots must also survive their own validator — the
 		// decoder promises structural validity, not just parseability.

@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math"
 	"sort"
 	"testing"
@@ -46,6 +48,7 @@ func trainedSnapshot(t *testing.T) (*Snapshot, *Detector) {
 	s.TrainPercentile = tc.Percentile
 	s.Seed = tc.Seed
 	s.KeepInField = tc.KeepInField
+	s.SimEpoch = 1
 	s.Percentile = tc.Percentile
 	s.TrainSeconds = 0.125
 	s.BenignSample = sorted
@@ -218,5 +221,94 @@ func TestTrainCancel(t *testing.T) {
 	cfg.Trials = 20
 	if _, _, err := Train(model, ProbMetric{}, cfg); err != nil {
 		t.Fatalf("Train with nil cancel: %v", err)
+	}
+}
+
+// encodeSnapshotV1 renders s in the version-1 wire layout — the epoch 9
+// encoding, identical to the current one except for the version byte
+// and the absent simulation-epoch field. Kept as a test-only encoder so
+// the decode-compat contract (old snapshot stores keep adopting) stays
+// pinned against real v1 bytes, not a remembered format.
+func encodeSnapshotV1(s *Snapshot) []byte {
+	var dst []byte
+	dst = append(dst, snapshotMagic...)
+	dst = append(dst, 1)
+	cfg := s.Deployment
+	dst = appendF64(dst, cfg.Field.Min.X)
+	dst = appendF64(dst, cfg.Field.Min.Y)
+	dst = appendF64(dst, cfg.Field.Max.X)
+	dst = appendF64(dst, cfg.Field.Max.Y)
+	dst = appendU64(dst, uint64(cfg.GroupsX))
+	dst = appendU64(dst, uint64(cfg.GroupsY))
+	dst = appendU64(dst, uint64(cfg.GroupSize))
+	dst = appendF64(dst, cfg.Sigma)
+	dst = appendF64(dst, cfg.Range)
+	dst = appendU64(dst, uint64(cfg.Layout))
+	dst = appendU64(dst, cfg.RandomSeed)
+	dst = appendString(dst, s.DeploymentHash)
+	dst = appendString(dst, s.SpecKey)
+	dst = appendString(dst, s.Metric)
+	dst = appendU64(dst, uint64(s.Trials))
+	dst = appendF64(dst, s.TrainPercentile)
+	dst = appendU64(dst, s.Seed)
+	if s.KeepInField {
+		dst = appendU64(dst, 1)
+	} else {
+		dst = appendU64(dst, 0)
+	}
+	dst = appendF64(dst, s.Threshold)
+	dst = appendF64(dst, s.Percentile)
+	dst = appendF64(dst, s.TrainSeconds)
+	dst = appendU64(dst, uint64(len(s.BenignSample)))
+	for _, v := range s.BenignSample {
+		dst = appendF64(dst, v)
+	}
+	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst))
+}
+
+// TestSnapshotDecodeV1Compat pins the version upgrade path: epoch-less
+// version-1 snapshots (everything persisted before simulation epochs
+// existed) must decode cleanly, default to SimEpoch 1, and re-encode in
+// the current canonical form.
+func TestSnapshotDecodeV1Compat(t *testing.T) {
+	s, _ := trainedSnapshot(t)
+	v1 := encodeSnapshotV1(s)
+	got, err := DecodeSnapshot(v1)
+	if err != nil {
+		t.Fatalf("decoding v1 snapshot: %v", err)
+	}
+	if got.SimEpoch != 1 {
+		t.Fatalf("v1 snapshot decoded with SimEpoch %d, want 1", got.SimEpoch)
+	}
+	// Every other field must round-trip untouched.
+	if got.Deployment != s.Deployment || got.DeploymentHash != s.DeploymentHash ||
+		got.SpecKey != s.SpecKey || got.Metric != s.Metric ||
+		got.Trials != s.Trials || got.TrainPercentile != s.TrainPercentile ||
+		got.Seed != s.Seed || got.KeepInField != s.KeepInField ||
+		got.Threshold != s.Threshold || got.Percentile != s.Percentile ||
+		got.TrainSeconds != s.TrainSeconds {
+		t.Fatalf("v1 decode mangled fields: %+v", got)
+	}
+	// The upgrade is visible on re-encode: current version byte, and the
+	// result round-trips bit-identically (canonical form).
+	up := got.Encode()
+	if up[len(snapshotMagic)] != snapshotVersion {
+		t.Fatalf("re-encode kept version %d", up[len(snapshotMagic)])
+	}
+	again, err := DecodeSnapshot(up)
+	if err != nil {
+		t.Fatalf("decoding upgraded snapshot: %v", err)
+	}
+	if !bytes.Equal(again.Encode(), up) {
+		t.Fatal("upgraded snapshot is not canonical")
+	}
+	// And a v2 snapshot that actually trained under epoch 2 keeps it.
+	s.SimEpoch = 2
+	rt, err := DecodeSnapshot(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.SimEpoch != 2 {
+		t.Fatalf("round-trip lost SimEpoch 2: got %d", rt.SimEpoch)
 	}
 }

@@ -44,6 +44,19 @@ type TrainConfig struct {
 	// both ways and hard-fails if they ever differ — and this knob exists
 	// exactly so that comparison stays runnable.
 	ScalarProbes bool
+	// SimEpoch selects the simulation epoch; 0 means the default, 1.
+	// Epoch 1 is the bit-identity contract: trial streams, estimates,
+	// scores, and thresholds are bit-identical to the scalar seed path
+	// (and to every PR-2..8 golden). Epoch 2 spends that budget for
+	// throughput: observations draw through deploy.Model's cached
+	// inverse-CDF binomial tables (p quantized to the g-table grid) and
+	// localization runs the fused full-poll probe search over a truncated
+	// active set (localize.Beaconless.SetSimEpoch). Epoch-2 results are
+	// distribution-level equivalent — threshold/detection-rate/FPR within
+	// the tolerance bands pinned by the cross-epoch equivalence tests —
+	// but NOT stream-compatible with epoch 1. Values other than 0, 1, 2
+	// are rejected.
+	SimEpoch int
 	// Cancel, when non-nil, aborts the Monte-Carlo run: the trial pump
 	// checks it between trials, stops dispatching once it is closed, and
 	// Train/BenignScores return ErrTrainingCanceled after in-flight
@@ -68,6 +81,13 @@ func (c *TrainConfig) normalize() error {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch c.SimEpoch {
+	case 0:
+		c.SimEpoch = 1
+	case 1, 2:
+	default:
+		return errors.New("core: TrainConfig.SimEpoch must be 1 or 2")
 	}
 	return nil
 }
@@ -111,6 +131,8 @@ func BenignScores(model *deploy.Model, metrics []Metric, cfg TrainConfig) ([][]f
 	loc := localize.NewBeaconlessModel(model)
 	loc.Reference = cfg.ReferenceLocalizer
 	loc.SetProbeBatch(!cfg.ScalarProbes)
+	loc.SetSimEpoch(cfg.SimEpoch)
+	epoch2 := cfg.SimEpoch >= 2
 	scores := make([][]float64, len(metrics))
 	for i := range scores {
 		scores[i] = make([]float64, cfg.Trials)
@@ -151,7 +173,11 @@ func BenignScores(model *deploy.Model, metrics []Metric, cfg TrainConfig) ([][]f
 						group, la = model.SampleLocation(r)
 					}
 				}
-				model.SampleObservationInto(o, la, group, r)
+				if epoch2 {
+					model.SampleObservationTableInto(o, la, group, r)
+				} else {
+					model.SampleObservationInto(o, la, group, r)
+				}
 				le, err := sess.BindLocalize(o)
 				if err != nil {
 					// Isolated sensor: localization is impossible and LAD

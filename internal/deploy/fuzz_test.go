@@ -18,6 +18,57 @@ var fuzzTables = sync.OnceValue(func() []*GTable {
 	}
 })
 
+// FuzzBinomTable is the epoch-2 sampler's fuzz leg: arbitrary (n, p, u)
+// must build a structurally sound inverse-CDF table (support inside
+// [0, n], monotone CDF ending exactly at 1) whose guide-accelerated draw
+// agrees with naive CDF inversion for any uniform input.
+func FuzzBinomTable(f *testing.F) {
+	f.Add(300, 0.3934693402873666, 0.5)
+	f.Add(299, 1e-6, 0.999999)
+	f.Add(1, 0.5, 0.0)
+	f.Add(1000, 0.5, 0.25)
+	f.Add(0, 0.3, 0.7)
+
+	f.Fuzz(func(t *testing.T, n int, p, u float64) {
+		if n < 0 || n > 4096 { // builder is O(support); keep iterations fast
+			n = ((n % 4096) + 4096) % 4096
+		}
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return
+		}
+		if math.IsNaN(u) || math.IsInf(u, 0) {
+			return
+		}
+		u = math.Abs(u)
+		u -= math.Floor(u) // draw's domain is [0, 1)
+
+		tab := newBinomTable(n, p)
+		lo, hi := int(tab.base), int(tab.base)+len(tab.cdf)-1
+		if lo < 0 || (n > 0 && hi > n) || (n <= 0 && hi != 0) {
+			t.Fatalf("n=%d p=%g: support [%d,%d] out of range", n, p, lo, hi)
+		}
+		for k := 1; k < len(tab.cdf); k++ {
+			if tab.cdf[k] < tab.cdf[k-1] {
+				t.Fatalf("n=%d p=%g: cdf not monotone at %d", n, p, k)
+			}
+		}
+		if last := tab.cdf[len(tab.cdf)-1]; last != 1 {
+			t.Fatalf("n=%d p=%g: final cdf entry %g, want exactly 1", n, p, last)
+		}
+		got := tab.draw(u)
+		want := hi
+		for k, c := range tab.cdf {
+			if u < c {
+				want = lo + k
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("n=%d p=%g: draw(%v) = %d, naive inversion %d", n, p, u, got, want)
+		}
+	})
+}
+
 // FuzzGTableLogEval feeds fuzzed squared distances through the three
 // log-companion evaluation paths — GTable.LogEval2, GTable.LogEvalN,
 // and the raw LogTableView.LogEvalN inner-loop form — and asserts the

@@ -111,6 +111,10 @@ type Model struct {
 	// equivalence tests can run against it.
 	index   *groupIndex
 	scratch scratchPool
+	// binom lazily caches the epoch-2 inverse-CDF observation samplers,
+	// one per (trials, z-bin) — see binom.go. Epoch-1 sampling never
+	// touches it.
+	binom binomCache
 }
 
 // New constructs a Model from the configuration, laying out deployment
@@ -133,6 +137,7 @@ func New(cfg Config) (*Model, error) {
 	}
 	m.gTable = NewGTable(cfg.Range, cfg.Sigma, DefaultOmega)
 	m.index = newGroupIndex(m.points)
+	m.binom.init(m.gTable, cfg.GroupSize)
 	return m, nil
 }
 

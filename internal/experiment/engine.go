@@ -40,6 +40,13 @@ type Options struct {
 	Seed uint64
 	// Workers caps the pool; 0 = GOMAXPROCS.
 	Workers int
+	// SimEpoch selects the benign-simulation epoch
+	// (core.TrainConfig.SimEpoch): 0/1 the bit-identical reference path,
+	// 2 the fast table-sampler path (distribution-level equivalent, so
+	// figures keep their shape but not their exact points). Attack trials
+	// always draw through the epoch-1 sampler — the attacked observation
+	// is the "real world", not the training simulation.
+	SimEpoch int
 }
 
 // DefaultOptions match the fidelity used for EXPERIMENTS.md.
@@ -54,6 +61,9 @@ func (o Options) normalize() (Options, error) {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.SimEpoch < 0 || o.SimEpoch > 2 {
+		return o, errors.New("experiment: SimEpoch must be 0 (default), 1, or 2")
 	}
 	return o, nil
 }
@@ -148,6 +158,7 @@ func Benign(model *deploy.Model, metrics []core.Metric, opts Options) ([][]float
 		Seed:        opts.Seed ^ 0xbe419,
 		Workers:     opts.Workers,
 		KeepInField: true,
+		SimEpoch:    opts.SimEpoch,
 	})
 	return scores, err
 }

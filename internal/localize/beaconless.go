@@ -59,6 +59,20 @@ type Beaconless struct {
 	// enforce it. Reference mode always uses the scalar search.
 	probeBatch bool
 
+	// simEpoch selects the simulation epoch (0 means the default, 1).
+	// Epoch 1 is bit-identical to the scalar seed. Epoch ≥ 2 spends the
+	// bit-identity budget: the active set keeps zero-count groups only
+	// within R + epoch2TailSigmas·σ of the centroid (instead of the full
+	// MaxZ = R + 6σ tail, whose per-group contribution is below ~1e-1
+	// nats), and the batched pattern search polls all eight compass
+	// probes from one center per round through the fused atN8 kernel,
+	// accepting the best improvement instead of replaying the scalar
+	// first-improvement order. Results are distribution-level equivalent
+	// to epoch 1 (threshold/detection-rate/FPR tolerance bands — see
+	// core's cross-epoch tests), not bit-identical. Not synchronized:
+	// configure before handing the scheme out, like Reference.
+	simEpoch int
+
 	// sessions recycles Sessions for the convenience wrappers.
 	sessions sync.Pool
 }
@@ -72,6 +86,21 @@ func NewBeaconless(net *wsn.Network) *Beaconless {
 // for use with LocalizeObservation — the experiment harness path.
 func NewBeaconlessModel(model *deploy.Model) *Beaconless {
 	return &Beaconless{model: model, probeBatch: true}
+}
+
+// SetSimEpoch selects the simulation epoch: 0 or 1 for the bit-identical
+// epoch-1 semantics (the default), ≥ 2 for the distribution-level
+// epoch-2 fast path (see the simEpoch field). Not synchronized:
+// configure before handing the scheme out.
+func (b *Beaconless) SetSimEpoch(epoch int) { b.simEpoch = epoch }
+
+// SimEpoch reports the configured simulation epoch (normalized: 0 reads
+// back as 1).
+func (b *Beaconless) SimEpoch() int {
+	if b.simEpoch < 2 {
+		return 1
+	}
+	return b.simEpoch
 }
 
 // SetProbeBatch enables (the constructors' default) or disables the
@@ -178,7 +207,7 @@ func (b *Beaconless) NewSession() *Session {
 // wrong-length observation. The Session keeps a reference to o until the
 // next Bind; callers reusing the slice must finish localizing first.
 func (s *Session) Bind(o []int) error {
-	if !s.ll.bind(s.b.model, o, s.b.Reference) {
+	if !s.ll.bind(s.b.model, o, s.b.Reference, s.b.simEpoch >= 2) {
 		return ErrNoObservation
 	}
 	return nil
@@ -248,13 +277,29 @@ func (s *Session) LocalizeFrom(start geom.Point, maxStep float64, exclude []bool
 	minStep := s.b.MinStep
 	if minStep <= 0 {
 		minStep = 0.25
+		if s.b.simEpoch >= 2 {
+			// Epoch 2 stops the halving cascade one round earlier: the
+			// paper deployment's localization error is meters, so refining
+			// past half a meter moves the estimate by far less than the
+			// estimator's own spread. Saves a full 8-probe poll per trial;
+			// the cross-epoch equivalence bands absorb the shift. An
+			// explicit MinStep still applies to both epochs unchanged.
+			minStep = 0.5
+		}
 	}
 	// Reference mode is the pre-PR3 anchor and stays on the scalar
 	// search; otherwise the probe engine evaluates each round's compass
-	// probes in one SoA pass. Both searches accept exactly the same move
-	// sequence, so the fixpoints are bit-identical (probe_test.go).
+	// probes in one SoA pass. In epoch 1 both searches accept exactly the
+	// same move sequence, so the fixpoints are bit-identical
+	// (probe_test.go). Epoch ≥ 2 takes the full-poll search instead: all
+	// eight probes of a round fused into one atN8 pass from a fixed
+	// center, best improvement wins — equivalent only at the distribution
+	// level, which is epoch 2's contract.
 	if s.b.Reference || !s.b.probeBatch {
 		return patternSearch(s.eval, start, maxStep, minStep), nil
+	}
+	if s.b.simEpoch >= 2 {
+		return s.ll.patternSearchPoll8(s.probePts, s.probeVals, start, maxStep, minStep), nil
 	}
 	return s.ll.patternSearchBatch(s.probePts, s.probeVals, start, maxStep, minStep), nil
 }
@@ -338,9 +383,19 @@ type likelihood struct {
 	reference bool
 }
 
+// epoch2TailSigmas is the epoch-2 zero-count relevance radius: a
+// zero-count group farther than R + epoch2TailSigmas·σ from every
+// candidate contributes m·ln(1−g(z)) with g(z) ≲ 1e-3, under ~0.3 nats
+// per group — negligible against the hundreds-of-nats spread of the
+// likelihood surface, but a ~3× cut of the paper deployment's active
+// set versus the exactness-preserving MaxZ = R + 6σ tail. The epoch-2
+// equivalence tests bound the resulting estimate/threshold drift.
+const epoch2TailSigmas = 3
+
 // bind rebuilds the likelihood for an observation; false means the
 // observation is unusable (wrong length or no neighbors at all).
-func (ll *likelihood) bind(model *deploy.Model, o []int, reference bool) bool {
+// epoch2 selects the truncated epoch-2 active set (see epoch2TailSigmas).
+func (ll *likelihood) bind(model *deploy.Model, o []int, reference, epoch2 bool) bool {
 	ll.counts = nil
 	if len(o) != model.NumGroups() {
 		return false
@@ -378,8 +433,17 @@ func (ll *likelihood) bind(model *deploy.Model, o []int, reference bool) bool {
 	// index yields the margin disk's candidates; each is re-tested with
 	// the same predicate a full scan would use, so the resulting set is
 	// identical with the index on or off.
+	// Epoch 2 truncates the zero-count relevance radius from MaxZ to
+	// R + epoch2TailSigmas·σ; nonzero-count groups are kept either way.
 	cfg := model.Config()
-	margin := ll.gt.MaxZ() + cfg.Field.Width()/float64(cfg.GroupsX)
+	zeroMax := ll.maxZ
+	if epoch2 {
+		r, sigma := ll.gt.Params()
+		if t := r + epoch2TailSigmas*sigma; t < zeroMax {
+			zeroMax = t
+		}
+	}
+	margin := zeroMax + cfg.Field.Width()/float64(cfg.GroupsX)
 	n := model.NumGroups()
 	if cap(ll.mark) < n {
 		ll.mark = make([]bool, n)

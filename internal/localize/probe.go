@@ -243,6 +243,85 @@ func (ll *likelihood) atN4(pts *[4]geom.Point, out *[4]float64) {
 	out[0], out[1], out[2], out[3] = a0, a1, a2, a3
 }
 
+// atN8 is the epoch-2 kernel: all eight compass probes of a full-poll
+// round evaluated in ONE group-major pass with eight independent
+// register accumulators, so each live group's coordinates and weights
+// are loaded once per round instead of once per four-wide chunk, and
+// the eight table interpolations per group issue back to back with no
+// cross-probe dependency. Arithmetic per element is still the scalar
+// walk's (logLookup is LogEval2's arithmetic verbatim) and terms
+// accumulate in ascending group order per probe, so each lane equals
+// at(pts[lane]) bit-for-bit — the epoch-2 freedom spent here is the
+// SEARCH restructure (full poll from a fixed center), not the
+// per-candidate arithmetic. The caller must have compacted the live set
+// for a ball covering all eight probes (patternSearchPoll8 does).
+//
+//lad:noalloc
+func (ll *likelihood) atN8(pts *[8]geom.Point, out *[8]float64) {
+	n := ll.liveN
+	xs, ys := ll.liveXs[:n], ll.liveYs[:n]
+	ow, mw := ll.liveOw[:n], ll.liveMw[:n]
+	logs, invStep, maxZ2, lnEps := ll.logs.Logs, ll.logs.InvStep, ll.logs.MaxZ2, ll.logs.LnEps
+	last := len(logs) - 2
+	if last < 0 {
+		return // unreachable: tables carry ≥ 2 samples
+	}
+	p0x, p0y := pts[0].X, pts[0].Y
+	p1x, p1y := pts[1].X, pts[1].Y
+	p2x, p2y := pts[2].X, pts[2].Y
+	p3x, p3y := pts[3].X, pts[3].Y
+	p4x, p4y := pts[4].X, pts[4].Y
+	p5x, p5y := pts[5].X, pts[5].Y
+	p6x, p6y := pts[6].X, pts[6].Y
+	p7x, p7y := pts[7].X, pts[7].Y
+	var a0, a1, a2, a3, a4, a5, a6, a7 float64
+	for g, x := range xs {
+		y, owg, mwg := ys[g], ow[g], mw[g]
+		{
+			dx, dy := p0x-x, p0y-y
+			lgv, l1gv := logLookup(logs, invStep, maxZ2, lnEps, last, dx*dx+dy*dy)
+			a0 += owg*lgv + mwg*l1gv
+		}
+		{
+			dx, dy := p1x-x, p1y-y
+			lgv, l1gv := logLookup(logs, invStep, maxZ2, lnEps, last, dx*dx+dy*dy)
+			a1 += owg*lgv + mwg*l1gv
+		}
+		{
+			dx, dy := p2x-x, p2y-y
+			lgv, l1gv := logLookup(logs, invStep, maxZ2, lnEps, last, dx*dx+dy*dy)
+			a2 += owg*lgv + mwg*l1gv
+		}
+		{
+			dx, dy := p3x-x, p3y-y
+			lgv, l1gv := logLookup(logs, invStep, maxZ2, lnEps, last, dx*dx+dy*dy)
+			a3 += owg*lgv + mwg*l1gv
+		}
+		{
+			dx, dy := p4x-x, p4y-y
+			lgv, l1gv := logLookup(logs, invStep, maxZ2, lnEps, last, dx*dx+dy*dy)
+			a4 += owg*lgv + mwg*l1gv
+		}
+		{
+			dx, dy := p5x-x, p5y-y
+			lgv, l1gv := logLookup(logs, invStep, maxZ2, lnEps, last, dx*dx+dy*dy)
+			a5 += owg*lgv + mwg*l1gv
+		}
+		{
+			dx, dy := p6x-x, p6y-y
+			lgv, l1gv := logLookup(logs, invStep, maxZ2, lnEps, last, dx*dx+dy*dy)
+			a6 += owg*lgv + mwg*l1gv
+		}
+		{
+			dx, dy := p7x-x, p7y-y
+			lgv, l1gv := logLookup(logs, invStep, maxZ2, lnEps, last, dx*dx+dy*dy)
+			a7 += owg*lgv + mwg*l1gv
+		}
+	}
+	out[0], out[1], out[2], out[3] = a0, a1, a2, a3
+	out[4], out[5], out[6], out[7] = a4, a5, a6, a7
+}
+
 // compactLive rebuilds the live set for probes guaranteed to stay within
 // radius of anchor, and records the coverage ball for reuse.
 func (ll *likelihood) compactLive(anchor geom.Point, radius float64) {
@@ -378,6 +457,64 @@ func (ll *likelihood) patternSearchBatch(pts []geom.Point, vals []float64, start
 		}
 		improved = false
 		k = 0
+		ll.ensureLive(best, (1+math.Sqrt2)*step)
+	}
+}
+
+// patternSearchPoll8 is the epoch-2 pattern search: a FULL POLL per
+// round — all eight compass probes computed from the round's fixed
+// center and evaluated in one fused atN8 pass — accepting the best
+// improving probe (ties break toward the lower compassDirs index). It
+// deliberately abandons the scalar search's first-improvement replay:
+// no probe is ever computed from a mid-round center, so there are no
+// discarded evaluations and no re-batching, and the whole round is one
+// kernel call over the live set. The accepted move sequence therefore
+// differs from patternSearch/patternSearchBatch — fixpoints agree only
+// at the distribution level (a few centimeters on the paper deployment,
+// far inside the localization error the detector thresholds absorb),
+// which is simulation epoch 2's contract. Epoch 1 keeps the replaying
+// search; this path is reached only via Beaconless.SetSimEpoch(2+).
+//
+// pts and vals are the Session's probe scratch (≥ probeBatchMax slots).
+//
+//lad:noalloc
+func (ll *likelihood) patternSearchPoll8(pts []geom.Point, vals []float64, start geom.Point, maxStep, minStep float64) geom.Point {
+	best := start
+	step := maxStep
+	if step < minStep {
+		return best
+	}
+	ll.ensureLive(best, (1+math.Sqrt2)*step)
+	pts[0] = start
+	ll.atN(pts[:1], vals[:1])
+	bestV := vals[0]
+
+	probes := (*[8]geom.Point)(pts[:8])
+	outs := (*[8]float64)(vals[:8])
+	for {
+		for j, d := range compassDirs {
+			probes[j] = best.Add(d.Scale(step))
+		}
+		ll.atN8(probes, outs)
+		bestJ := -1
+		for j, v := range outs {
+			if v > bestV {
+				bestV = v
+				bestJ = j
+			}
+		}
+		if bestJ >= 0 {
+			// Best-of-eight moves are greedier than the scalar search's
+			// first-improvement ones; measured on the paper deployment the
+			// full poll converges in fewer rounds than an axis-first
+			// half-poll despite evaluating more probes per round.
+			best = probes[bestJ]
+		} else {
+			step /= 2
+			if step < minStep {
+				return best
+			}
+		}
 		ll.ensureLive(best, (1+math.Sqrt2)*step)
 	}
 }

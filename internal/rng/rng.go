@@ -122,12 +122,16 @@ func (r *Rand) Gauss2D(sigma float64) (dx, dy float64) {
 	return sigma * r.Norm(), sigma * r.Norm()
 }
 
-// Binomial returns a draw from Binomial(n, p). For small n·p it uses the
-// waiting-time (geometric) method; otherwise it sums Bernoulli trials in
-// blocks via the normal approximation safeguard-free exact inversion.
-// n is at most ~1000 here, so an O(n) fallback is acceptable; the
-// geometric shortcut makes the common sparse case (g_i(z) ≈ 0 for far
-// groups) effectively O(np + 1).
+// Binomial returns a draw from Binomial(n, p) by the waiting-time
+// (geometric) method: count how many geometric(p) inter-success gaps fit
+// in n trials, mirroring to 1−p when p > 0.5 so the gap distribution
+// stays sparse. Expected work is O(np + 1) with one math.Log per
+// accepted success — ideal for the sparse per-group neighbor counts
+// (g_i(z) ≈ 0 for far groups), and the epoch-1 reference stream that
+// goldens are pinned to. Simulation epoch ≥ 2 instead draws through the
+// precomputed inverse-CDF tables cached in deploy.Model (O(1) per draw,
+// distribution-level equivalent); this method remains the exact fallback
+// for trial counts outside the cached range.
 func (r *Rand) Binomial(n int, p float64) int {
 	if n <= 0 || p <= 0 {
 		return 0

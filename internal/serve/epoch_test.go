@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSpecKeySimEpochIdentity pins the adoption-compat rule: epoch 0
+// (default) and epoch 1 are the same contract and MUST share a spec
+// key — that is what lets every snapshot persisted before the epoch
+// field existed pass the adoption identity check instead of
+// retraining — while epoch 2 names a different training process and
+// must not collide with either.
+func TestSpecKeySimEpochIdentity(t *testing.T) {
+	base := tinySpec()
+	e0 := base
+	e1 := base
+	e1.Train.SimEpoch = 1
+	e2 := base
+	e2.Train.SimEpoch = 2
+
+	if e0.Key() != e1.Key() {
+		t.Errorf("epoch 0 and epoch 1 keys differ: %s vs %s", e0.Key(), e1.Key())
+	}
+	if e0.Key() == e2.Key() {
+		t.Errorf("epoch 2 shares the epoch-1 key %s", e0.Key())
+	}
+	if err := e2.Validate(); err != nil {
+		t.Errorf("epoch-2 spec rejected: %v", err)
+	}
+	bad := base
+	bad.Train.SimEpoch = 3
+	if err := bad.Validate(); err == nil {
+		t.Error("sim_epoch 3 accepted")
+	}
+}
+
+// TestSnapshotSpecEpochRoundTrip checks the persist identity loop for
+// an epoch-2 spec: buildSnapshot stores the normalized epoch,
+// specFromSnapshot reproduces a spec whose key matches the stored one.
+func TestSnapshotSpecEpochRoundTrip(t *testing.T) {
+	for _, epoch := range []int{0, 1, 2} {
+		snap := &core.Snapshot{SimEpoch: epoch}
+		if snap.SimEpoch == 0 {
+			snap.SimEpoch = 1 // what buildSnapshot's normalization stores
+		}
+		spec := specFromSnapshot(snap)
+		if got := spec.Train.SimEpoch; got != snap.SimEpoch {
+			t.Errorf("epoch %d: specFromSnapshot carried %d", epoch, got)
+		}
+		want := DetectorSpec{Train: TrainSpec{SimEpoch: epoch}}.Key()
+		if spec.Key() != want {
+			t.Errorf("epoch %d: adopted key %s != registered key %s", epoch, spec.Key(), want)
+		}
+	}
+}

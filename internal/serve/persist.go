@@ -80,6 +80,10 @@ func specFromSnapshot(s *core.Snapshot) DetectorSpec {
 			Percentile:  s.TrainPercentile,
 			Seed:        s.Seed,
 			KeepInField: s.KeepInField,
+			// Snapshots store the normalized epoch (1 or 2; v1 decodes as
+			// 1). Key() hashes it only beyond 1, so pre-epoch snapshots
+			// keep their pre-epoch identity.
+			SimEpoch: s.SimEpoch,
 		},
 	}
 }
@@ -100,6 +104,10 @@ func (p *DetectorPool) buildSnapshot(e *poolEntry) (*core.Snapshot, bool) {
 	s.TrainPercentile = e.spec.Train.Percentile
 	s.Seed = e.spec.Train.Seed
 	s.KeepInField = e.spec.Train.KeepInField
+	s.SimEpoch = e.spec.Train.SimEpoch
+	if s.SimEpoch == 0 {
+		s.SimEpoch = 1 // spec default; the snapshot format stores it explicit
+	}
 	s.Percentile = e.percentile
 	s.TrainSeconds = e.trainSecs
 	s.BenignSample = append([]float64(nil), e.scores...)

@@ -113,6 +113,10 @@ func TestPersistAndAdoptRoundTrip(t *testing.T) {
 	if r1.Threshold != r2.Threshold {
 		t.Fatalf("rethreshold after adoption = %v, want %v", r2.Threshold, r1.Threshold)
 	}
+	// Both rethresholds scheduled async saves into the TempDir store;
+	// drain them before the test returns or cleanup races the writers.
+	waitSaves(t, p1, 2)
+	waitSaves(t, p2, 1)
 }
 
 func TestRethresholdSurvivesRestart(t *testing.T) {
@@ -464,7 +468,10 @@ func TestAdoptSkipsResidentAndOverLimit(t *testing.T) {
 		t.Fatalf("skipped snapshot was removed: %v", err)
 	}
 
-	// A full pool leaves the valid snapshot in the store too.
+	// A full pool leaves the valid snapshot in the store too. Training
+	// `other` persisted a second snapshot into the shared store (waited
+	// on, so the adoption pass below sees a deterministic store): the
+	// sweep then skips `other` as resident and `spec` as over-limit.
 	p2 := NewDetectorPool(1)
 	p2.SetStore(fs)
 	other := tinySpec()
@@ -472,12 +479,13 @@ func TestAdoptSkipsResidentAndOverLimit(t *testing.T) {
 	if _, err := p2.Get(other); err != nil {
 		t.Fatal(err)
 	}
+	waitSaves(t, p2, 1)
 	stats, err = p2.AdoptSnapshots()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.Skipped != 1 || stats.Adopted != 0 {
-		t.Fatalf("adopt into full pool = %v, want 1 skipped", stats)
+	if stats.Skipped != 2 || stats.Adopted != 0 {
+		t.Fatalf("adopt into full pool = %v, want 2 skipped (resident + over-limit)", stats)
 	}
 	if _, err := fs.Get(spec.ID()); err != nil {
 		t.Fatalf("skipped snapshot was removed: %v", err)

@@ -45,6 +45,11 @@ type TrainSpec struct {
 	Percentile  float64 `json:"percentile"`
 	Seed        uint64  `json:"seed"`
 	KeepInField bool    `json:"keep_in_field"`
+	// SimEpoch selects the simulation epoch (core.TrainConfig.SimEpoch):
+	// 0/1 the bit-identity contract, 2 the table-sampler fast path.
+	// omitempty keeps default-epoch requests byte-identical to pre-epoch
+	// clients'.
+	SimEpoch int `json:"sim_epoch,omitempty"`
 }
 
 // TrainConfig converts the spec to the core training configuration.
@@ -55,6 +60,7 @@ func (t TrainSpec) TrainConfig() core.TrainConfig {
 		Percentile:  t.Percentile,
 		Seed:        t.Seed,
 		KeepInField: t.KeepInField,
+		SimEpoch:    t.SimEpoch,
 	}
 }
 
@@ -77,6 +83,13 @@ func (s DetectorSpec) Key() string {
 	w.Float(s.Train.Percentile)
 	w.Uint(s.Train.Seed)
 	w.Bool(s.Train.KeepInField)
+	// The simulation epoch joins the hash only beyond the default: 0 and
+	// 1 both name the bit-identity contract and must keep producing the
+	// pre-epoch key, or every snapshot persisted before the field existed
+	// would fail adoption's identity check and retrain.
+	if s.Train.SimEpoch > 1 {
+		w.Int(s.Train.SimEpoch)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -99,6 +112,9 @@ func (s DetectorSpec) Validate() error {
 	}
 	if s.Train.Percentile <= 0 || s.Train.Percentile >= 100 {
 		return fmt.Errorf("serve: train.percentile must be in (0, 100)")
+	}
+	if e := s.Train.SimEpoch; e < 0 || e > 2 {
+		return fmt.Errorf("serve: train.sim_epoch must be 0 (default), 1, or 2")
 	}
 	return nil
 }

@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Hypothesis tests behind the cross-simulation-epoch equivalence suite:
+// a two-sample Kolmogorov–Smirnov test and a chi-square goodness-of-fit
+// test, with their p-value special functions (Kolmogorov tail sum,
+// regularized incomplete gamma) implemented here so the repro stays
+// dependency-free.
+//
+// These gate DISTRIBUTIONS, not bits: simulation epoch 2
+// (core.TrainConfig.SimEpoch) is allowed to change every stream as long
+// as benign scores, thresholds, and detection/false-positive rates stay
+// statistically indistinguishable from epoch 1. The helpers below are
+// what "indistinguishable" means concretely — a KS p-value floor on the
+// score samples and tolerance bands on the derived rates.
+
+// KSTwoSample runs the two-sample Kolmogorov–Smirnov test: d is the
+// maximum distance between the empirical CDFs of a and b, p the
+// asymptotic probability of a distance at least that large under the
+// null that both samples share one distribution. Small p rejects. The
+// inputs are not modified; NaNs must be filtered by the caller. The
+// asymptotic p-value is accurate at the sample sizes the equivalence
+// suite uses (hundreds and up) and conservative below ~20 per side.
+func KSTwoSample(a, b []float64) (d, p float64) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, 1
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+
+	na, nb := len(as), len(bs)
+	ia, ib := 0, 0
+	for ia < na && ib < nb {
+		// Advance both samples past the common value so D is measured
+		// only where each empirical CDF has finished its jump — the
+		// standard tie handling.
+		v := math.Min(as[ia], bs[ib])
+		for ia < na && as[ia] == v {
+			ia++
+		}
+		for ib < nb && bs[ib] == v {
+			ib++
+		}
+		if diff := math.Abs(float64(ia)/float64(na) - float64(ib)/float64(nb)); diff > d {
+			d = diff
+		}
+	}
+	ne := float64(na) * float64(nb) / float64(na+nb)
+	sq := math.Sqrt(ne)
+	return d, ksTail((sq + 0.12 + 0.11/sq) * d)
+}
+
+// ksTail is the Kolmogorov distribution's upper tail Q(λ) =
+// 2 Σ_{j≥1} (−1)^{j−1} exp(−2 j² λ²): the asymptotic probability of a
+// scaled KS statistic exceeding λ. The alternating series converges in
+// a handful of terms for any λ a test can produce.
+func ksTail(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	e := -2 * lambda * lambda
+	sum, sign := 0.0, 2.0
+	prev := math.Inf(1)
+	for j := 1; j <= 100; j++ {
+		term := sign * math.Exp(e*float64(j)*float64(j))
+		sum += term
+		at := math.Abs(term)
+		if at <= 1e-12*math.Abs(sum) || at >= prev {
+			break
+		}
+		prev = at
+		sign = -sign
+	}
+	return math.Min(1, math.Max(0, sum))
+}
+
+// ChiSquareGOF runs the chi-square goodness-of-fit test of observed
+// counts against expected counts: stat = Σ (obs−exp)²/exp over bins
+// with positive expectation, p the chi-square upper tail with
+// (positive bins)−1−ddof degrees of freedom. ddof counts parameters
+// estimated from the data; pass 0 when the expectation is fixed a
+// priori. Bins with exp ≤ 0 are skipped and do not count toward the
+// degrees of freedom. Small p rejects. Panics on length mismatch.
+func ChiSquareGOF(obs, exp []float64, ddof int) (stat, p float64) {
+	if len(obs) != len(exp) {
+		panic("stats: ChiSquareGOF length mismatch")
+	}
+	bins := 0
+	for i, e := range exp {
+		if e <= 0 {
+			continue
+		}
+		bins++
+		d := obs[i] - e
+		stat += d * d / e
+	}
+	dof := bins - 1 - ddof
+	if dof <= 0 {
+		return stat, 1
+	}
+	return stat, ChiSquareTail(stat, float64(dof))
+}
+
+// ChiSquareTail is P(X > x) for X ~ χ²(k): the regularized upper
+// incomplete gamma Q(k/2, x/2).
+func ChiSquareTail(x, k float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return gammaQ(k/2, x/2)
+}
+
+// gammaQ is the regularized upper incomplete gamma Q(a, x) = Γ(a, x)/Γ(a),
+// computed by the series for the lower function when x < a+1 and by the
+// continued fraction otherwise — the standard split that keeps both
+// expansions in their fast-converging regimes.
+func gammaQ(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return gammaQContinuedFraction(a, x)
+}
+
+// gammaPSeries evaluates the lower regularized gamma by its power
+// series P(a,x) = e^{−x} x^a / Γ(a) · Σ_{n≥0} x^n / (a(a+1)⋯(a+n)).
+func gammaPSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gammaQContinuedFraction evaluates the upper regularized gamma by the
+// modified-Lentz continued fraction
+// Q(a,x) = e^{−x} x^a / Γ(a) · 1/(x+1−a − 1·(1−a)/(x+3−a − ⋯)).
+func gammaQContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// gauss draws n pseudo-normal(mean, sd) values by Box–Muller.
+func gauss(r *rng.Rand, n int, mean, sd float64) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i += 2 {
+		u1 := r.Float64()
+		for u1 == 0 {
+			u1 = r.Float64()
+		}
+		u2 := r.Float64()
+		rad := math.Sqrt(-2 * math.Log(u1))
+		out[i] = mean + sd*rad*math.Cos(2*math.Pi*u2)
+		if i+1 < n {
+			out[i+1] = mean + sd*rad*math.Sin(2*math.Pi*u2)
+		}
+	}
+	return out
+}
+
+// TestKSAcceptsResample is the harness's power-OFF check: two
+// independent samples of the same distribution must not be rejected.
+// This is what the cross-epoch suite relies on — a p-value floor that
+// same-distribution resampling passes comfortably.
+func TestKSAcceptsResample(t *testing.T) {
+	r := rng.New(101)
+	for trial := 0; trial < 5; trial++ {
+		a := gauss(r, 800, 3, 1.5)
+		b := gauss(r, 800, 3, 1.5)
+		// Floor 1e-3, not a nominal 5%: the KS p-value is only
+		// asymptotically calibrated and five null trials at a tight
+		// floor would false-reject a few percent of seeds.
+		if _, p := KSTwoSample(a, b); p < 1e-3 {
+			t.Fatalf("trial %d: same-distribution resample rejected, p = %g", trial, p)
+		}
+	}
+}
+
+// TestKSRejectsShift is the power-ON check: a mean shift of half a
+// standard deviation at n=800 per side must be rejected decisively.
+func TestKSRejectsShift(t *testing.T) {
+	r := rng.New(202)
+	a := gauss(r, 800, 3, 1.5)
+	b := gauss(r, 800, 3.75, 1.5)
+	if _, p := KSTwoSample(a, b); p > 1e-6 {
+		t.Fatalf("shifted sample not rejected, p = %g", p)
+	}
+}
+
+// TestKSStatisticAgainstKnownValue pins D on a tiny hand-checkable
+// pair, including ties across samples.
+func TestKSStatisticAgainstKnownValue(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{3, 4, 5, 6}
+	// After value 2: F_a = 0.5, F_b = 0 → D = 0.5 (values 3,4 are ties).
+	d, _ := KSTwoSample(a, b)
+	if math.Abs(d-0.5) > 1e-15 {
+		t.Fatalf("D = %g, want 0.5", d)
+	}
+	if d2, p := KSTwoSample(a, a); d2 != 0 || p < 0.999 {
+		t.Fatalf("identical samples: D = %g p = %g, want 0 and ~1", d2, p)
+	}
+}
+
+// TestKSEmptySample pins the degenerate contract: nothing to compare,
+// nothing to reject.
+func TestKSEmptySample(t *testing.T) {
+	if d, p := KSTwoSample(nil, []float64{1, 2}); d != 0 || p != 1 {
+		t.Fatalf("empty sample: D = %g p = %g, want 0 and 1", d, p)
+	}
+}
+
+// TestChiSquareAcceptsMatchingCounts draws binomial-ish counts from
+// their own expectation and checks the GOF test does not reject.
+func TestChiSquareAcceptsMatchingCounts(t *testing.T) {
+	r := rng.New(303)
+	exp := []float64{100, 200, 400, 200, 100}
+	total := 0
+	for _, e := range exp {
+		total += int(e)
+	}
+	for trial := 0; trial < 5; trial++ {
+		obs := make([]float64, len(exp))
+		for i := 0; i < total; i++ {
+			// Draw a category from the expected distribution.
+			u := r.Float64() * float64(total)
+			acc := 0.0
+			for j, e := range exp {
+				acc += e
+				if u < acc {
+					obs[j]++
+					break
+				}
+			}
+		}
+		if _, p := ChiSquareGOF(obs, exp, 0); p < 1e-3 {
+			t.Fatalf("trial %d: matching counts rejected, p = %g", trial, p)
+		}
+	}
+}
+
+// TestChiSquareRejectsSkewedCounts feeds counts drawn from a visibly
+// different distribution and requires decisive rejection.
+func TestChiSquareRejectsSkewedCounts(t *testing.T) {
+	exp := []float64{100, 200, 400, 200, 100}
+	obs := []float64{200, 250, 300, 150, 100} // mass pushed left
+	if _, p := ChiSquareGOF(obs, exp, 0); p > 1e-6 {
+		t.Fatalf("skewed counts not rejected, p = %g", p)
+	}
+}
+
+// TestChiSquareSkipsEmptyBins checks zero-expectation bins neither
+// divide by zero nor inflate the degrees of freedom.
+func TestChiSquareSkipsEmptyBins(t *testing.T) {
+	stat, p := ChiSquareGOF([]float64{10, 0, 10}, []float64{10, 0, 10}, 0)
+	if stat != 0 || p != 1 {
+		t.Fatalf("perfect fit with empty bin: stat = %g p = %g, want 0 and 1", stat, p)
+	}
+	if _, p := ChiSquareGOF([]float64{5}, []float64{5}, 0); p != 1 {
+		t.Fatalf("single bin has 0 dof, want p = 1, got %g", p)
+	}
+}
+
+// TestChiSquareTailReferenceValues pins the tail function against
+// textbook critical values: P(χ²(k) > x) for well-known (x, k) pairs.
+func TestChiSquareTailReferenceValues(t *testing.T) {
+	cases := []struct {
+		x, k, want float64
+	}{
+		{3.841, 1, 0.05},
+		{5.991, 2, 0.05},
+		{9.488, 4, 0.05},
+		{13.277, 4, 0.01},
+		{2.706, 1, 0.10},
+		{18.307, 10, 0.05},
+	}
+	for _, tc := range cases {
+		if got := ChiSquareTail(tc.x, tc.k); math.Abs(got-tc.want) > 5e-4 {
+			t.Fatalf("ChiSquareTail(%g, %g) = %g, want ≈ %g", tc.x, tc.k, got, tc.want)
+		}
+	}
+	if got := ChiSquareTail(0, 3); got != 1 {
+		t.Fatalf("ChiSquareTail(0) = %g, want 1", got)
+	}
+	if got := ChiSquareTail(1000, 3); got > 1e-100 {
+		t.Fatalf("deep tail = %g, want ~0", got)
+	}
+}
+
+// TestKSTailReferenceValues pins the Kolmogorov tail sum against known
+// values: Q(1.36) ≈ 0.049 (the classical 5% critical scale) and the
+// monotone-limits contract.
+func TestKSTailReferenceValues(t *testing.T) {
+	if got := ksTail(1.36); math.Abs(got-0.049) > 2e-3 {
+		t.Fatalf("ksTail(1.36) = %g, want ≈ 0.049", got)
+	}
+	if got := ksTail(0); got != 1 {
+		t.Fatalf("ksTail(0) = %g, want 1", got)
+	}
+	if got := ksTail(5); got > 1e-10 {
+		t.Fatalf("ksTail(5) = %g, want ~0", got)
+	}
+}
