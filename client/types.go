@@ -159,14 +159,26 @@ type TrainInfo struct {
 
 // Detector is a detector resource's status as the server reports it.
 type Detector struct {
-	ID           string        `json:"id"`
-	State        DetectorState `json:"state"`
-	Spec         DetectorSpec  `json:"spec"`
-	Threshold    *float64      `json:"threshold,omitempty"`
-	Percentile   float64       `json:"percentile"`
-	Train        *TrainInfo    `json:"train,omitempty"`
-	Error        string        `json:"error,omitempty"`
-	RetryAfterMS int64         `json:"retry_after_ms,omitempty"`
+	ID         string        `json:"id"`
+	State      DetectorState `json:"state"`
+	Spec       DetectorSpec  `json:"spec"`
+	Threshold  *float64      `json:"threshold,omitempty"`
+	Percentile float64       `json:"percentile"`
+	Train      *TrainInfo    `json:"train,omitempty"`
+	Error      string        `json:"error,omitempty"`
+	// RetryAfterMS hints when to poll again; the server scales it with
+	// the resource's queue position.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// QueuePosition is the resource's place in the server's training
+	// scheduler (states "pending" and "training"; nil otherwise). 0 means
+	// executing or next in line.
+	QueuePosition *int `json:"queue_position,omitempty"`
+	// TrialsDone counts training trials already completed — checkpointed
+	// progress that survives a server crash.
+	TrialsDone int `json:"trials_done,omitempty"`
+	// EtaMS estimates remaining training time in milliseconds; 0 until
+	// the scheduler has a throughput sample.
+	EtaMS int64 `json:"eta_ms,omitempty"`
 }
 
 // Ready reports whether the resource serves checks.

@@ -50,6 +50,21 @@
 //     sample's 98.5–99.5 percentile spread of the epoch-1 threshold,
 //     and epoch-2 steady-state localization must stay 0 allocs/op.
 //
+// Scheduler section (schema 8) — the fair-share training scheduler's
+// checkpoint seam on the paper deployment:
+//
+//   - ckpt_encode / ckpt_decode: TrainCheckpoint.AppendBinary into a
+//     reused buffer and UnmarshalBinary into a reused receiver — the
+//     cost a training flight pays between batches to stay resumable.
+//     Both are gated to zero allocs/op: checkpointing rides the
+//     training hot loop and must not feed the GC.
+//   - train_scratch / train_resume: a full training run from trial
+//     zero against decode + resume + the remaining 20% from an
+//     80%-progress checkpoint. The resumed threshold is gated
+//     bit-identical to the scratch threshold before timing;
+//     speedup_resume records the scratch/resume factor — what a
+//     restarted daemon saves per warm detector.
+//
 // Every trainResult row carries sim_epoch so sections can be filtered
 // by epoch; speedup_sim_epoch records the within-run epoch-2/epoch-1
 // training-throughput factor — the headline number of the epoch-2 work.
@@ -233,6 +248,15 @@ type report struct {
 	// epoch-2 ns/op — the within-run, same-binary throughput factor the
 	// epoch-2 simulation path buys at identical seed and trial count.
 	SpeedupSimEpoch map[string]float64 `json:"speedup_sim_epoch"`
+	// Scheduler holds the scheduler section: checkpoint encode/decode
+	// (both zero-alloc gated) and full-training-from-scratch against
+	// decode + resume-from-80% — the batch-boundary durability seam the
+	// fair-share scheduler drives.
+	Scheduler []trainResult `json:"scheduler"`
+	// SpeedupResume is, per deployment, scratch training ns/op over
+	// resume-from-80%-checkpoint ns/op — the restart saving a resumable
+	// flight buys over retraining from trial zero.
+	SpeedupResume map[string]float64 `json:"speedup_resume"`
 }
 
 func main() {
@@ -257,7 +281,7 @@ func main() {
 	}
 
 	rep := report{
-		Schema:               7,
+		Schema:               8,
 		Runs:                 *runs,
 		GoVersion:            runtime.Version(),
 		GOMAXPROCS:           runtime.GOMAXPROCS(0),
@@ -270,6 +294,7 @@ func main() {
 		SpeedupProbeLocalize: map[string]float64{},
 		SpeedupProbeTrain:    map[string]float64{},
 		SpeedupSimEpoch:      map[string]float64{},
+		SpeedupResume:        map[string]float64{},
 	}
 
 	rep.ReferenceNsPerOp = float64(benchMedian(referenceBench).NsPerOp())
@@ -278,6 +303,7 @@ func main() {
 	probeBatchSection(&rep, *trials)
 	simEpochSection(&rep, *trials)
 	snapshotSection(&rep, model, *trials)
+	schedulerSection(&rep, model, *trials)
 
 	enc := json.NewEncoder(os.Stdout)
 	if *out != "" {
@@ -309,6 +335,9 @@ func main() {
 	}
 	for d, s := range rep.SpeedupSimEpoch {
 		fmt.Fprintf(os.Stderr, "ladbench: %-12s training speedup, sim epoch 2 vs epoch 1: %.2fx\n", d, s)
+	}
+	for d, s := range rep.SpeedupResume {
+		fmt.Fprintf(os.Stderr, "ladbench: %-12s training speedup, resume from 80%% vs scratch: %.2fx\n", d, s)
 	}
 	if *baseline != "" {
 		compareBaseline(*baseline, rep, *maxRegress)
@@ -959,6 +988,174 @@ func snapshotSection(rep *report, model *deploy.Model, trials int) {
 		len(data), encB.NsPerOp(), decB.NsPerOp(), adoptB.NsPerOp())
 }
 
+// schedulerSection measures the fair-share scheduler's checkpoint seam
+// on the paper deployment. Four rows:
+//
+//   - ckpt_encode: TrainCheckpoint.AppendBinary into a reused buffer —
+//     what a training flight pays after every non-final batch to stay
+//     resumable. Gated to zero allocs/op: the save runs on the worker
+//     goroutine, between batches, and must not feed the GC.
+//   - ckpt_decode: UnmarshalBinary into a reused receiver — the strict
+//     parse a restarted daemon runs per left-behind checkpoint. Same
+//     zero-alloc gate.
+//   - train_scratch: a full training run from trial zero, batch by
+//     batch through the TrainRun seam — the price of NOT having a
+//     checkpoint.
+//   - train_resume: decode + ResumeTrainRun + the remaining 20% of
+//     trials + Finish, from an 80%-progress checkpoint — the price a
+//     restarted daemon actually pays.
+//
+// Before timing, the resumed threshold and every benign score are gated
+// bit-identical to the scratch run's: a resume that lands anywhere else
+// is a correctness bug, not a benchmark result.
+func schedulerSection(rep *report, model *deploy.Model, trials int) {
+	runtime.GC()
+	cfg := core.TrainConfig{Trials: trials, Percentile: 99, Seed: 43, KeepInField: true, SimEpoch: 1}
+	metric := core.ProbMetric{}
+	const batch = 100
+
+	runAll := func(run *core.TrainRun) (*core.Detector, []float64) {
+		for !run.Done() {
+			if _, err := run.RunBatch(batch); err != nil {
+				log.Fatalf("ladbench: scheduler batch: %v", err)
+			}
+		}
+		det, scores, err := run.Finish()
+		if err != nil {
+			log.Fatalf("ladbench: scheduler finish: %v", err)
+		}
+		return det, scores
+	}
+
+	scratchRun, err := core.NewTrainRun(model, metric, cfg)
+	if err != nil {
+		log.Fatalf("ladbench: scheduler train: %v", err)
+	}
+	refDet, refScores := runAll(scratchRun)
+
+	// The checkpoint fixture: the same training killed at 80%.
+	partial, err := core.NewTrainRun(model, metric, cfg)
+	if err != nil {
+		log.Fatalf("ladbench: scheduler train: %v", err)
+	}
+	cut := trials * 4 / 5
+	for partial.TrialsDone() < cut {
+		if _, err := partial.RunBatch(cut - partial.TrialsDone()); err != nil {
+			log.Fatalf("ladbench: scheduler batch: %v", err)
+		}
+	}
+	if partial.TrialsDone() != cut {
+		log.Fatalf("ladbench: checkpoint fixture at %d trials, want %d", partial.TrialsDone(), cut)
+	}
+	ck := core.TrainCheckpoint{SpecKey: "ladbench-sched", DeploymentHash: model.Config().Hash()}
+	partial.CheckpointInto(&ck)
+	data := ck.Encode()
+
+	// Resume-fidelity gate: decode from wire bytes, finish the run, and
+	// demand the scratch answer to the bit.
+	restored, err := core.DecodeTrainCheckpoint(data)
+	if err != nil {
+		log.Fatalf("ladbench: scheduler checkpoint decode: %v", err)
+	}
+	resumed, err := core.ResumeTrainRun(model, metric, cfg, restored)
+	if err != nil {
+		log.Fatalf("ladbench: scheduler resume: %v", err)
+	}
+	gotDet, gotScores := runAll(resumed)
+	if gotDet.Threshold() != refDet.Threshold() {
+		log.Fatalf("ladbench: resumed threshold %v != scratch %v — refusing to time a wrong answer",
+			gotDet.Threshold(), refDet.Threshold())
+	}
+	for i := range refScores {
+		if gotScores[i] != refScores[i] {
+			log.Fatalf("ladbench: resumed score[%d] = %v != scratch %v", i, gotScores[i], refScores[i])
+		}
+	}
+
+	buf := make([]byte, 0, len(data))
+	encB := benchMedian(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = ck.AppendBinary(buf[:0])
+		}
+	})
+	var dst core.TrainCheckpoint
+	if err := dst.UnmarshalBinary(data); err != nil { // warm the reused receiver's capacity
+		log.Fatalf("ladbench: scheduler checkpoint decode: %v", err)
+	}
+	decB := benchMedian(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := dst.UnmarshalBinary(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if a := encB.AllocsPerOp(); a != 0 {
+		log.Fatalf("ladbench: checkpoint encode allocates %d/op, want 0", a)
+	}
+	if a := decB.AllocsPerOp(); a != 0 {
+		log.Fatalf("ladbench: checkpoint decode allocates %d/op, want 0", a)
+	}
+
+	scratchB := benchMedian(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run, err := core.NewTrainRun(model, metric, cfg)
+			if err != nil {
+				log.Fatalf("ladbench: scheduler scratch bench: %v", err)
+			}
+			runAll(run)
+		}
+	})
+	remaining := trials - cut
+	resumeB := benchMedian(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			restored, err := core.DecodeTrainCheckpoint(data)
+			if err != nil {
+				log.Fatalf("ladbench: scheduler resume bench decode: %v", err)
+			}
+			run, err := core.ResumeTrainRun(model, metric, cfg, restored)
+			if err != nil {
+				log.Fatalf("ladbench: scheduler resume bench: %v", err)
+			}
+			if before := run.TrialsDone(); before != cut {
+				log.Fatalf("ladbench: resumed run starts at %d trials, want %d", before, cut)
+			}
+			runAll(run)
+			if run.TrialsDone() != cut+remaining {
+				log.Fatalf("ladbench: resumed run finished at %d trials, want %d", run.TrialsDone(), trials)
+			}
+		}
+	})
+	rep.SpeedupResume["paper"] = float64(scratchB.NsPerOp()) / float64(resumeB.NsPerOp())
+
+	groups := model.NumGroups()
+	for _, tr := range []struct {
+		path string
+		res  testing.BenchmarkResult
+	}{
+		{"ckpt_encode", encB},
+		{"ckpt_decode", decB},
+		{"train_scratch", scratchB},
+		{"train_resume", resumeB},
+	} {
+		rep.Scheduler = append(rep.Scheduler, trainResult{
+			Name:        "paper/sched/" + tr.path,
+			Deployment:  "paper",
+			Groups:      groups,
+			Kind:        "sched",
+			Path:        tr.path,
+			Iterations:  tr.res.N,
+			NsPerOp:     float64(tr.res.NsPerOp()),
+			BytesPerOp:  tr.res.AllocedBytesPerOp(),
+			AllocsPerOp: tr.res.AllocsPerOp(),
+			SimEpoch:    1,
+		})
+	}
+	fmt.Fprintf(os.Stderr, "ladbench: scheduler checkpoint (%d bytes): encode %d ns/op, decode %d ns/op; resume from 80%%: %.2fx over scratch\n",
+		len(data), encB.NsPerOp(), decB.NsPerOp(), rep.SpeedupResume["paper"])
+}
+
 // compareBaseline prints, for every result name present in both the
 // baseline snapshot and this run, the old/new ns_per_op ratio — the CI
 // job runs it against the committed BENCH_PR*.json so the log shows
@@ -1010,6 +1207,9 @@ func compareBaseline(path string, rep report, maxRegressPct float64) {
 	for _, r := range base.SimEpochRows {
 		old[r.Name] = r.NsPerOp
 	}
+	for _, r := range base.Scheduler {
+		old[r.Name] = r.NsPerOp
+	}
 	var regressions []string
 	report := func(name string, ns float64) {
 		prev, ok := old[name]
@@ -1038,6 +1238,9 @@ func compareBaseline(path string, rep report, maxRegressPct float64) {
 		report(r.Name, r.NsPerOp)
 	}
 	for _, r := range rep.SimEpochRows {
+		report(r.Name, r.NsPerOp)
+	}
+	for _, r := range rep.Scheduler {
 		report(r.Name, r.NsPerOp)
 	}
 	if len(regressions) > 0 {

@@ -31,7 +31,7 @@ func main() {
 		figure = flag.String("figure", "all", "experiment id or 'all'")
 		quick  = flag.Bool("quick", false, "reduced trial counts (fast smoke run)")
 		benign = flag.Int("benign", 0, "override benign trials per configuration")
-		epoch  = flag.Int("sim-epoch", 0, "simulation epoch for benign trials: 0/1 = bit-identical reference, 2 = fast table-sampler path (distribution-level equivalent)")
+		epoch  = flag.Int("sim-epoch", 0, "simulation epoch for benign trials: 1 = bit-identical reference, 2 = fast table-sampler path (distribution-level equivalent); 0 keeps the preset default (2 at full fidelity, 1 with -quick)")
 		att    = flag.Int("attack", 0, "override attacked trials per point")
 		seed   = flag.Uint64("seed", 0, "override master seed")
 		csvDir = flag.String("csv", "", "directory to write per-panel CSV files")
@@ -82,7 +82,12 @@ func main() {
 	if *seed != 0 {
 		opts.Seed = *seed
 	}
-	opts.SimEpoch = *epoch
+	if *epoch != 0 {
+		// 0 keeps the selected preset's epoch (full fidelity defaults to
+		// the fast epoch-2 sampler, -quick to the epoch-1 reference);
+		// -sim-epoch 1 forces the bit-identical reference path.
+		opts.SimEpoch = *epoch
+	}
 
 	ids := []string{*figure}
 	if *figure == "all" {

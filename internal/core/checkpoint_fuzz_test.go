@@ -1,0 +1,39 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointDecode drives the strict checkpoint decoder with
+// arbitrary bytes. The contract under fuzz: never panic, and every
+// accepted input re-encodes bit-identically — the same canonical-form
+// property the snapshot decoder holds, and the reason a corrupt
+// checkpoint can only ever degrade resume to restart-from-zero, never
+// splice a wrong score sample into a threshold.
+func FuzzCheckpointDecode(f *testing.F) {
+	valid := testCheckpoint().Encode()
+	f.Add(valid)
+	for _, mut := range []int{0, 7, 8, len(valid) / 2, len(valid) - 5, len(valid) - 1} {
+		m := append([]byte(nil), valid...)
+		m[mut] ^= 0x40
+		f.Add(m)
+	}
+	f.Add(valid[:len(valid)-9])
+	f.Add([]byte(nil))
+	f.Add([]byte("LADCKPT\x01"))
+	f.Add(bytes.Repeat([]byte{0}, 256))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := DecodeTrainCheckpoint(data)
+		if err != nil {
+			return // rejected cleanly; nothing else to hold
+		}
+		if !bytes.Equal(ck.Encode(), data) {
+			t.Fatalf("accepted %d-byte input does not re-encode bit-identically", len(data))
+		}
+		if err := ck.Validate(); err != nil {
+			t.Fatalf("accepted checkpoint fails Validate: %v", err)
+		}
+	})
+}

@@ -132,7 +132,6 @@ func BenignScores(model *deploy.Model, metrics []Metric, cfg TrainConfig) ([][]f
 	loc.Reference = cfg.ReferenceLocalizer
 	loc.SetProbeBatch(!cfg.ScalarProbes)
 	loc.SetSimEpoch(cfg.SimEpoch)
-	epoch2 := cfg.SimEpoch >= 2
 	scores := make([][]float64, len(metrics))
 	for i := range scores {
 		scores[i] = make([]float64, cfg.Trials)
@@ -152,48 +151,20 @@ func BenignScores(model *deploy.Model, metrics []Metric, cfg TrainConfig) ([][]f
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Everything a trial touches is per-worker and reused: the
-			// observation buffer, the localization Session (active-set and
-			// search scratch), the scoring Expectation, and the RNG
-			// (reseeded per trial, bit-identical to a fresh generator).
-			// Steady state the loop body performs no heap allocations, and
-			// since trial t's stream depends only on seeds[t], results are
-			// identical for any worker count and trial interleaving.
-			n := model.NumGroups()
-			o := make([]int, n)
-			sess := loc.NewSession()
-			e := &Expectation{G: make([]float64, n), Mu: make([]float64, n)}
-			r := rng.New(0)
-			//lint:ignore ladvet/ctxcheck bounded in practice: the producer sends at most cfg.Trials indices and closes next early when TrainConfig.Cancel trips; context plumbing proper is the ROADMAP scheduler item
+			// Everything a trial touches is per-worker and reused (the
+			// trialRunner: observation buffer, localization Session,
+			// scoring Expectation, per-trial-reseeded RNG). Steady state
+			// the loop body performs no heap allocations, and since trial
+			// t's stream depends only on seeds[t], results are identical
+			// for any worker count and trial interleaving. TrainRun runs
+			// the same body, which is what makes a batched/resumed run
+			// bit-identical to this one.
+			w := newTrialRunner(model, loc, len(metrics))
+			//lint:ignore ladvet/ctxcheck bounded: the producer sends at most cfg.Trials indices and closes next early when TrainConfig.Cancel trips; batch-granular context handling lives in TrainRun
 			for t := range next {
-				r.Reseed(seeds[t])
-				group, la := model.SampleLocation(r)
-				if cfg.KeepInField {
-					for !model.Field().Contains(la) {
-						group, la = model.SampleLocation(r)
-					}
-				}
-				if epoch2 {
-					model.SampleObservationTableInto(o, la, group, r)
-				} else {
-					model.SampleObservationInto(o, la, group, r)
-				}
-				le, err := sess.BindLocalize(o)
-				if err != nil {
-					// Isolated sensor: localization is impossible and LAD
-					// has nothing to verify. Score 0 (never alarms); the
-					// localization error is marked NaN so aggregates can
-					// exclude the trial instead of counting it as 0 m.
-					for mi := range metrics {
-						scores[mi][t] = 0
-					}
-					locErrs[t] = math.NaN()
-					continue
-				}
-				locErrs[t] = le.Dist(la)
-				e.Fill(model, le)
-				for mi, m := range metrics {
-					scores[mi][t] = m.Score(o, e)
+				locErrs[t] = w.trial(model, &cfg, seeds[t], metrics)
+				for mi := range metrics {
+					scores[mi][t] = w.out[mi]
 				}
 			}
 		}()

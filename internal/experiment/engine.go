@@ -49,9 +49,15 @@ type Options struct {
 	SimEpoch int
 }
 
-// DefaultOptions match the fidelity used for EXPERIMENTS.md.
+// DefaultOptions match the fidelity used for EXPERIMENTS.md. Benign
+// trials default to simulation epoch 2 (the table-sampler fast path):
+// full-fidelity figure runs are benign-trial dominated and the epoch-2
+// distribution equivalence is exactly the contract figures need — curve
+// shapes, not bit-exact points. Pass SimEpoch 1 (ladsim: -sim-epoch 1)
+// to regenerate the bit-identical reference figures; QuickFigureOptions
+// and the golden tests stay on epoch 1.
 func DefaultOptions() Options {
-	return Options{BenignTrials: 4000, AttackTrials: 1500, Seed: 20050425}
+	return Options{BenignTrials: 4000, AttackTrials: 1500, Seed: 20050425, SimEpoch: 2}
 }
 
 // quick returns a proportionally scaled-down copy for tests/benches.

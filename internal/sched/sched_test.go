@@ -1,0 +1,356 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// unitTask is a synthetic job body: it consumes its unit budget batch
+// by batch and reports each turn to onBatch (called from the worker
+// goroutine; tests with one worker may mutate shared state there).
+type unitTask struct {
+	remaining int
+	onBatch   func(ran int)
+}
+
+func (t *unitTask) RunBatch(n int) (int, bool, error) {
+	if n > t.remaining {
+		n = t.remaining
+	}
+	t.remaining -= n
+	if t.onBatch != nil {
+		t.onBatch(n)
+	}
+	return n, t.remaining == 0, nil
+}
+
+// blockTask parks the worker until release is closed — the test's way
+// of holding the scheduler still while it stages submissions.
+type blockTask struct{ release <-chan struct{} }
+
+func (t blockTask) RunBatch(int) (int, bool, error) {
+	<-t.release
+	return 1, true, nil
+}
+
+func waitDone(t *testing.T, ch <-chan JobResult) JobResult {
+	t.Helper()
+	select {
+	case res := <-ch:
+		return res
+	case <-time.After(10 * time.Second):
+		t.Fatal("job did not complete")
+		return JobResult{}
+	}
+}
+
+func doneHook(ch chan JobResult) Hooks {
+	return Hooks{OnDone: func(res JobResult) { ch <- res }}
+}
+
+func TestSingleJobRunsToCompletion(t *testing.T) {
+	s := New(Config{Workers: 1, BatchUnits: 10})
+	defer s.Close()
+	done := make(chan JobResult, 1)
+	pre, err := s.Submit("j", 35, &unitTask{remaining: 35}, doneHook(done))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pre {
+		t.Error("idle scheduler should preclaim the first submission")
+	}
+	res := waitDone(t, done)
+	if res.Err != nil || res.UnitsDone != 35 {
+		t.Errorf("result = %+v, want 35 units, nil err", res)
+	}
+	if _, ok := s.Status("j"); ok {
+		t.Error("terminal job should be forgotten")
+	}
+	st := s.Stats()
+	if st.JobsDone != 1 || st.Units != 35 || st.Batches != 4 {
+		t.Errorf("stats = %+v, want 1 done / 35 units / 4 batches", st)
+	}
+	if st.Wait.Count != 1 || st.Run.Count != 1 {
+		t.Errorf("wait/run histogram counts = %d/%d, want 1/1", st.Wait.Count, st.Run.Count)
+	}
+}
+
+// TestRoundRobinFairShare is the tentpole property: K queued equal-cost
+// jobs on one worker each finish within ~K× their solo time, because
+// the ring gives every job one batch per cycle. A FIFO scheduler would
+// complete job 1 after m batches and job K only after K·m; round-robin
+// completes all of them inside the final K turns. The gate task holds
+// the single worker until all K jobs are queued, making the service
+// order deterministic.
+func TestRoundRobinFairShare(t *testing.T) {
+	const (
+		K     = 4
+		units = 100
+		batch = 10
+		m     = units / batch // solo batches per job
+	)
+	s := New(Config{Workers: 1, BatchUnits: batch})
+	defer s.Close()
+
+	release := make(chan struct{})
+	gateDone := make(chan JobResult, 1)
+	if _, err := s.Submit("gate", 1, blockTask{release}, doneHook(gateDone)); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	batches := 0
+	completedAt := make(map[string]int, K)
+	done := make(chan JobResult, K)
+	ids := []string{"a", "b", "c", "d"}
+	for _, id := range ids {
+		id := id
+		task := &unitTask{remaining: units, onBatch: func(int) {
+			mu.Lock()
+			batches++
+			mu.Unlock()
+		}}
+		hooks := Hooks{OnDone: func(res JobResult) {
+			mu.Lock()
+			completedAt[id] = batches
+			mu.Unlock()
+			done <- res
+		}}
+		if _, err := s.Submit(id, units, task, hooks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	waitDone(t, gateDone)
+	for range ids {
+		if res := waitDone(t, done); res.Err != nil || res.UnitsDone != units {
+			t.Fatalf("job result = %+v", res)
+		}
+	}
+
+	// All K jobs must complete in the ring's final K turns: no job may
+	// finish before every job has had m−1 turns (fairness), and the last
+	// completes exactly at K·m batches (completeness).
+	for _, id := range ids {
+		c := completedAt[id]
+		if c <= (K-1)*m {
+			t.Errorf("job %s completed at batch %d — it convoyed ahead instead of sharing (fair window is (%d, %d])",
+				id, c, (K-1)*m, K*m)
+		}
+		if c > K*m {
+			t.Errorf("job %s completed at batch %d > %d total", id, c, K*m)
+		}
+	}
+}
+
+func TestPreclaimStopsAtWorkerCount(t *testing.T) {
+	s := New(Config{Workers: 2, BatchUnits: 10})
+	defer s.Close()
+	release := make(chan struct{})
+	done := make(chan JobResult, 3)
+	for i, id := range []string{"a", "b", "c"} {
+		pre, err := s.Submit(id, 1, blockTask{release}, doneHook(done))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := i < 2; pre != want {
+			t.Errorf("submission %d preclaimed = %v, want %v", i, pre, want)
+		}
+	}
+	if st, ok := s.Status("c"); !ok || st.State != StateQueued {
+		t.Errorf("third job status = %+v, want queued", st)
+	}
+	close(release)
+	for i := 0; i < 3; i++ {
+		waitDone(t, done)
+	}
+}
+
+func TestCancelQueuedJobCompletesImmediately(t *testing.T) {
+	s := New(Config{Workers: 1, BatchUnits: 10})
+	defer s.Close()
+	release := make(chan struct{})
+	defer close(release)
+	if _, err := s.Submit("gate", 1, blockTask{release}, Hooks{}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan JobResult, 1)
+	if _, err := s.Submit("victim", 100, &unitTask{remaining: 100}, doneHook(done)); err != nil {
+		t.Fatal(err)
+	}
+	s.Cancel("victim")
+	res := waitDone(t, done)
+	if !errors.Is(res.Err, ErrCanceled) || res.UnitsDone != 0 {
+		t.Errorf("result = %+v, want ErrCanceled with 0 units", res)
+	}
+	if st := s.Stats(); st.JobsCanceled != 1 {
+		t.Errorf("JobsCanceled = %d, want 1", st.JobsCanceled)
+	}
+	// A canceled id is reusable.
+	if _, err := s.Submit("victim", 1, &unitTask{remaining: 1}, doneHook(done)); err != nil {
+		t.Fatalf("resubmitting canceled id: %v", err)
+	}
+}
+
+func TestCancelExecutingJobCompletesAfterBatch(t *testing.T) {
+	s := New(Config{Workers: 1, BatchUnits: 10})
+	defer s.Close()
+	inBatch := make(chan struct{})
+	release := make(chan struct{})
+	task := &funcTask{fn: func(int) (int, bool, error) {
+		close(inBatch)
+		<-release
+		return 10, false, nil
+	}}
+	done := make(chan JobResult, 1)
+	if _, err := s.Submit("j", 100, task, doneHook(done)); err != nil {
+		t.Fatal(err)
+	}
+	<-inBatch
+	s.Cancel("j")
+	close(release)
+	res := waitDone(t, done)
+	if !errors.Is(res.Err, ErrCanceled) || res.UnitsDone != 10 {
+		t.Errorf("result = %+v, want ErrCanceled after the in-flight batch's 10 units", res)
+	}
+}
+
+// funcTask adapts a closure; the first call is the whole behavior
+// (subsequent calls never happen in the tests that use it).
+type funcTask struct {
+	fn func(n int) (int, bool, error)
+}
+
+func (t *funcTask) RunBatch(n int) (int, bool, error) { return t.fn(n) }
+
+// ckptTask is a unitTask that checkpoints its progress counter.
+type ckptTask struct {
+	unitTask
+	doneUnits int
+}
+
+func (t *ckptTask) RunBatch(n int) (int, bool, error) {
+	ran, done, err := t.unitTask.RunBatch(n)
+	t.doneUnits += ran
+	return ran, done, err
+}
+
+func (t *ckptTask) Checkpoint() ([]byte, bool) {
+	return []byte{byte(t.doneUnits)}, true
+}
+
+func TestCheckpointSavedAfterNonFinalBatches(t *testing.T) {
+	var mu sync.Mutex
+	var saves [][]byte
+	var drops []string
+	s := New(Config{
+		Workers:    1,
+		BatchUnits: 10,
+		Save: func(id string, data []byte) {
+			mu.Lock()
+			saves = append(saves, append([]byte(nil), data...))
+			mu.Unlock()
+			if id != "j" {
+				t.Errorf("save for job %q, want j", id)
+			}
+		},
+		Drop: func(id string) {
+			mu.Lock()
+			drops = append(drops, id)
+			mu.Unlock()
+		},
+	})
+	defer s.Close()
+	done := make(chan JobResult, 1)
+	if _, err := s.Submit("j", 30, &ckptTask{unitTask: unitTask{remaining: 30}}, doneHook(done)); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, done)
+	mu.Lock()
+	defer mu.Unlock()
+	// 3 batches: saves after the 1st and 2nd only (the final batch's
+	// progress is the finished job — the Drop callback retires it).
+	if len(saves) != 2 || saves[0][0] != 10 || saves[1][0] != 20 {
+		t.Errorf("saves = %v, want progress bytes [10] then [20]", saves)
+	}
+	if len(drops) != 1 || drops[0] != "j" {
+		t.Errorf("drops = %v, want exactly [j]", drops)
+	}
+}
+
+func TestDuplicateLiveIDRejected(t *testing.T) {
+	s := New(Config{Workers: 1, BatchUnits: 10})
+	defer s.Close()
+	release := make(chan struct{})
+	done := make(chan JobResult, 1)
+	if _, err := s.Submit("j", 1, blockTask{release}, doneHook(done)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit("j", 1, &unitTask{remaining: 1}, Hooks{}); err == nil {
+		t.Error("submitting a live id should fail")
+	}
+	close(release)
+	waitDone(t, done)
+	if _, err := s.Submit("j", 1, &unitTask{remaining: 1}, doneHook(done)); err != nil {
+		t.Fatalf("terminal id should be reusable: %v", err)
+	}
+	waitDone(t, done)
+}
+
+func TestBatchErrorFailsJob(t *testing.T) {
+	boom := errors.New("boom")
+	s := New(Config{Workers: 1, BatchUnits: 10})
+	defer s.Close()
+	done := make(chan JobResult, 1)
+	task := &funcTask{fn: func(int) (int, bool, error) { return 3, false, boom }}
+	if _, err := s.Submit("j", 100, task, doneHook(done)); err != nil {
+		t.Fatal(err)
+	}
+	res := waitDone(t, done)
+	if !errors.Is(res.Err, boom) || res.UnitsDone != 3 {
+		t.Errorf("result = %+v, want boom after 3 units", res)
+	}
+	if st := s.Stats(); st.JobsFailed != 1 {
+		t.Errorf("JobsFailed = %d, want 1", st.JobsFailed)
+	}
+}
+
+func TestStatusProgressAndETA(t *testing.T) {
+	s := New(Config{Workers: 1, BatchUnits: 10})
+	defer s.Close()
+	mid := make(chan struct{})
+	release := make(chan struct{})
+	first := true
+	task := &funcTask{fn: func(int) (int, bool, error) {
+		if first {
+			first = false
+			close(mid)
+			<-release
+			return 10, false, nil
+		}
+		return 10, true, nil
+	}}
+	done := make(chan JobResult, 1)
+	if _, err := s.Submit("j", 20, task, doneHook(done)); err != nil {
+		t.Fatal(err)
+	}
+	<-mid
+	if st, ok := s.Status("j"); !ok || st.State != StateRunning || st.UnitsTotal != 20 {
+		t.Errorf("mid-batch status = %+v", st)
+	}
+	close(release)
+	waitDone(t, done)
+	if _, ok := s.Status("j"); ok {
+		t.Error("done job should be forgotten")
+	}
+}
+
+func TestSubmitAfterCloseFails(t *testing.T) {
+	s := New(Config{Workers: 1})
+	s.Close()
+	if _, err := s.Submit("j", 1, &unitTask{remaining: 1}, Hooks{}); err == nil {
+		t.Error("submit after Close should fail")
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/sched"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds, spanning
@@ -234,6 +236,45 @@ func (m *Metrics) Render(pool *DetectorPool) string {
 		b.WriteString("# TYPE ladd_store_errors_total counter\n")
 		fmt.Fprintf(&b, "ladd_store_errors_total %d\n", snaps.StoreErrors)
 
+		ss := pool.SchedStats()
+		b.WriteString("# HELP ladd_sched_queue_depth Training jobs parked in the scheduler's round-robin ring (not currently executing a batch).\n")
+		b.WriteString("# TYPE ladd_sched_queue_depth gauge\n")
+		fmt.Fprintf(&b, "ladd_sched_queue_depth %d\n", ss.QueueDepth)
+		b.WriteString("# HELP ladd_sched_jobs_executing Training jobs with a batch running right now.\n")
+		b.WriteString("# TYPE ladd_sched_jobs_executing gauge\n")
+		fmt.Fprintf(&b, "ladd_sched_jobs_executing %d\n", ss.Executing)
+		b.WriteString("# HELP ladd_sched_jobs_active Live training jobs (queued + executing).\n")
+		b.WriteString("# TYPE ladd_sched_jobs_active gauge\n")
+		fmt.Fprintf(&b, "ladd_sched_jobs_active %d\n", ss.ActiveJobs)
+		b.WriteString("# HELP ladd_sched_batches_total Trial batches the scheduler has executed.\n")
+		b.WriteString("# TYPE ladd_sched_batches_total counter\n")
+		fmt.Fprintf(&b, "ladd_sched_batches_total %d\n", ss.Batches)
+		b.WriteString("# HELP ladd_sched_trials_total Monte-Carlo trials completed across all training jobs.\n")
+		b.WriteString("# TYPE ladd_sched_trials_total counter\n")
+		fmt.Fprintf(&b, "ladd_sched_trials_total %d\n", ss.Units)
+		b.WriteString("# HELP ladd_sched_jobs_completed_total Scheduler jobs finished, by outcome.\n")
+		b.WriteString("# TYPE ladd_sched_jobs_completed_total counter\n")
+		fmt.Fprintf(&b, "ladd_sched_jobs_completed_total{outcome=\"ok\"} %d\n", ss.JobsDone)
+		fmt.Fprintf(&b, "ladd_sched_jobs_completed_total{outcome=\"failed\"} %d\n", ss.JobsFailed)
+		fmt.Fprintf(&b, "ladd_sched_jobs_completed_total{outcome=\"canceled\"} %d\n", ss.JobsCanceled)
+		writeSchedHist(&b, "ladd_sched_job_wait_seconds", "Time training jobs spent queued before their first batch ran.", ss.Wait)
+		writeSchedHist(&b, "ladd_sched_job_run_seconds", "Cumulative batch execution time of finished training jobs.", ss.Run)
+
+		saveOK, saveErr, resumes, resumedTrials, rejected := pool.CheckpointStats()
+		b.WriteString("# HELP ladd_sched_checkpoint_saves_total Mid-training checkpoint saves, by outcome (error = degraded to restart-from-zero on crash; training itself is unaffected).\n")
+		b.WriteString("# TYPE ladd_sched_checkpoint_saves_total counter\n")
+		fmt.Fprintf(&b, "ladd_sched_checkpoint_saves_total{outcome=\"ok\"} %d\n", saveOK)
+		fmt.Fprintf(&b, "ladd_sched_checkpoint_saves_total{outcome=\"error\"} %d\n", saveErr)
+		b.WriteString("# HELP ladd_sched_checkpoint_resumes_total Training jobs resumed from a stored checkpoint instead of trial zero.\n")
+		b.WriteString("# TYPE ladd_sched_checkpoint_resumes_total counter\n")
+		fmt.Fprintf(&b, "ladd_sched_checkpoint_resumes_total %d\n", resumes)
+		b.WriteString("# HELP ladd_sched_resumed_trials_total Monte-Carlo trials adopted from checkpoints (work a crash did not lose).\n")
+		b.WriteString("# TYPE ladd_sched_resumed_trials_total counter\n")
+		fmt.Fprintf(&b, "ladd_sched_resumed_trials_total %d\n", resumedTrials)
+		b.WriteString("# HELP ladd_sched_checkpoint_rejected_total Stored checkpoints discarded at resume (corrupt, or for a different spec/configuration).\n")
+		b.WriteString("# TYPE ladd_sched_checkpoint_rejected_total counter\n")
+		fmt.Fprintf(&b, "ladd_sched_checkpoint_rejected_total %d\n", rejected)
+
 		budgetCap, budgetInUse := pool.ExpCacheBudgetStats()
 		b.WriteString("# HELP ladd_expectation_cache_budget_bytes Pool-wide expectation-cache admission budget (0 = unlimited).\n")
 		b.WriteString("# TYPE ladd_expectation_cache_budget_bytes gauge\n")
@@ -243,6 +284,21 @@ func (m *Metrics) Render(pool *DetectorPool) string {
 		fmt.Fprintf(&b, "ladd_expectation_cache_bytes_in_use %d\n", budgetInUse)
 	}
 	return b.String()
+}
+
+// writeSchedHist renders a scheduler histogram snapshot in Prometheus
+// exposition format, converting per-bucket counts to cumulative ones.
+func writeSchedHist(b *strings.Builder, name, help string, h sched.HistSnapshot) {
+	fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for i, ub := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, formatBound(ub), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(b, "%s_sum %g\n", name, h.Sum)
+	fmt.Fprintf(b, "%s_count %d\n", name, h.Count)
 }
 
 // formatBound renders a bucket bound the way Prometheus clients expect

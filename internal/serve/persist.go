@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/deploy"
 	"repro/internal/store"
 )
 
@@ -180,6 +182,96 @@ func (p *DetectorPool) deleteSnapshot(id string) {
 	}
 }
 
+// Training checkpoints share the snapshot store under a reserved id
+// prefix: "ckpt-<resource id>". They carry mid-training state (a
+// core.TrainCheckpoint, not a core.Snapshot), so adoption skips them
+// and resumeRun is their only reader.
+const checkpointPrefix = "ckpt-"
+
+// checkpointStoreID maps a resource id to its checkpoint's store id.
+func checkpointStoreID(id string) string { return checkpointPrefix + id }
+
+// saveCheckpoint is the scheduler's checkpoint sink: one synchronous
+// Put per completed batch, no retries — the next batch brings the next
+// save, which is all the retry a checkpoint needs. Failures are counted
+// and swallowed: a dead disk degrades crash-resume to restart-from-
+// zero, it never fails the training job. jobID is flight-scoped
+// ("<resource id>#<seq>"); checkpoints are stored per resource so a
+// rebooted process (fresh sequence numbers) finds them.
+func (p *DetectorPool) saveCheckpoint(jobID string, data []byte) {
+	if p.snapStore == nil {
+		return
+	}
+	id, _, _ := strings.Cut(jobID, "#")
+	if err := p.snapStore.Put(checkpointStoreID(id), data); err != nil {
+		p.ckptSaveErr.Add(1)
+		p.storeErrors.Add(1)
+		return
+	}
+	p.ckptSaveOK.Add(1)
+}
+
+// deleteCheckpoint removes id's training checkpoint, best-effort.
+func (p *DetectorPool) deleteCheckpoint(id string) {
+	if p.snapStore == nil {
+		return
+	}
+	if err := p.snapStore.Delete(checkpointStoreID(id)); err != nil {
+		p.storeErrors.Add(1)
+		log.Printf("serve: deleting checkpoint for %s: %v", id, err)
+	}
+}
+
+// resumeRun tries to rebuild a training run from a stored checkpoint.
+// Any failure — no store, no checkpoint, unreadable bytes, a checkpoint
+// for a different spec or configuration — returns nil and the caller
+// starts from trial zero; unusable checkpoints are deleted so they are
+// consulted exactly once. ck is the caller's reusable decode receiver.
+func (p *DetectorPool) resumeRun(id, specKey, depHash string, model *deploy.Model, metric core.Metric, cfg core.TrainConfig, ck *core.TrainCheckpoint) *core.TrainRun {
+	if p.snapStore == nil {
+		return nil
+	}
+	sid := checkpointStoreID(id)
+	data, err := p.snapStore.Get(sid)
+	if err != nil {
+		if !errors.Is(err, store.ErrNotFound) {
+			p.storeErrors.Add(1)
+			log.Printf("serve: checkpoint for %s unreadable, training from scratch: %v", id, err)
+		}
+		return nil
+	}
+	if err := ck.UnmarshalBinary(data); err != nil {
+		p.rejectCheckpoint(sid, err)
+		return nil
+	}
+	if ck.SpecKey != specKey || ck.DeploymentHash != depHash {
+		p.rejectCheckpoint(sid, fmt.Errorf("%w: stored identity does not name this resource", core.ErrCheckpointMismatch))
+		return nil
+	}
+	run, err := core.ResumeTrainRun(model, metric, cfg, ck)
+	if err != nil {
+		p.rejectCheckpoint(sid, err)
+		return nil
+	}
+	p.ckptResumes.Add(1)
+	p.ckptResumedTrials.Add(uint64(run.TrialsDone()))
+	log.Printf("serve: resuming training for %s from checkpoint: %d of %d trials done", id, run.TrialsDone(), run.Trials())
+	return run
+}
+
+// rejectCheckpoint counts and removes a checkpoint resume declined to
+// use. Unlike snapshots, bad checkpoints are deleted rather than
+// quarantined: the job retrains the missing trials anyway, so there is
+// nothing to debug from the bytes.
+func (p *DetectorPool) rejectCheckpoint(sid string, cause error) {
+	p.ckptRejected.Add(1)
+	log.Printf("serve: discarding checkpoint %s, training from scratch: %v", sid, cause)
+	if err := p.snapStore.Delete(sid); err != nil {
+		p.storeErrors.Add(1)
+		log.Printf("serve: deleting checkpoint %s failed: %v", sid, err)
+	}
+}
+
 // AdoptStats summarizes one AdoptSnapshots pass.
 type AdoptStats struct {
 	// Adopted counts snapshots installed as ready resources.
@@ -228,6 +320,11 @@ func (p *DetectorPool) AdoptSnapshots() (AdoptStats, error) {
 		return st, fmt.Errorf("serve: listing snapshot store: %w", err)
 	}
 	for _, id := range ids {
+		if strings.HasPrefix(id, checkpointPrefix) {
+			// Training checkpoints are not snapshots: they resume their
+			// own job on demand (resumeRun), not at boot.
+			continue
+		}
 		switch p.adoptOne(id) {
 		case adoptOK:
 			p.snapLoadOK.Add(1)

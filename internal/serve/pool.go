@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/deploy"
 	"repro/internal/mathx"
+	"repro/internal/sched"
 	"repro/internal/store"
 )
 
@@ -153,10 +154,11 @@ func trainDetector(spec DetectorSpec, workers int, cancel <-chan struct{}) (*cor
 type DetectorState string
 
 const (
-	// StatePending: registered, queued behind the training-concurrency
-	// cap; no trainer goroutine holds a semaphore slot yet.
+	// StatePending: registered, queued on the training scheduler; no
+	// worker has started the job's first trial batch yet.
 	StatePending DetectorState = "pending"
-	// StateTraining: the Monte-Carlo training run is executing.
+	// StateTraining: the Monte-Carlo training run has started (its trial
+	// batches interleave with other jobs' on the scheduler's workers).
 	StateTraining DetectorState = "training"
 	// StateReady: trained; checks, corrections and rethresholds serve.
 	StateReady DetectorState = "ready"
@@ -187,6 +189,16 @@ type DetectorStatus struct {
 	TrainSeconds float64
 	// Err is the training failure (StateFailed).
 	Err error
+	// QueuePosition, TrialsDone and EtaMS describe the live training job
+	// (pending/training states): the number of jobs ahead in the
+	// scheduler's service ring (0 = executing or next in line), trials
+	// completed so far, and the scheduler's completion estimate in
+	// milliseconds (0 = no throughput sample yet). QueuePosition is -1
+	// when no job information is available (ready/failed, or adopted
+	// entries that never trained here).
+	QueuePosition int
+	TrialsDone    int
+	EtaMS         int64
 }
 
 // poolEntry is one detector resource.
@@ -229,6 +241,13 @@ type poolEntry struct {
 	//lad:guardedby mu
 	cancel chan struct{}
 
+	// jobID names the current flight's scheduler job. Flight-scoped, not
+	// resource-scoped: re-registration after a delete may start a new
+	// flight while the canceled one still drains, so each flight gets a
+	// fresh id ("<resource id>#<seq>"). Empty on adopted entries.
+	//lad:guardedby mu
+	jobID string
+
 	// saveMu serializes snapshot saves for this entry so an initial save
 	// and a racing rethreshold save cannot land on disk out of order (the
 	// snapshot is rebuilt from live state under saveMu, so the last
@@ -242,11 +261,12 @@ func (e *poolEntry) status() DetectorStatus {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	st := DetectorStatus{
-		ID:         e.id,
-		State:      e.state,
-		Spec:       e.spec,
-		Percentile: e.percentile,
-		Err:        e.err,
+		ID:            e.id,
+		State:         e.state,
+		Spec:          e.spec,
+		Percentile:    e.percentile,
+		Err:           e.err,
+		QueuePosition: -1,
 	}
 	if e.state == StateReady {
 		st.Threshold = e.det.Threshold()
@@ -317,12 +337,25 @@ type DetectorPool struct {
 	// (ok) and failures (failed).
 	jobsStarted atomic.Uint64
 
-	// trainSem caps concurrent training runs; trainWorkers is the
-	// per-run worker budget (GOMAXPROCS / cap(trainSem)).
+	// sched is the fair-share training scheduler: a fixed worker pool
+	// that interleaves queued jobs' trial batches round-robin, replacing
+	// the one-goroutine-per-job-behind-a-semaphore model. schedWorkers
+	// and schedBatch are its configuration (rebuildSched applies them);
+	// trainWorkers is the per-batch trial-loop worker budget
+	// (GOMAXPROCS / schedWorkers), so concurrent batch executions share
+	// the machine instead of each claiming GOMAXPROCS.
 	//lad:guardedby setup
-	trainSem chan struct{}
+	sched *sched.Scheduler
+	//lad:guardedby setup
+	schedWorkers int
+	//lad:guardedby setup
+	schedBatch int
 	//lad:guardedby setup
 	trainWorkers int
+	// jobSeq disambiguates scheduler job ids across flights of the same
+	// resource id (a re-registered spec may overlap its predecessor's
+	// canceled, still-draining job).
+	jobSeq atomic.Uint64
 	// expCacheCap overrides the expectation-cache capacity installed on
 	// newly trained detectors: 0 keeps core's default, negative disables.
 	//lad:guardedby setup
@@ -363,6 +396,16 @@ type DetectorPool struct {
 	snapLoadMismatch atomic.Uint64
 	snapAdopted      atomic.Uint64
 	storeErrors      atomic.Uint64
+
+	// Checkpoint accounting: saves by outcome, resumes (jobs that picked
+	// up from a persisted checkpoint, plus the trials they skipped), and
+	// checkpoints rejected at resume time (corrupt, stale, or taken
+	// under a different configuration — all degrade to a fresh run).
+	ckptSaveOK        atomic.Uint64
+	ckptSaveErr       atomic.Uint64
+	ckptResumes       atomic.Uint64
+	ckptResumedTrials atomic.Uint64
+	ckptRejected      atomic.Uint64
 }
 
 // trainBuckets are the ladd_train_seconds histogram upper bounds,
@@ -447,18 +490,66 @@ func newDetectorPoolWithTrainer(trainer func(DetectorSpec, int, <-chan struct{})
 	return p
 }
 
-// SetTrainConcurrency caps how many training runs may execute at once
-// (n <= 0 restores the default) and splits GOMAXPROCS across them. Not
-// safe to call while trainings are in flight — configure the pool before
-// serving.
+// SetTrainConcurrency sets the scheduler's worker count — how many
+// trial batches may execute at once (n <= 0 restores the default) — and
+// splits GOMAXPROCS across them. Not safe to call while trainings are
+// in flight — configure the pool before serving.
 //
 //lad:setup
 func (p *DetectorPool) SetTrainConcurrency(n int) {
 	if n <= 0 {
 		n = DefaultTrainConcurrency
 	}
-	p.trainSem = make(chan struct{}, n)
+	p.schedWorkers = n
 	p.trainWorkers = max(1, runtime.GOMAXPROCS(0)/n)
+	p.rebuildSched()
+}
+
+// SetSchedBatchTrials sets the trial budget of one scheduler batch turn
+// (n <= 0 restores sched.DefaultBatchUnits). Smaller batches interleave
+// queued jobs more finely and checkpoint more often at the cost of more
+// batch turnover. Configure before serving.
+//
+//lad:setup
+func (p *DetectorPool) SetSchedBatchTrials(n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.schedBatch = n
+	p.rebuildSched()
+}
+
+// rebuildSched swaps in a scheduler with the current configuration,
+// stopping the previous one's workers.
+//
+//lad:setup
+func (p *DetectorPool) rebuildSched() {
+	if p.sched != nil {
+		p.sched.Close()
+	}
+	p.sched = sched.New(sched.Config{
+		Workers:    p.schedWorkers,
+		BatchUnits: p.schedBatch,
+		Save:       p.saveCheckpoint,
+	})
+}
+
+// SchedStats snapshots the training scheduler's counters for /metrics.
+func (p *DetectorPool) SchedStats() sched.Stats {
+	return p.sched.Stats()
+}
+
+// SchedBatchTrials reports the effective per-turn trial budget.
+func (p *DetectorPool) SchedBatchTrials() int {
+	return p.sched.BatchUnits()
+}
+
+// CheckpointStats reports checkpoint persistence counters: saves split
+// by outcome, jobs resumed from a checkpoint (with the trials they
+// skipped re-simulating), and checkpoints rejected at resume time.
+func (p *DetectorPool) CheckpointStats() (saveOK, saveErr, resumes, resumedTrials, rejected uint64) {
+	return p.ckptSaveOK.Load(), p.ckptSaveErr.Load(),
+		p.ckptResumes.Load(), p.ckptResumedTrials.Load(), p.ckptRejected.Load()
 }
 
 // SetExpCacheCapacity sets the expectation-cache capacity applied to
@@ -512,7 +603,28 @@ func (p *DetectorPool) Register(spec DetectorSpec) (DetectorStatus, bool, error)
 	} else {
 		p.hits.Add(1)
 	}
-	return e.status(), created, nil
+	return p.statusOf(e), created, nil
+}
+
+// statusOf snapshots the entry and, for live training jobs, decorates
+// the snapshot with the scheduler's queue position, progress, and ETA.
+func (p *DetectorPool) statusOf(e *poolEntry) DetectorStatus {
+	st := e.status()
+	if st.State != StatePending && st.State != StateTraining {
+		return st
+	}
+	e.mu.Lock()
+	jobID := e.jobID
+	e.mu.Unlock()
+	if jobID == "" {
+		return st
+	}
+	if js, ok := p.sched.Status(jobID); ok {
+		st.QueuePosition = js.QueuePosition
+		st.TrialsDone = js.UnitsDone
+		st.EtaMS = js.ETA.Milliseconds()
+	}
+	return st
 }
 
 // admit is Register without the hit/miss accounting: it returns the live
@@ -604,62 +716,206 @@ func (p *DetectorPool) purgeFailedLocked() {
 	}
 }
 
-// startTraining launches the resource's training flight. If a
-// concurrency slot is free it is claimed before returning, so the common
-// idle-server registration observes StateTraining immediately; otherwise
-// the goroutine queues on the semaphore in StatePending.
-func (p *DetectorPool) startTraining(e *poolEntry) {
-	p.jobsStarted.Add(1)
-	select {
-	case p.trainSem <- struct{}{}:
-		e.mu.Lock()
-		e.state = StateTraining
-		e.mu.Unlock()
-		go p.runTraining(e, true)
-	default:
-		go p.runTraining(e, false)
-	}
+// poolTask is what the pool schedules: a sched.Task that, once done,
+// surrenders the trained detector and benign sample for publication.
+type poolTask interface {
+	sched.Task
+	result() (*core.Detector, []float64)
 }
 
-// runTraining executes one flight: acquire the semaphore (unless already
-// held), train, publish the result, release. Failed runs leave the entry
-// resident in StateFailed so its error stays inspectable; successful
-// runs sort and retain the benign sample and install the pool's cache
-// configuration pre-publish. A flight whose entry was evicted mid-run
-// (DELETE) still publishes its outcome — waiters that joined before the
-// delete get a real result — but contributes nothing to the job and
-// duration counters, installs no shared cache budget, and retires any
-// budget it did install, so detached work neither skews the Retry-After
-// pacing nor leaks budget bytes.
-func (p *DetectorPool) runTraining(e *poolEntry, semHeld bool) {
-	if !semHeld {
-		p.trainSem <- struct{}{}
-		e.mu.Lock()
-		e.state = StateTraining
-		e.mu.Unlock()
-	}
-	defer func() { <-p.trainSem }()
+// monoTask adapts the swappable test trainer to the scheduler: the
+// whole training run is one batch, so a pool with a custom trainer
+// behaves exactly like the pre-scheduler semaphore model (concurrency
+// capped at the worker count, no interleaving within a run).
+type monoTask struct {
+	p      *DetectorPool
+	e      *poolEntry
+	cancel <-chan struct{}
+	det    *core.Detector
+	scores []float64
+}
 
-	train := p.trainer
-	if train == nil {
-		train = trainDetector
+func (t *monoTask) RunBatch(int) (int, bool, error) {
+	det, scores, err := t.p.trainer(t.e.spec, t.p.trainWorkers, t.cancel)
+	if err != nil {
+		return 0, false, err
 	}
+	t.det, t.scores = det, scores
+	return 1, true, nil
+}
+
+func (t *monoTask) result() (*core.Detector, []float64) { return t.det, t.scores }
+
+// trialTask is the production job body: a core.TrainRun advanced one
+// trial batch per scheduler turn. Model construction and checkpoint
+// resume happen lazily in the first batch, so spec failures surface as
+// job failures (like the monolithic trainer's) and Submit stays cheap.
+// It implements sched.Checkpointer: after every non-final batch the
+// scheduler persists the run's progress, and a later flight for the
+// same resource id — after an eviction or a crash-reboot — resumes from
+// it bit-identically instead of restarting.
+type trialTask struct {
+	p       *DetectorPool
+	e       *poolEntry
+	cancel  <-chan struct{}
+	run     *core.TrainRun
+	specKey string
+	depHash string
+	det     *core.Detector
+	scores  []float64
+	ck      core.TrainCheckpoint // reused checkpoint receiver
+	buf     []byte               // reused encode buffer
+}
+
+func (t *trialTask) RunBatch(n int) (int, bool, error) {
+	if t.run == nil {
+		if err := t.init(); err != nil {
+			return 0, false, err
+		}
+	}
+	ran, err := t.run.RunBatch(n)
+	if err != nil {
+		return ran, false, err
+	}
+	if !t.run.Done() {
+		return ran, false, nil
+	}
+	det, scores, err := t.run.Finish()
+	if err != nil {
+		return ran, false, err
+	}
+	t.det, t.scores = det, scores
+	return ran, true, nil
+}
+
+func (t *trialTask) result() (*core.Detector, []float64) { return t.det, t.scores }
+
+func (t *trialTask) init() error {
+	spec := t.e.spec
+	if err := spec.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+	}
+	model, err := deploy.New(spec.Deployment)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+	}
+	metric := core.MetricByName(spec.Metric)
+	if metric == nil {
+		return fmt.Errorf("%w: unknown metric %q", ErrInvalidSpec, spec.Metric)
+	}
+	cfg := spec.Train.TrainConfig()
+	cfg.Workers = t.p.trainWorkers
+	cfg.Cancel = t.cancel
+	t.specKey = spec.Key()
+	t.depHash = spec.Deployment.Hash()
+	if run := t.p.resumeRun(t.e.id, t.specKey, t.depHash, model, metric, cfg, &t.ck); run != nil {
+		t.run = run
+		return nil
+	}
+	run, err := core.NewTrainRun(model, metric, cfg)
+	if err != nil {
+		return err
+	}
+	t.run = run
+	return nil
+}
+
+// Checkpoint renders the run's durable progress, reusing the task's
+// receiver and buffer (0 allocs/op at steady state — the ladbench gate).
+func (t *trialTask) Checkpoint() ([]byte, bool) {
+	if t.run == nil || t.run.TrialsDone() == 0 {
+		return nil, false
+	}
+	t.ck.SpecKey = t.specKey
+	t.ck.DeploymentHash = t.depHash
+	t.run.CheckpointInto(&t.ck)
+	t.buf = t.ck.AppendBinary(t.buf[:0])
+	return t.buf, true
+}
+
+// startTraining submits the resource's training flight to the
+// scheduler. When idle worker capacity exists the job's slot is claimed
+// synchronously, so the common idle-server registration observes
+// StateTraining immediately; otherwise the resource stays StatePending
+// until its first batch turn.
+func (p *DetectorPool) startTraining(e *poolEntry) {
+	p.jobsStarted.Add(1)
 	e.mu.Lock()
 	cancel := e.cancel
 	e.mu.Unlock()
-	start := time.Now()
-	det, scores, err := train(e.spec, p.trainWorkers, cancel)
-	took := time.Since(start)
-
+	var task poolTask
+	units := 1
+	if p.trainer != nil {
+		task = &monoTask{p: p, e: e, cancel: cancel}
+	} else {
+		task = &trialTask{p: p, e: e, cancel: cancel}
+		units = e.spec.Train.Trials
+	}
+	jobID := fmt.Sprintf("%s#%d", e.id, p.jobSeq.Add(1))
+	e.mu.Lock()
+	e.jobID = jobID
+	e.mu.Unlock()
+	preclaimed, err := p.sched.Submit(jobID, units, task, sched.Hooks{
+		OnStart: func() { p.markTraining(e) },
+		OnDone: func(res sched.JobResult) {
+			det, scores := task.result()
+			p.finishTraining(e, det, scores, res)
+		},
+	})
 	if err != nil {
+		// Unreachable in normal operation (flight-scoped ids cannot
+		// collide; the scheduler only closes during setup) — but a job
+		// that never ran must still publish a terminal state or waiters
+		// hang forever.
 		e.mu.Lock()
-		evicted := e.evicted
 		e.state = StateFailed
 		e.err = err
 		close(e.done)
 		e.mu.Unlock()
+		p.failures.Add(1)
+		return
+	}
+	if preclaimed {
+		p.markTraining(e)
+	}
+}
+
+// markTraining publishes the pending → training transition (idempotent:
+// the preclaim path and the first-batch hook may both report it).
+func (p *DetectorPool) markTraining(e *poolEntry) {
+	e.mu.Lock()
+	if e.state == StatePending {
+		e.state = StateTraining
+	}
+	e.mu.Unlock()
+}
+
+// finishTraining publishes a flight's terminal outcome. Failed runs
+// leave the entry resident in StateFailed so the error stays
+// inspectable; successful runs sort and retain the benign sample and
+// install the pool's cache configuration pre-publish. A flight whose
+// entry was evicted mid-run (DELETE) still publishes its outcome —
+// waiters that joined before the delete get a real result — but
+// contributes nothing to the job and duration counters, installs no
+// shared cache budget, and retires any budget it did install, so
+// detached work neither skews the Retry-After pacing nor leaks budget
+// bytes. The run time is the job's scheduler occupancy: execution only,
+// excluding time queued or parked between batches (and, for a resumed
+// job, excluding the pre-crash flight's time).
+func (p *DetectorPool) finishTraining(e *poolEntry, det *core.Detector, scores []float64, res sched.JobResult) {
+	took := time.Duration(res.RunSeconds * float64(time.Second))
+	if res.Err != nil {
+		e.mu.Lock()
+		evicted := e.evicted
+		e.state = StateFailed
+		e.err = res.Err
+		close(e.done)
+		e.mu.Unlock()
 		if !evicted {
 			p.failures.Add(1)
+			// A failed spec restarts from scratch on re-arm; its
+			// checkpoint must not outlive the sample it came from.
+			p.deleteCheckpoint(e.id)
 		}
 		return
 	}
@@ -697,6 +953,8 @@ func (p *DetectorPool) runTraining(e *poolEntry, semHeld bool) {
 		det.RetireExpCache()
 		return
 	}
+	// The job is complete; its checkpoint is now stale by construction.
+	p.deleteCheckpoint(e.id)
 	p.persistEntry(e)
 }
 
@@ -752,7 +1010,7 @@ func (p *DetectorPool) Lookup(id string) (DetectorStatus, bool) {
 	if e == nil {
 		return DetectorStatus{}, false
 	}
-	return e.status(), true
+	return p.statusOf(e), true
 }
 
 // Detector returns the trained detector behind id. ok is false when the
@@ -766,7 +1024,7 @@ func (p *DetectorPool) Detector(id string) (det *core.Detector, st DetectorStatu
 		return nil, DetectorStatus{}, false
 	}
 	det, ready := e.detector()
-	return det, e.status(), ready
+	return det, p.statusOf(e), ready
 }
 
 // Corrector returns the shared corrector for a ready resource.
@@ -794,7 +1052,7 @@ func (p *DetectorPool) List() []DetectorStatus {
 	p.mu.Unlock()
 	out := make([]DetectorStatus, len(es))
 	for i, e := range es {
-		out[i] = e.status()
+		out[i] = p.statusOf(e)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -823,6 +1081,7 @@ func (p *DetectorPool) Delete(id string) bool {
 	e.mu.Lock()
 	e.evicted = true
 	det := e.det
+	jobID := e.jobID
 	if e.cancel != nil {
 		// Closing is safe exactly once: the entry just left the maps, so
 		// no second Delete or re-arm can reach this channel again.
@@ -830,10 +1089,16 @@ func (p *DetectorPool) Delete(id string) bool {
 		e.cancel = nil
 	}
 	e.mu.Unlock()
+	if jobID != "" {
+		// A queued job completes (canceled) immediately; an executing one
+		// when its current batch observes the closed cancel channel.
+		p.sched.Cancel(jobID)
+	}
 	if det != nil {
 		det.RetireExpCache()
 	}
 	p.deleteSnapshot(id)
+	p.deleteCheckpoint(id)
 	return true
 }
 
@@ -860,9 +1125,9 @@ func (p *DetectorPool) Rethreshold(id string, tau float64) (DetectorStatus, erro
 			return DetectorStatus{}, apiErrorf(CodeDetectorFailed, "detector %q failed; re-register to retrain", id)
 		}
 		// Pending/training: the job is alive — tell the client to retry,
-		// not to give up.
+		// not to give up, paced by its own queue position.
 		apiErr := apiErrorf(CodeDetectorTraining, "detector %q is %s", id, state)
-		apiErr.RetryAfterMS = p.RetryAfter().Milliseconds()
+		apiErr.RetryAfterMS = p.RetryAfterFor(id).Milliseconds()
 		return DetectorStatus{}, apiErr
 	}
 	th := mathx.PercentileSorted(e.scores, tau)
@@ -910,17 +1175,58 @@ func (p *DetectorPool) StateCounts() map[DetectorState]int {
 // RetryAfter estimates how long a client should wait before re-polling a
 // not-yet-ready resource: the mean successful training duration when one
 // is known, a conservative default otherwise, clamped to [100ms, 30s].
+// It knows nothing about any particular resource; prefer RetryAfterFor,
+// which paces by the resource's actual queue standing.
 func (p *DetectorPool) RetryAfter() time.Duration {
+	return clampRetry(p.retryBase())
+}
+
+// RetryAfterFor is RetryAfter scaled by the named resource's standing
+// in the training scheduler: the scheduler's own completion estimate
+// when it has a throughput sample, otherwise the pool-mean baseline
+// multiplied by (queue position + 1) — a deep queue must not advertise
+// the same optimistic hint as the job at the head. Falls back to the
+// flat RetryAfter for unknown ids or jobs the scheduler has forgotten.
+func (p *DetectorPool) RetryAfterFor(id string) time.Duration {
+	p.mu.Lock()
+	e := p.byID[id]
+	p.mu.Unlock()
+	if e == nil {
+		return p.RetryAfter()
+	}
+	e.mu.Lock()
+	jobID := e.jobID
+	e.mu.Unlock()
+	if jobID == "" {
+		return p.RetryAfter()
+	}
+	js, ok := p.sched.Status(jobID)
+	if !ok {
+		return p.RetryAfter()
+	}
+	if js.ETA > 0 {
+		return clampRetry(js.ETA)
+	}
+	return clampRetry(p.retryBase() * time.Duration(js.QueuePosition+1))
+}
+
+// retryBase is the unclamped single-job wait estimate.
+func (p *DetectorPool) retryBase() time.Duration {
 	mean := p.MeanTrainSeconds()
 	if math.IsNaN(mean) {
 		return time.Second
 	}
-	d := time.Duration(mean * float64(time.Second))
+	return time.Duration(mean * float64(time.Second))
+}
+
+// clampRetry bounds a retry hint to [100ms, 30s]: never busy-loop a
+// client, never park one past the point the estimate is guesswork.
+func clampRetry(d time.Duration) time.Duration {
 	if d < 100*time.Millisecond {
-		d = 100 * time.Millisecond
+		return 100 * time.Millisecond
 	}
 	if d > 30*time.Second {
-		d = 30 * time.Second
+		return 30 * time.Second
 	}
 	return d
 }

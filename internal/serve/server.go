@@ -88,10 +88,19 @@ type ServerConfig struct {
 	// consulted when NewServer builds the pool itself.
 	MaxCachedDetectors int
 	// MaxConcurrentTrainings caps detector training runs in flight at
-	// once (each run's worker pool is sized GOMAXPROCS/cap, so parallel
-	// cold starts share the machine); 0 means DefaultTrainConcurrency.
-	// Only consulted when NewServer builds the pool itself.
+	// once — it sizes the fair-share scheduler's worker pool (each
+	// worker's trial batches fan out over GOMAXPROCS/cap goroutines, so
+	// parallel cold starts share the machine); 0 means
+	// DefaultTrainConcurrency. Only consulted when NewServer builds the
+	// pool itself.
 	MaxConcurrentTrainings int
+	// SchedBatchTrials sets how many Monte-Carlo trials a training job
+	// runs per scheduler turn — the fairness/checkpoint granularity: the
+	// scheduler round-robins queued jobs between batches and checkpoints
+	// trial progress after each one. 0 means the scheduler default;
+	// negative is clamped to it. Only consulted when NewServer builds
+	// the pool itself.
+	SchedBatchTrials int
 	// ExpCacheCapacity bounds each detector's cross-request expectation
 	// cache (distinct claimed locations); 0 means the core default,
 	// negative disables the cache. Only consulted when NewServer builds
@@ -167,6 +176,7 @@ func NewServer(cfg ServerConfig, pool *DetectorPool) (*Server, error) {
 	if pool == nil {
 		pool = NewDetectorPool(cfg.MaxCachedDetectors)
 		pool.SetTrainConcurrency(cfg.MaxConcurrentTrainings)
+		pool.SetSchedBatchTrials(cfg.SchedBatchTrials)
 		pool.SetExpCacheCapacity(cfg.ExpCacheCapacity)
 		pool.SetExpCacheByteBudget(cfg.ExpCacheBudgetBytes)
 	}

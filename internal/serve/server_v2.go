@@ -45,8 +45,21 @@ type DetectorJSON struct {
 	// Error is the training failure message (state "failed").
 	Error string `json:"error,omitempty"`
 	// RetryAfterMS hints when to poll again (states "pending" and
-	// "training").
+	// "training"). It scales with the resource's queue position, so a
+	// client polling a deeply queued registration backs off instead of
+	// hammering the head of the line.
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// QueuePosition is the resource's place in the training scheduler's
+	// round-robin ring (states "pending" and "training"; absent
+	// otherwise). 0 means the job is executing or next in line.
+	QueuePosition *int `json:"queue_position,omitempty"`
+	// TrialsDone counts Monte-Carlo trials already completed by the
+	// training job — checkpointed progress that survives a crash.
+	TrialsDone int `json:"trials_done,omitempty"`
+	// EtaMS estimates the remaining training time in milliseconds from
+	// the scheduler's observed per-trial throughput and current
+	// contention; 0 until a throughput sample exists.
+	EtaMS int64 `json:"eta_ms,omitempty"`
 }
 
 func (s *Server) detectorJSON(st DetectorStatus) DetectorJSON {
@@ -66,7 +79,13 @@ func (s *Server) detectorJSON(st DetectorStatus) DetectorJSON {
 			out.Error = st.Err.Error()
 		}
 	default:
-		out.RetryAfterMS = s.pool.RetryAfter().Milliseconds()
+		out.RetryAfterMS = s.pool.RetryAfterFor(st.ID).Milliseconds()
+		if st.QueuePosition >= 0 {
+			pos := st.QueuePosition
+			out.QueuePosition = &pos
+			out.TrialsDone = st.TrialsDone
+			out.EtaMS = st.EtaMS
+		}
 	}
 	return out
 }
@@ -133,7 +152,7 @@ func (s *Server) v2Detector(w http.ResponseWriter, r *http.Request) (*core.Detec
 		writeAPIError(w, apiErrorf(CodeDetectorFailed, "detector %q failed: %s", id, msg))
 	default:
 		e := apiErrorf(CodeDetectorTraining, "detector %q is %s", id, st.State)
-		e.RetryAfterMS = s.pool.RetryAfter().Milliseconds()
+		e.RetryAfterMS = s.pool.RetryAfterFor(id).Milliseconds()
 		writeAPIError(w, e)
 	}
 	return nil, false
